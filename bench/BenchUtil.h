@@ -1,0 +1,108 @@
+//===- BenchUtil.h - Shared benchmark harness helpers ----------------------===//
+//
+// Part of the Cypress reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the figure-reproduction benchmarks: kernel compilation
+/// with owned registries/mappings, and the table printer that emits the
+/// rows the paper's plots are drawn from. Every bench binary prints a
+/// table named after the paper figure it regenerates, with one row per
+/// x-axis point and one column per system; EXPERIMENTS.md records these
+/// against the published numbers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CYPRESS_BENCH_BENCHUTIL_H
+#define CYPRESS_BENCH_BENCHUTIL_H
+
+#include "baselines/Baselines.h"
+#include "kernels/Kernels.h"
+#include "runtime/Runtime.h"
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cypress::bench {
+
+/// A compiled kernel together with the registry/mapping that back it.
+struct OwnedKernel {
+  std::unique_ptr<TaskRegistry> Registry;
+  std::unique_ptr<MappingSpec> Mapping;
+  std::unique_ptr<CompiledKernel> Kernel;
+};
+
+template <typename RegisterFn, typename MappingFn, typename ArgsFn>
+OwnedKernel compileOwned(const char *Name, RegisterFn Register,
+                         MappingFn BuildMapping, ArgsFn BuildArgs) {
+  OwnedKernel Owned;
+  Owned.Registry = std::make_unique<TaskRegistry>();
+  Register(*Owned.Registry);
+  Owned.Mapping = std::make_unique<MappingSpec>(BuildMapping());
+  CompileInput Input;
+  Input.Registry = Owned.Registry.get();
+  Input.Mapping = Owned.Mapping.get();
+  Input.Machine = &MachineModel::h100();
+  Input.EntryArgTypes = BuildArgs();
+  ErrorOr<std::unique_ptr<CompiledKernel>> Kernel =
+      compileKernel(Input, Name);
+  if (!Kernel) {
+    std::fprintf(stderr, "error: %s: %s\n", Name,
+                 Kernel.diagnostic().message().c_str());
+    return Owned;
+  }
+  Owned.Kernel = std::move(*Kernel);
+  return Owned;
+}
+
+/// Simulated TFLOP/s of a compiled Cypress kernel (aborts the row on
+/// simulation errors, which the tests elsewhere guarantee not to happen).
+inline double cypressTFlops(const OwnedKernel &Owned, const SimConfig &Sim) {
+  if (!Owned.Kernel)
+    return 0.0;
+  ErrorOr<SimResult> Result = Owned.Kernel->runTiming(Sim);
+  if (!Result) {
+    std::fprintf(stderr, "error: %s\n", Result.diagnostic().message().c_str());
+    return 0.0;
+  }
+  if (!Result->Races.empty())
+    std::fprintf(stderr, "warning: race detected: %s\n",
+                 Result->Races[0].c_str());
+  return Result->TFlops;
+}
+
+/// Prints one figure table: header then one row per size.
+class Table {
+public:
+  Table(std::string Title, std::string XLabel,
+        std::vector<std::string> Systems)
+      : Title(std::move(Title)), XLabel(std::move(XLabel)),
+        Systems(std::move(Systems)) {
+    std::printf("== %s ==\n", this->Title.c_str());
+    std::printf("%-18s", this->XLabel.c_str());
+    for (const std::string &System : this->Systems)
+      std::printf("%14s", System.c_str());
+    std::printf("\n");
+  }
+
+  void row(const std::string &X, const std::vector<double> &TFlops) {
+    std::printf("%-18s", X.c_str());
+    for (double Value : TFlops)
+      std::printf("%14.1f", Value);
+    std::printf("\n");
+  }
+
+  ~Table() { std::printf("\n"); }
+
+private:
+  std::string Title;
+  std::string XLabel;
+  std::vector<std::string> Systems;
+};
+
+} // namespace cypress::bench
+
+#endif // CYPRESS_BENCH_BENCHUTIL_H

@@ -1,0 +1,107 @@
+//===- bench_compile_time.cpp - Compiler pass throughput ---------------------===//
+//
+// Part of the Cypress reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// google-benchmark microbenchmarks of the compiler itself: full-pipeline
+/// lowering of the shipped kernels, plus the individual stages on the GEMM
+/// program. Compilation happens once per kernel instantiation, so these
+/// times bound the model's static-compilation overhead.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace cypress;
+
+namespace {
+
+CompileInput gemmInput(TaskRegistry &Registry, MappingSpec &Mapping,
+                       std::vector<TensorType> &Args) {
+  GemmConfig Config;
+  Config.M = Config.N = Config.K = 4096;
+  registerGemmTasks(Registry);
+  Mapping = gemmMapping(Config);
+  Args = gemmArgTypes(Config);
+  return {&Registry, &Mapping, &MachineModel::h100(), Args};
+}
+
+void BM_CompileGemmFull(benchmark::State &State) {
+  TaskRegistry Registry;
+  MappingSpec Mapping;
+  std::vector<TensorType> Args;
+  CompileInput Input = gemmInput(Registry, Mapping, Args);
+  for (auto _ : State) {
+    ErrorOr<IRModule> Module = compileToIR(Input);
+    benchmark::DoNotOptimize(&Module);
+  }
+}
+BENCHMARK(BM_CompileGemmFull);
+
+void BM_DependenceAnalysis(benchmark::State &State) {
+  TaskRegistry Registry;
+  MappingSpec Mapping;
+  std::vector<TensorType> Args;
+  CompileInput Input = gemmInput(Registry, Mapping, Args);
+  for (auto _ : State) {
+    ErrorOr<IRModule> Module = runDependenceAnalysis(Input);
+    benchmark::DoNotOptimize(&Module);
+  }
+}
+BENCHMARK(BM_DependenceAnalysis);
+
+void BM_CopyElimination(benchmark::State &State) {
+  TaskRegistry Registry;
+  MappingSpec Mapping;
+  std::vector<TensorType> Args;
+  CompileInput Input = gemmInput(Registry, Mapping, Args);
+  for (auto _ : State) {
+    State.PauseTiming();
+    ErrorOr<IRModule> Module = runDependenceAnalysis(Input);
+    (void)runVectorization(*Module, *Input.Machine);
+    State.ResumeTiming();
+    (void)runCopyElimination(*Module);
+  }
+}
+BENCHMARK(BM_CopyElimination);
+
+void BM_CompileAttentionFull(benchmark::State &State) {
+  AttentionConfig Config = fa2Config(4096);
+  TaskRegistry Registry;
+  registerAttentionTasks(Registry);
+  MappingSpec Mapping = attentionMapping(Config);
+  std::vector<TensorType> Args = attentionArgTypes(Config);
+  CompileInput Input{&Registry, &Mapping, &MachineModel::h100(), Args};
+  for (auto _ : State) {
+    ErrorOr<IRModule> Module = compileToIR(Input);
+    benchmark::DoNotOptimize(&Module);
+  }
+}
+BENCHMARK(BM_CompileAttentionFull);
+
+void BM_SimulateGemmTiming(benchmark::State &State) {
+  GemmConfig Config;
+  Config.M = Config.N = Config.K = 4096;
+  TaskRegistry Registry;
+  registerGemmTasks(Registry);
+  MappingSpec Mapping = gemmMapping(Config);
+  std::vector<TensorType> Args = gemmArgTypes(Config);
+  CompileInput Input{&Registry, &Mapping, &MachineModel::h100(), Args};
+  SharedAllocation Alloc;
+  ErrorOr<IRModule> Module = compileToIR(Input, &Alloc);
+  LeafRegistry Leaves = LeafRegistry::builtins();
+  SimConfig Sim;
+  for (auto _ : State) {
+    ErrorOr<SimResult> Result = simulate(*Module, Alloc, Sim, Leaves);
+    benchmark::DoNotOptimize(&Result);
+  }
+}
+BENCHMARK(BM_SimulateGemmTiming);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,38 @@
+//===- bench_fig13a_gemm.cpp - Figure 13a: FP16 GEMM throughput ------------===//
+//
+// Part of the Cypress reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Figure 13a: FP16 GEMM throughput (TFLOP/s) for
+/// M = N = K in {4096, 6144, 8192}, comparing Cypress, Triton, and cuBLAS.
+/// Paper result: Cypress achieves 0.88x-1.06x cuBLAS and 1.05x-1.11x
+/// Triton.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace cypress;
+using namespace cypress::bench;
+
+int main() {
+  SimConfig Sim;
+  Table T("Figure 13a: GEMM (FP16)", "Size (M=N=K)",
+          {"Cypress", "Triton", "cuBLAS"});
+  for (int64_t Size : {4096, 6144, 8192}) {
+    GemmConfig Config;
+    Config.M = Config.N = Config.K = Size;
+    OwnedKernel Kernel = compileOwned(
+        "gemm", registerGemmTasks, [&] { return gemmMapping(Config); },
+        [&] { return gemmArgTypes(Config); });
+    double Cypress = cypressTFlops(Kernel, Sim);
+    double Triton = tritonGemm(Config, Sim).TFlops;
+    double Cublas = cublasGemm(Config, Sim).TFlops;
+    T.row(std::to_string(Size), {Cypress, Triton, Cublas});
+    std::printf("  ratios: vs cuBLAS %.3f, vs Triton %.3f\n",
+                Cypress / Cublas, Cypress / Triton);
+  }
+  return 0;
+}

@@ -1,0 +1,103 @@
+//===- bench_headline_ratios.cpp - Abstract/Section 5 headline numbers ------===//
+//
+// Part of the Cypress reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Checks the paper's headline claims in one place:
+///   * GEMM:            0.88x-1.06x cuBLAS,
+///   * Flash Attention: 0.80x-0.98x of the best-known implementation,
+///   * vs Triton:       0.99x-2.18x across all kernels.
+/// Prints each measured ratio with the paper's band and a PASS/SHAPE-OK
+/// verdict (in-band, or same winner and within 15% of the band edge).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <algorithm>
+
+using namespace cypress;
+using namespace cypress::bench;
+
+namespace {
+
+void report(const char *Name, double Ratio, double Lo, double Hi) {
+  const char *Verdict = "OUT-OF-SHAPE";
+  if (Ratio >= Lo && Ratio <= Hi)
+    Verdict = "PASS";
+  else if (Ratio >= Lo * 0.85 && Ratio <= Hi * 1.15)
+    Verdict = "SHAPE-OK";
+  std::printf("%-34s measured %.3f  paper [%.2f, %.2f]  %s\n", Name, Ratio,
+              Lo, Hi, Verdict);
+}
+
+} // namespace
+
+int main() {
+  SimConfig Sim;
+  std::printf("== Headline ratios (abstract / Section 5) ==\n");
+
+  double MinVsCublas = 1e9, MaxVsCublas = 0;
+  double MinVsTriton = 1e9, MaxVsTriton = 0;
+  for (int64_t Size : {4096, 6144, 8192}) {
+    GemmConfig Config;
+    Config.M = Config.N = Config.K = Size;
+    OwnedKernel Kernel = compileOwned(
+        "gemm", registerGemmTasks, [&] { return gemmMapping(Config); },
+        [&] { return gemmArgTypes(Config); });
+    double Cypress = cypressTFlops(Kernel, Sim);
+    MinVsCublas = std::min(MinVsCublas,
+                           Cypress / cublasGemm(Config, Sim).TFlops);
+    MaxVsCublas = std::max(MaxVsCublas,
+                           Cypress / cublasGemm(Config, Sim).TFlops);
+    MinVsTriton = std::min(MinVsTriton,
+                           Cypress / tritonGemm(Config, Sim).TFlops);
+    MaxVsTriton = std::max(MaxVsTriton,
+                           Cypress / tritonGemm(Config, Sim).TFlops);
+  }
+  report("GEMM vs cuBLAS (min)", MinVsCublas, 0.88, 1.06);
+  report("GEMM vs cuBLAS (max)", MaxVsCublas, 0.88, 1.06);
+  report("GEMM vs Triton (min)", MinVsTriton, 1.05, 1.11);
+  report("GEMM vs Triton (max)", MaxVsTriton, 1.05, 1.11);
+
+  {
+    GemmConfig Config;
+    Config.M = Config.N = Config.K = 8192;
+    OwnedKernel Kernel = compileOwned(
+        "dual", registerDualGemmTasks,
+        [&] { return dualGemmMapping(Config); },
+        [&] { return dualGemmArgTypes(Config); });
+    report("Dual-GEMM vs Triton",
+           cypressTFlops(Kernel, Sim) / tritonDualGemm(Config, Sim).TFlops,
+           1.36, 1.40);
+  }
+  {
+    GemmConfig Config;
+    Config.M = Config.N = Config.K = 8192;
+    OwnedKernel Kernel = compileOwned(
+        "gemmred", registerGemmRedTasks,
+        [&] { return gemmRedMapping(Config); },
+        [&] { return gemmRedArgTypes(Config); });
+    report("GEMM+Reduction vs Triton",
+           cypressTFlops(Kernel, Sim) / tritonGemmRed(Config, Sim).TFlops,
+           2.02, 2.18);
+  }
+
+  double MinVsBest = 1e9, MaxVsBest = 0;
+  for (int64_t SeqLen : {2048, 4096, 8192, 16384}) {
+    AttentionConfig Fa3 = fa3Config(SeqLen);
+    OwnedKernel Kernel = compileOwned(
+        "fa3", registerAttentionTasks, [&] { return attentionMapping(Fa3); },
+        [&] { return attentionArgTypes(Fa3); });
+    double Best =
+        expertAttention(Fa3, Sim, AttentionOracle::FlashAttention3).TFlops;
+    double Ratio = cypressTFlops(Kernel, Sim) / Best;
+    MinVsBest = std::min(MinVsBest, Ratio);
+    MaxVsBest = std::max(MaxVsBest, Ratio);
+  }
+  report("Attention vs best FA (min)", MinVsBest, 0.80, 0.98);
+  report("Attention vs best FA (max)", MaxVsBest, 0.80, 0.98);
+  return 0;
+}

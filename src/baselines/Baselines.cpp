@@ -1,0 +1,288 @@
+//===- Baselines.cpp - Comparator performance models -------------------------===//
+//
+// Part of the Cypress reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Schedule models for the comparison systems. Each model composes the
+/// same per-stage costs the Cypress simulator charges (Tensor Core cycles,
+/// TMA or SIMT copy cycles, barrier costs) according to the loop structure
+/// the system generates; the documented behavioural differences — TMA
+/// usage, intra-loop overlap, accumulator placement, persistent kernels —
+/// are the only degrees of freedom. See DESIGN.md for the calibration
+/// argument and EXPERIMENTS.md for measured-vs-paper ratios.
+///
+//===----------------------------------------------------------------------===//
+
+#include "baselines/Baselines.h"
+
+#include "support/MathUtil.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace cypress;
+
+namespace {
+
+/// Wave-quantized kernel wall time from a steady per-block cycle count.
+/// Persistent kernels schedule logical blocks onto resident CTAs and avoid
+/// the ceil() — the optimization the paper notes Cypress does not yet do.
+BaselineResult finishKernel(double BlockCycles, int64_t Blocks,
+                            double TotalFlops, double CompulsoryBytes,
+                            const SimConfig &Sim, bool Persistent) {
+  double Waves = Persistent
+                     ? static_cast<double>(Blocks) /
+                           static_cast<double>(Sim.NumSMs)
+                     : static_cast<double>(ceilDiv(Blocks, Sim.NumSMs));
+  Waves = std::max(Waves, 1.0);
+  double Cycles = BlockCycles * Waves + Sim.BlockOverhead;
+  double Seconds = Cycles / (Sim.ClockGHz * 1e9);
+  Seconds = std::max(Seconds, CompulsoryBytes / Sim.DramBytesPerSec);
+  BaselineResult Result;
+  Result.Seconds = Seconds;
+  Result.BlockCycles = BlockCycles;
+  Result.TFlops = TotalFlops / Seconds / 1e12;
+  return Result;
+}
+
+/// Per-iteration stage costs of a GEMM-family main loop on one block.
+struct GemmStageCosts {
+  double Tc;        ///< Tensor Core cycles for the tile math.
+  double TmaLoads;  ///< TMA cycles to fetch the iteration's tiles.
+  double SimtLoads; ///< Same bytes through the SIMT path (no TMA).
+  double Iters;
+  double Epilogue;  ///< Accumulator store-out.
+};
+
+GemmStageCosts gemmStages(const GemmConfig &Config, const SimConfig &Sim,
+                          double BytesPerIter, double FlopsPerIter) {
+  GemmStageCosts Costs;
+  Costs.Tc = FlopsPerIter / Sim.TensorCoreFlopsPerCycle;
+  Costs.TmaLoads = BytesPerIter / Sim.TmaBytesPerCycle;
+  Costs.SimtLoads = BytesPerIter / Sim.SimtGlobalBytesPerCycle;
+  Costs.Iters = static_cast<double>(Config.K / Config.W);
+  Costs.Epilogue = static_cast<double>(Config.U * Config.V * 2) /
+                       Sim.TmaBytesPerCycle +
+                   Sim.BarrierLatency;
+  return Costs;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Expert oracles
+//===----------------------------------------------------------------------===//
+
+BaselineResult cypress::cublasGemm(const GemmConfig &Config,
+                                   const SimConfig &Sim) {
+  double BytesPerIter =
+      static_cast<double>((Config.U + Config.V) * Config.W * 2);
+  double FlopsPerIter =
+      2.0 * static_cast<double>(Config.U) * static_cast<double>(Config.V) *
+      static_cast<double>(Config.W);
+  GemmStageCosts S = gemmStages(Config, Sim, BytesPerIter, FlopsPerIter);
+
+  // Perfect warp-specialized pipeline: steady state is the max of the two
+  // engines; the hand-tuned kernel hides almost the entire pipeline fill
+  // behind the launch, so only one load plus the epilogue is exposed. A 1%
+  // factor stands in for residual inefficiency.
+  double Steady = std::max(S.Tc, S.TmaLoads);
+  double Block =
+      (S.Iters * Steady + S.TmaLoads + S.Epilogue) * 1.01;
+
+  int64_t Blocks = (Config.L * Config.M / Config.U) * (Config.N / Config.V);
+  double Flops = gemmFlops(Config);
+  double Bytes = static_cast<double>(
+      Config.L * (Config.M * Config.N + Config.M * Config.K +
+                  Config.K * Config.N) * 2);
+  return finishKernel(Block, Blocks, Flops, Bytes, Sim,
+                      /*Persistent=*/false);
+}
+
+BaselineResult cypress::cublasBatchedGemm(const GemmConfig &Config,
+                                          const SimConfig &Sim) {
+  return cublasGemm(Config, Sim);
+}
+
+BaselineResult cypress::expertAttention(const AttentionConfig &Config,
+                                        const SimConfig &Sim,
+                                        AttentionOracle Which) {
+  // Per main-loop iteration over one BC-row K/V tile, for a BR-row block.
+  double TcQk = 2.0 * Config.BR * Config.BC * Config.HeadDim /
+                Sim.TensorCoreFlopsPerCycle;
+  double TcPv = TcQk;
+  double Softmax = Config.BR * (12.0 * Config.BC + 2.0 * Config.HeadDim) /
+                   (Sim.SimtFlopsPerCycle * Config.WGS);
+  double Tma = 2.0 * Config.BC * Config.HeadDim * 2 / Sim.TmaBytesPerCycle;
+
+  // The expert kernels keep the Tensor Core busy: softmax of one
+  // warpgroup's band overlaps the other warpgroups' matrix work, so the
+  // steady state is the widest engine.
+  double Steady = std::max({TcQk + TcPv, Softmax, Tma});
+  double Iters = static_cast<double>(Config.SeqLen / Config.BC);
+  double Prologue = Sim.GlobalLatency +
+                    Config.BR * Config.HeadDim * 2 / Sim.TmaBytesPerCycle;
+  double Epilogue = Config.BR * Config.HeadDim * 2 / Sim.TmaBytesPerCycle +
+                    Sim.BarrierLatency;
+
+  // Inefficiency factors calibrated so the oracle-vs-oracle ordering and
+  // magnitudes match the published Hopper measurements the paper compares
+  // against (FA3 ref >= cuDNN > ThunderKittens; all well above Triton):
+  // they charge the overheads our pipeline model omits — score conversion
+  // to FP16 for the P.V matrix op, register-sourced WGMMA throughput loss,
+  // LSE bookkeeping, and predication.
+  double Inefficiency = 1.0;
+  bool Persistent = false;
+  switch (Which) {
+  case AttentionOracle::ThunderKittens:
+    Inefficiency = 1.22;
+    break;
+  case AttentionOracle::CuDnn:
+    Inefficiency = 1.16;
+    break;
+  case AttentionOracle::FlashAttention3:
+    // The reference FA3 also uses a persistent kernel (Section 5.3), which
+    // is what wins at small sequence lengths.
+    Inefficiency = 1.14;
+    Persistent = true;
+    break;
+  }
+  double Block = (Iters * Steady + Prologue + Epilogue) * Inefficiency;
+
+  int64_t Blocks =
+      Config.Batch * Config.Heads * (Config.SeqLen / Config.BR);
+  double Flops = attentionFlops(Config);
+  double Bytes = 4.0 * Config.Batch * Config.Heads * Config.SeqLen *
+                 Config.HeadDim * 2;
+  return finishKernel(Block, Blocks, Flops, Bytes, Sim, Persistent);
+}
+
+//===----------------------------------------------------------------------===//
+// Triton model
+//===----------------------------------------------------------------------===//
+
+BaselineResult cypress::tritonGemm(const GemmConfig &Config,
+                                   const SimConfig &Sim) {
+  double BytesPerIter =
+      static_cast<double>((Config.U + Config.V) * Config.W * 2);
+  double FlopsPerIter =
+      2.0 * static_cast<double>(Config.U) * static_cast<double>(Config.V) *
+      static_cast<double>(Config.W);
+  GemmStageCosts S = gemmStages(Config, Sim, BytesPerIter, FlopsPerIter);
+
+  // Triton software-pipelines its loads (cp.async multistage) but issues
+  // them from SIMT instructions rather than the TMA, and synchronizes the
+  // whole block between stages.
+  double Steady = std::max(S.Tc + 2 * Sim.BarrierLatency, S.SimtLoads);
+  double Block = S.Iters * Steady +
+                 static_cast<double>(Config.Pipe) * S.SimtLoads +
+                 Sim.GlobalLatency + S.Epilogue;
+
+  int64_t Blocks = (Config.L * Config.M / Config.U) * (Config.N / Config.V);
+  double Flops = gemmFlops(Config);
+  double Bytes = static_cast<double>(
+      Config.L * (Config.M * Config.N + Config.M * Config.K +
+                  Config.K * Config.N) * 2);
+  return finishKernel(Block, Blocks, Flops, Bytes, Sim, false);
+}
+
+BaselineResult cypress::tritonBatchedGemm(const GemmConfig &Config,
+                                          const SimConfig &Sim) {
+  return tritonGemm(Config, Sim);
+}
+
+BaselineResult cypress::tritonDualGemm(const GemmConfig &Config,
+                                       const SimConfig &Sim) {
+  double LoadA = static_cast<double>(Config.U * Config.W * 2) /
+                 Sim.SimtGlobalBytesPerCycle;
+  double LoadB = static_cast<double>(Config.W * Config.V * 2) /
+                 Sim.SimtGlobalBytesPerCycle;
+  double Tc = 2.0 * Config.U * Config.V * Config.W /
+              Sim.TensorCoreFlopsPerCycle;
+
+  // Section 5.2: Triton does not overlap the load of B2 with the first
+  // GEMM: the second product's operand fetch is exposed every iteration
+  // (transfer plus roughly a third of the global latency that thread-level
+  // parallelism cannot hide), and the two GEMMs serialize behind a
+  // block-wide sync.
+  double Steady = std::max(2 * Tc + 2 * Sim.BarrierLatency, LoadA + LoadB) +
+                  LoadB + 0.35 * Sim.GlobalLatency;
+  double Iters = static_cast<double>(Config.K / Config.W);
+  double Epilogue = static_cast<double>(Config.U * Config.V * 2) /
+                    Sim.SimtGlobalBytesPerCycle;
+  double Block = Iters * Steady +
+                 static_cast<double>(Config.Pipe) * (LoadA + LoadB) +
+                 Sim.GlobalLatency + Epilogue;
+
+  int64_t Blocks = (Config.M / Config.U) * (Config.N / Config.V);
+  double Flops = 2.0 * gemmFlops(Config); // Two products.
+  double Bytes = static_cast<double>(Config.M * Config.N +
+                                     Config.M * Config.K +
+                                     2 * Config.K * Config.N) *
+                 2;
+  return finishKernel(Block, Blocks, Flops, Bytes, Sim, false);
+}
+
+BaselineResult cypress::tritonGemmRed(const GemmConfig &Config,
+                                      const SimConfig &Sim) {
+  double BytesPerIter =
+      static_cast<double>((Config.U + Config.V) * Config.W * 2);
+  double FlopsPerIter =
+      2.0 * static_cast<double>(Config.U) * static_cast<double>(Config.V) *
+      static_cast<double>(Config.W);
+  GemmStageCosts S = gemmStages(Config, Sim, BytesPerIter, FlopsPerIter);
+
+  // Section 5.2: Triton waits on the Tensor Core before issuing the
+  // reduction (no overlap) and heuristically places the reduction
+  // accumulator in shared memory, where the scalar read-modify-write
+  // traffic serializes on bank conflicts. Effective reduction throughput
+  // observed from its PTX is roughly one element per lane-group cycle.
+  double RedCycles = static_cast<double>(Config.U * Config.W) / 8.0;
+  double Steady = S.Tc + RedCycles + 4 * Sim.BarrierLatency;
+  Steady = std::max(Steady, S.SimtLoads);
+  double Block = S.Iters * Steady +
+                 static_cast<double>(Config.Pipe) * S.SimtLoads +
+                 Sim.GlobalLatency + S.Epilogue;
+
+  int64_t Blocks = (Config.M / Config.U) * (Config.N / Config.V);
+  double Flops = gemmFlops(Config) +
+                 static_cast<double>(Config.M) *
+                     static_cast<double>(Config.K);
+  double Bytes = static_cast<double>(Config.M * Config.N +
+                                     Config.M * Config.K +
+                                     Config.K * Config.N) *
+                 2;
+  return finishKernel(Block, Blocks, Flops, Bytes, Sim, false);
+}
+
+BaselineResult cypress::tritonAttention(const AttentionConfig &Config,
+                                        const SimConfig &Sim) {
+  // Triton's attention is one block-wide program: Q.K^T, softmax, and P.V
+  // execute strictly in sequence (no warpgroup specialization to hide the
+  // softmax under the Tensor Core), and K/V tiles arrive through SIMT
+  // loads whose latency is only partially hidden by Triton's pipelining.
+  double TcQk = 2.0 * Config.BR * Config.BC * Config.HeadDim /
+                Sim.TensorCoreFlopsPerCycle;
+  double TcPv = TcQk;
+  double Softmax = Config.BR * (12.0 * Config.BC + 2.0 * Config.HeadDim) /
+                   Sim.SimtFlopsPerCycle;
+  double LoadKV = 2.0 * Config.BC * Config.HeadDim * 2 /
+                  Sim.SimtGlobalBytesPerCycle;
+  double Exposure = 0.5; // Fraction of the load not hidden by pipelining.
+
+  double Steady = TcQk + Softmax + TcPv + 4 * Sim.BarrierLatency +
+                  Exposure * LoadKV;
+  double Iters = static_cast<double>(Config.SeqLen / Config.BC);
+  double Prologue = Sim.GlobalLatency + Config.BR * Config.HeadDim * 2 /
+                                            Sim.SimtGlobalBytesPerCycle;
+  double Block = Iters * Steady + Prologue;
+
+  int64_t Blocks =
+      Config.Batch * Config.Heads * (Config.SeqLen / Config.BR);
+  double Flops = attentionFlops(Config);
+  double Bytes = 4.0 * Config.Batch * Config.Heads * Config.SeqLen *
+                 Config.HeadDim * 2;
+  return finishKernel(Block, Blocks, Flops, Bytes, Sim, false);
+}

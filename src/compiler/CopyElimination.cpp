@@ -1,0 +1,901 @@
+//===- CopyElimination.cpp - Removing copy-in/copy-out copies --------------===//
+//
+// Part of the Cypress reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Stage 3 of the compiler (Section 4.2.3). The copy-in/copy-out discipline
+/// of the dependence analysis makes the analysis local but introduces many
+/// unnecessary copies; this pass removes them with a set of rewrite patterns
+/// akin to Figure 10 (and Sequoia's compiler):
+///
+///  * launch-pair forwarding: a launch argument's fresh tensor whose mapped
+///    memory matches the data it copies from (or is `none`) is replaced by
+///    the original slice; the paired copies then die as self-copies,
+///  * copy propagation: `copy(X -> P); ...; copy(P -> Y)` over the same
+///    piece with no intervening writes rewrites the consumer to read X,
+///  * self-copy and duplicate elimination (Figure 10d/c), renaming the
+///    erased event into its single-precondition event where ranks align and
+///    splicing preconditions (with broadcast-aware processor index
+///    conversion) otherwise — preserving the synchronization that collapsed
+///    event arrays imply,
+///  * spill hoisting (Figure 10b): a loop body that copies a piece into an
+///    accumulator at the top and back at the bottom, with a loop-invariant
+///    color, hoists the pair into the preamble/postamble — this is what
+///    keeps the GEMM accumulator resident in the register file across the
+///    K loop,
+///  * dead-copy/dead-alloc cleanup.
+///
+/// Patterns that can eliminate events run before ones that must preserve
+/// dependencies, mirroring the paper's ordering heuristic. After the
+/// fixpoint, any tensor mapped to the `none` memory that still appears in a
+/// copy or call is reported as an unsatisfiable mapping constraint
+/// (Section 3.3).
+///
+//===----------------------------------------------------------------------===//
+
+#include "compiler/Passes.h"
+#include "support/Format.h"
+
+#include <map>
+#include <optional>
+#include <set>
+
+using namespace cypress;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Structural slice equivalence
+//===----------------------------------------------------------------------===//
+
+bool colorsEqual(const std::vector<ScalarExpr> &A,
+                 const std::vector<ScalarExpr> &B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0, E = A.size(); I != E; ++I)
+    if (!A[I].equals(B[I]))
+      return false;
+  return true;
+}
+
+/// True if two slices denote the same data: same root tensor, same buffer,
+/// and structurally identical partition chains (specs compared by value, so
+/// two tasks partitioning the same tensor the same way match even though
+/// they created distinct partition ids).
+bool sliceEquivalent(const IRModule &M, const TensorSlice &A,
+                     const TensorSlice &B) {
+  if (A.Tensor != B.Tensor)
+    return false;
+  if (!A.BufferIndex.equals(B.BufferIndex))
+    return false;
+  if (A.isWhole() != B.isWhole())
+    return false;
+  if (A.isWhole())
+    return true;
+  const IRPartition &PA = M.partition(*A.Part);
+  const IRPartition &PB = M.partition(*B.Part);
+  if (!PA.Spec.equals(PB.Spec))
+    return false;
+  if (!colorsEqual(A.Color, B.Color))
+    return false;
+  return sliceEquivalent(M, PA.Base, PB.Base);
+}
+
+//===----------------------------------------------------------------------===//
+// Flat op index
+//===----------------------------------------------------------------------===//
+
+/// A flattened view of the module: every op with its containing block and
+/// position, in program order. Rebuilt after each mutating pattern.
+struct FlatOp {
+  IRBlock *Block = nullptr;
+  size_t Index = 0;
+  Operation *Op = nullptr;
+  unsigned Depth = 0; ///< Loop-nest depth.
+};
+
+void flatten(IRBlock &Block, unsigned Depth, std::vector<FlatOp> &Out) {
+  for (size_t I = 0, E = Block.Ops.size(); I != E; ++I) {
+    Operation *Op = Block.Ops[I].get();
+    Out.push_back({&Block, I, Op, Depth});
+    if (Op->Kind == OpKind::For || Op->Kind == OpKind::PFor)
+      flatten(Op->Body, Depth + 1, Out);
+  }
+}
+
+/// Visits every slice of an op (in place).
+void forEachSlice(Operation &Op, const std::function<void(TensorSlice &)> &Fn) {
+  if (Op.Kind == OpKind::Copy) {
+    Fn(Op.CopySrc);
+    Fn(Op.CopyDst);
+  } else if (Op.Kind == OpKind::Call) {
+    for (TensorSlice &Slice : Op.Args)
+      Fn(Slice);
+  }
+}
+
+/// Does the op read (or write) data rooted at \p Tensor?
+bool opReadsTensor(const Operation &Op, TensorId Tensor) {
+  if (Op.Kind == OpKind::Copy)
+    return Op.CopySrc.Tensor == Tensor;
+  if (Op.Kind == OpKind::Call) {
+    for (size_t I = 0, E = Op.Args.size(); I != E; ++I)
+      if (Op.Args[I].Tensor == Tensor)
+        return true; // Calls may read even written args (read-write).
+  }
+  return false;
+}
+
+bool opWritesTensor(const Operation &Op, TensorId Tensor) {
+  if (Op.Kind == OpKind::Copy)
+    return Op.CopyDst.Tensor == Tensor;
+  if (Op.Kind == OpKind::Call) {
+    for (size_t I = 0, E = Op.Args.size(); I != E; ++I)
+      if (Op.Args[I].Tensor == Tensor && Op.ArgIsWritten[I])
+        return true;
+  }
+  return false;
+}
+
+bool opTouchesTensor(const Operation &Op, TensorId Tensor) {
+  return opReadsTensor(Op, Tensor) || opWritesTensor(Op, Tensor);
+}
+
+//===----------------------------------------------------------------------===//
+// The pass
+//===----------------------------------------------------------------------===//
+
+class CopyEliminator {
+public:
+  explicit CopyEliminator(IRModule &Module) : Module(Module) {}
+
+  ErrorOrVoid run() {
+    // Iterate the pattern set to a fixpoint. Spill/forwarding patterns run
+    // first (they can remove synchronization); cleanup follows.
+    for (unsigned Round = 0; Round < MaxRounds; ++Round) {
+      bool Changed = false;
+      // Each pattern performs one safe rewrite per call (the flat index is
+      // rebuilt between mutations); drive every pattern to its own local
+      // fixpoint inside the round.
+      auto Drive = [&](bool (CopyEliminator::*Pattern)()) {
+        unsigned Guard = 0;
+        while ((this->*Pattern)() && ++Guard < 10000)
+          Changed = true;
+      };
+      Drive(&CopyEliminator::copyPropagation);
+      Drive(&CopyEliminator::launchPairForwarding);
+      Drive(&CopyEliminator::selfCopyElimination);
+      Drive(&CopyEliminator::duplicateElimination);
+      Drive(&CopyEliminator::redundantStoreElimination);
+      Drive(&CopyEliminator::spillHoisting);
+      Drive(&CopyEliminator::deadCopyElimination);
+      if (Failure)
+        return *Failure;
+      if (!Changed)
+        break;
+    }
+    cypress::repairEventScopes(Module);
+    removeDeadDecls();
+    return checkNoneConstraint();
+  }
+
+private:
+  static constexpr unsigned MaxRounds = 64;
+
+  //===--- Event rewiring helpers ----------------------------------------===//
+
+  /// Renames event \p From to \p To in every reference (indices preserved).
+  void renameEvent(EventId From, EventId To) {
+    walkOps(Module.root(), [&](Operation &Op) {
+      for (EventRef &Ref : Op.Preconds)
+        if (Ref.Event == From)
+          Ref.Event = To;
+      if ((Op.Kind == OpKind::For || Op.Kind == OpKind::PFor) &&
+          Op.Body.Yield && Op.Body.Yield->Event == From)
+        Op.Body.Yield->Event = To;
+    });
+  }
+
+  /// Replaces references to \p From with the op's precondition refs,
+  /// converting point-wise processor indices to match the user's indexing
+  /// (a broadcast user of a flattened event must keep waiting on all
+  /// instances of the producer's preconditions).
+  bool spliceEvent(EventId From, const std::vector<EventRef> &Preconds) {
+    const EventType &FromType = Module.event(From).Type;
+    bool Ok = true;
+    walkOps(Module.root(), [&](Operation &Op) {
+      if (!Ok)
+        return;
+      std::vector<EventRef> NewPreconds;
+      for (EventRef &Ref : Op.Preconds) {
+        if (Ref.Event != From) {
+          NewPreconds.push_back(std::move(Ref));
+          continue;
+        }
+        for (const EventRef &P : Preconds) {
+          std::optional<EventRef> Adjusted = adjustSpliced(P, Ref, FromType);
+          if (!Adjusted) {
+            Ok = false;
+            return;
+          }
+          NewPreconds.push_back(std::move(*Adjusted));
+        }
+      }
+      Op.Preconds = std::move(NewPreconds);
+      if ((Op.Kind == OpKind::For || Op.Kind == OpKind::PFor) &&
+          Op.Body.Yield && Op.Body.Yield->Event == From) {
+        // A yield cannot expand to multiple events; retarget to the single
+        // precondition if there is one, else drop the yield.
+        if (Preconds.size() == 1 && Preconds[0].Indices.empty())
+          Op.Body.Yield = Preconds[0];
+        else
+          Op.Body.Yield.reset();
+      }
+    });
+    return Ok;
+  }
+
+  /// Adjusts a spliced precondition \p P for a user that referenced the
+  /// erased event as \p User. Point-wise processor indices in P that match
+  /// a dimension of the erased event's type take the user's index for that
+  /// dimension (turning into broadcasts when the user broadcast).
+  std::optional<EventRef> adjustSpliced(const EventRef &P,
+                                        const EventRef &User,
+                                        const EventType &FromType) {
+    EventRef Result = P;
+    Result.IterLag = P.IterLag + User.IterLag;
+    for (EventIndex &Index : Result.Indices) {
+      if (Index.isBroadcast())
+        continue;
+      if (!Index.Index.usesProcIndex())
+        continue;
+      // Identify which processor this index selects; only plain
+      // processor-index expressions are handled.
+      bool Matched = false;
+      for (size_t D = 0, E = FromType.Dims.size(); D != E; ++D) {
+        ScalarExpr Plain = ScalarExpr::procIndex(FromType.Dims[D].Proc);
+        if (Index.Index.equals(Plain)) {
+          if (D < User.Indices.size())
+            Index = User.Indices[D];
+          Matched = true;
+          break;
+        }
+      }
+      if (!Matched)
+        return std::nullopt; // Complex proc expression: bail out.
+    }
+    return Result;
+  }
+
+  /// Erases the op at \p Flat (must not be a loop), rewiring its event.
+  /// Returns false (leaving the IR untouched) when rewiring is not legal.
+  bool eraseOp(const FlatOp &Flat) {
+    Operation &Op = *Flat.Op;
+    assert(Op.Kind != OpKind::For && Op.Kind != OpKind::PFor &&
+           "cannot erase loops");
+    if (Op.Result != InvalidEventId) {
+      const EventType &Type = Module.event(Op.Result).Type;
+      // Fast path: one precondition with identical rank -> rename.
+      if (Op.Preconds.size() == 1 &&
+          Module.event(Op.Preconds[0].Event).Type.Dims.size() ==
+              Type.Dims.size() &&
+          Op.Preconds[0].IterLag == 0 && allPointwise(Op.Preconds[0])) {
+        renameEvent(Op.Result, Op.Preconds[0].Event);
+      } else if (!spliceEvent(Op.Result, Op.Preconds)) {
+        return false;
+      }
+      // Yields referencing the erased event: repoint to the previous event
+      // producer in the same block (the loop completes when its last
+      // remaining operation does).
+      fixYields(Op.Result, *Flat.Block);
+    }
+    Flat.Block->Ops.erase(Flat.Block->Ops.begin() +
+                          static_cast<long>(Flat.Index));
+    return true;
+  }
+
+  bool allPointwise(const EventRef &Ref) {
+    for (const EventIndex &Index : Ref.Indices)
+      if (Index.isBroadcast())
+        return false;
+    return true;
+  }
+
+  void fixYields(EventId Erased, IRBlock &Block) {
+    // Walk all loops; if a yield still references the erased event (splice
+    // already retargeted most), fall back to the last event-producing op.
+    walkOps(Module.root(), [&](Operation &Op) {
+      if (Op.Kind != OpKind::For && Op.Kind != OpKind::PFor)
+        return;
+      if (!Op.Body.Yield || Op.Body.Yield->Event != Erased)
+        return;
+      Op.Body.Yield.reset();
+      for (auto It = Op.Body.Ops.rbegin(); It != Op.Body.Ops.rend(); ++It) {
+        if ((*It)->Result != InvalidEventId &&
+            (*It)->Result != Erased) {
+          Op.Body.Yield = EventRef::unit((*It)->Result);
+          break;
+        }
+      }
+    });
+    (void)Block;
+  }
+
+  //===--- Pattern: copy propagation --------------------------------------===//
+
+  /// copy(X -> P) ... copy(P -> Y) with equivalent P slices and no
+  /// intervening write to P's root: the consumer reads X directly.
+  bool copyPropagation() {
+    std::vector<FlatOp> Ops;
+    flatten(Module.root(), 0, Ops);
+    for (size_t I = 0; I < Ops.size(); ++I) {
+      Operation &Producer = *Ops[I].Op;
+      if (Producer.Kind != OpKind::Copy)
+        continue;
+      TensorId Root = Producer.CopyDst.Tensor;
+      if (Module.tensor(Root).IsEntryArg)
+        continue;
+      // Propagating across a *staging* copy would defeat its purpose: a
+      // consumer reading a shared tile must not be rewritten to re-fetch
+      // from global memory. Only propagate when the intermediate adds no
+      // locality (unmaterialized, or same memory as the original source).
+      Memory MidMem = Module.tensor(Root).Mem;
+      Memory SrcMem = Module.tensor(Producer.CopySrc.Tensor).Mem;
+      if (MidMem != Memory::None && MidMem != SrcMem)
+        continue;
+      for (size_t J = I + 1; J < Ops.size(); ++J) {
+        Operation &Consumer = *Ops[J].Op;
+        // Stop at any other write to the root tensor.
+        if (&Consumer != &Producer && opWritesTensor(Consumer, Root) &&
+            !(Consumer.Kind == OpKind::Copy &&
+              sliceEquivalent(Module, Consumer.CopySrc, Producer.CopyDst)))
+          break;
+        if (Consumer.Kind != OpKind::Copy)
+          continue;
+        if (!sliceEquivalent(Module, Consumer.CopySrc, Producer.CopyDst))
+          continue;
+        if (sliceEquivalent(Module, Consumer.CopySrc, Producer.CopySrc))
+          break; // Already propagated (or self copy).
+        // Don't propagate across loop scopes when the source carries loop
+        // variables that differ between contexts.
+        if (Ops[J].Depth != Ops[I].Depth)
+          continue;
+        Consumer.CopySrc = Producer.CopySrc;
+        // The consumer must still wait for the producer (it already does
+        // through version chaining); keep preconditions unchanged.
+        return true;
+      }
+    }
+    return false;
+  }
+
+  //===--- Pattern: launch-pair forwarding --------------------------------===//
+
+  /// Forwards a launch argument's fresh tensor to the slice it was copied
+  /// from/to, when its mapped memory adds nothing (None, or same memory as
+  /// the source data). Sequential semantics of the source program guarantee
+  /// no third party touches the slice while the callee runs, so the
+  /// substitution is always legal for launch-boundary pairs.
+  bool launchPairForwarding() {
+    std::vector<FlatOp> Ops;
+    flatten(Module.root(), 0, Ops);
+
+    // Collect copy-in/copy-out per fresh tensor.
+    struct PairInfo {
+      Operation *In = nullptr;
+      Operation *Out = nullptr;
+      bool OtherWholeWriters = false;
+    };
+    std::map<TensorId, PairInfo> Pairs;
+    for (FlatOp &F : Ops) {
+      Operation &Op = *F.Op;
+      if (Op.Kind != OpKind::Copy || !Op.LaunchBoundary ||
+          Op.BoundaryTensor == InvalidTensorId)
+        continue;
+      // Pair by the launch's fresh tensor, not by slice shape: slice
+      // rewrites (copy propagation) must not flip a copy-in into looking
+      // like some other tensor's copy-out.
+      if (Op.CopyDst.isWhole() && Op.CopyDst.Tensor == Op.BoundaryTensor)
+        Pairs[Op.BoundaryTensor].In = &Op;
+      else if (Op.CopySrc.isWhole() &&
+               Op.CopySrc.Tensor == Op.BoundaryTensor)
+        Pairs[Op.BoundaryTensor].Out = &Op;
+    }
+
+    for (auto &[Tensor, Info] : Pairs) {
+      const IRTensor &T = Module.tensor(Tensor);
+      if (T.IsEntryArg)
+        continue;
+      const TensorSlice *Source = nullptr;
+      if (Info.In)
+        Source = &Info.In->CopySrc;
+      else if (Info.Out)
+        Source = &Info.Out->CopyDst;
+      if (!Source)
+        continue;
+      if (Source->Tensor == Tensor)
+        continue; // Already forwarded.
+      Memory SourceMem = Module.tensor(Source->Tensor).Mem;
+      // Forwarding ignores pipeline depth: the fresh tensor's buffers
+      // existed only to hold the copy, which disappears entirely.
+      bool Forwardable =
+          T.Mem == Memory::None || T.Mem == SourceMem;
+      if (!Forwardable)
+        continue;
+      // When both a copy-in and a copy-out exist, forwarding follows the
+      // copy-in's source: data flows in -> use -> out, so substituting the
+      // fresh tensor with the in-source leaves the copy-out rewritten to a
+      // correct (possibly non-trivial) store of that source.
+      substituteTensor(Tensor, *Source);
+      return true;
+    }
+    return false;
+  }
+
+  /// Replaces every reference to whole-\p From (op slices and partition
+  /// bases) with \p To, rebasing partitions rooted at From.
+  void substituteTensor(TensorId From, const TensorSlice &To) {
+    for (IRPartition &P : Module.partitions()) {
+      if (P.Base.Tensor != From)
+        continue;
+      if (P.Base.isWhole())
+        P.Base = To;
+      else
+        P.Base.Tensor = To.Tensor; // Chain root updates below.
+    }
+    walkOps(Module.root(), [&](Operation &Op) {
+      forEachSlice(Op, [&](TensorSlice &Slice) {
+        if (Slice.Tensor != From)
+          return;
+        if (Slice.isWhole())
+          Slice = To;
+        else
+          Slice.Tensor = To.Tensor;
+      });
+    });
+  }
+
+  //===--- Pattern: self-copy elimination (Figure 10d) ---------------------===//
+
+  bool selfCopyElimination() {
+    std::vector<FlatOp> Ops;
+    flatten(Module.root(), 0, Ops);
+    for (FlatOp &F : Ops) {
+      Operation &Op = *F.Op;
+      if (Op.Kind != OpKind::Copy)
+        continue;
+      if (!sliceEquivalent(Module, Op.CopySrc, Op.CopyDst))
+        continue;
+      if (eraseOp(F))
+        return true;
+    }
+    return false;
+  }
+
+  //===--- Pattern: duplicate elimination (Figure 10c) ---------------------===//
+
+  bool duplicateElimination() {
+    std::vector<FlatOp> Ops;
+    flatten(Module.root(), 0, Ops);
+    for (size_t I = 0; I < Ops.size(); ++I) {
+      Operation &First = *Ops[I].Op;
+      if (First.Kind != OpKind::Copy)
+        continue;
+      for (size_t J = I + 1; J < Ops.size(); ++J) {
+        Operation &Second = *Ops[J].Op;
+        if (opWritesTensor(Second, First.CopySrc.Tensor) ||
+            opWritesTensor(Second, First.CopyDst.Tensor))
+          break;
+        if (Second.Kind != OpKind::Copy)
+          continue;
+        if (!sliceEquivalent(Module, First.CopySrc, Second.CopySrc) ||
+            !sliceEquivalent(Module, First.CopyDst, Second.CopyDst))
+          continue;
+        if (Ops[J].Depth != Ops[I].Depth)
+          continue;
+        // Identical copy with unchanged operands: the second is redundant;
+        // its event forwards to the first copy's event.
+        if (Second.Result != InvalidEventId)
+          renameEvent(Second.Result, First.Result);
+        Ops[J].Block->Ops.erase(Ops[J].Block->Ops.begin() +
+                                static_cast<long>(Ops[J].Index));
+        return true;
+      }
+    }
+    return false;
+  }
+
+  //===--- Pattern: redundant stores ----------------------------------------===//
+
+  /// copy(X -> P) followed by copy(Y -> P) over the same piece with no read
+  /// of P's root in between: the first store is dead. Arises when two
+  /// launches in one loop iteration both copy their accumulator fragment
+  /// back to the same unmaterialized parent piece.
+  bool redundantStoreElimination() {
+    std::vector<FlatOp> Ops;
+    flatten(Module.root(), 0, Ops);
+    for (size_t I = 0; I < Ops.size(); ++I) {
+      Operation &First = *Ops[I].Op;
+      if (First.Kind != OpKind::Copy)
+        continue;
+      TensorId Root = First.CopyDst.Tensor;
+      if (Module.tensor(Root).IsEntryArg)
+        continue;
+      for (size_t J = I + 1; J < Ops.size(); ++J) {
+        Operation &Second = *Ops[J].Op;
+        if (opReadsTensor(Second, Root))
+          break;
+        // Same-block requirement: across loop boundaries the next iteration
+        // of the first copy's loop may read the piece before this position,
+        // which the forward scan cannot see. Within one body the second
+        // store re-executes every iteration, so erasure stays correct.
+        if (Second.Kind == OpKind::Copy &&
+            sliceEquivalent(Module, Second.CopyDst, First.CopyDst) &&
+            Ops[J].Block == Ops[I].Block) {
+          if (eraseOp(Ops[I]))
+            return true;
+          break;
+        }
+        if (opWritesTensor(Second, Root))
+          break; // A different-slice write: stop the scan conservatively.
+      }
+    }
+    return false;
+  }
+
+  //===--- Pattern: spill hoisting (Figure 10b) ----------------------------===//
+
+  /// Loop bodies of the form
+  ///   alloc t; copy(P[j] -> t); ...body...; copy(t -> P[j])
+  /// with loop-invariant j and no other reference to P's root inside the
+  /// body hoist the allocation and both copies out of the loop, keeping the
+  /// accumulator resident across iterations.
+  bool spillHoisting() {
+    std::vector<FlatOp> Ops;
+    flatten(Module.root(), 0, Ops);
+    for (FlatOp &F : Ops) {
+      Operation &Loop = *F.Op;
+      if (Loop.Kind != OpKind::For)
+        continue;
+      if (hoistFromLoop(F, Loop))
+        return true;
+    }
+    return false;
+  }
+
+  bool hoistFromLoop(const FlatOp &Where, Operation &Loop) {
+    IRBlock &Body = Loop.Body;
+    // Find a copy-in near the top whose source is loop-invariant and whose
+    // destination is a whole local tensor.
+    for (size_t I = 0; I < Body.Ops.size(); ++I) {
+      Operation &In = *Body.Ops[I];
+      if (In.Kind != OpKind::Copy || !In.CopyDst.isWhole())
+        continue;
+      TensorId Acc = In.CopyDst.Tensor;
+      if (sliceUsesVar(In.CopySrc, Loop.LoopVar))
+        continue;
+      TensorId Root = In.CopySrc.Tensor;
+      if (Root == Acc)
+        continue;
+      // Find the matching trailing copy-out.
+      for (size_t J = Body.Ops.size(); J-- > I + 1;) {
+        Operation &Out = *Body.Ops[J];
+        if (Out.Kind != OpKind::Copy || !Out.CopySrc.isWhole() ||
+            Out.CopySrc.Tensor != Acc)
+          continue;
+        if (!sliceEquivalent(Module, Out.CopyDst, In.CopySrc))
+          continue;
+        // No other reference to the root slice inside the body.
+        bool Clean = true;
+        for (size_t K = 0; K < Body.Ops.size() && Clean; ++K) {
+          if (K == I || K == J)
+            continue;
+          if (opTouchesTensor(*Body.Ops[K], Root))
+            Clean = false;
+          if (Body.Ops[K]->Kind == OpKind::For ||
+              Body.Ops[K]->Kind == OpKind::PFor)
+            walkOps(Body.Ops[K]->Body, [&](Operation &Nested) {
+              if (opTouchesTensor(Nested, Root))
+                Clean = false;
+            });
+        }
+        if (!Clean)
+          continue;
+        performHoist(Where, Loop, I, J, Acc);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  static bool sliceUsesVar(const TensorSlice &Slice, LoopVarId Var) {
+    for (const ScalarExpr &Color : Slice.Color)
+      if (Color.usesLoopVar(Var))
+        return true;
+    return Slice.BufferIndex.usesLoopVar(Var);
+  }
+
+  void performHoist(const FlatOp &Where, Operation &Loop, size_t InIdx,
+                    size_t OutIdx, TensorId Acc) {
+    IRBlock &Body = Loop.Body;
+    IRBlock &Parent = *Where.Block;
+
+    std::unique_ptr<Operation> Out = std::move(Body.Ops[OutIdx]);
+    Body.Ops.erase(Body.Ops.begin() + static_cast<long>(OutIdx));
+    std::unique_ptr<Operation> In = std::move(Body.Ops[InIdx]);
+    Body.Ops.erase(Body.Ops.begin() + static_cast<long>(InIdx));
+
+    // Hoist the accumulator's allocation if it lives in the body.
+    std::unique_ptr<Operation> Alloc;
+    for (size_t K = 0; K < Body.Ops.size(); ++K) {
+      if (Body.Ops[K]->Kind == OpKind::Alloc &&
+          Body.Ops[K]->AllocTensor == Acc) {
+        Alloc = std::move(Body.Ops[K]);
+        Body.Ops.erase(Body.Ops.begin() + static_cast<long>(K));
+        break;
+      }
+    }
+
+    // Intra-body users of the copy-in's event now reference an event
+    // defined before the loop; SSA ordering still holds. The copy-out's
+    // preconditions referenced in-body events, which would escape their
+    // scope: rebase it onto the loop's completion event.
+    Out->Preconds.clear();
+    if (Loop.Result != InvalidEventId)
+      Out->Preconds.push_back(EventRef::unit(Loop.Result));
+
+    // The loop must wait for the hoisted copy-in; the copy-in adopts the
+    // loop's entry dependencies (conservative but sound).
+    if (In->Result != InvalidEventId) {
+      for (const EventRef &Pre : Loop.Preconds)
+        In->Preconds.push_back(Pre);
+      Loop.Preconds.push_back(EventRef::unit(In->Result));
+    }
+
+    // If the body yielded the copy-out's event, retarget.
+    if (Body.Yield && Out->Result != InvalidEventId &&
+        Body.Yield->Event == Out->Result) {
+      Body.Yield.reset();
+      for (auto It = Body.Ops.rbegin(); It != Body.Ops.rend(); ++It)
+        if ((*It)->Result != InvalidEventId) {
+          Body.Yield = EventRef::unit((*It)->Result);
+          break;
+        }
+    }
+
+    size_t At = Where.Index;
+    if (Alloc)
+      Parent.Ops.insert(Parent.Ops.begin() + static_cast<long>(At++),
+                        std::move(Alloc));
+    Parent.Ops.insert(Parent.Ops.begin() + static_cast<long>(At++),
+                      std::move(In));
+    // Copy-out goes right after the loop.
+    for (size_t K = 0; K < Parent.Ops.size(); ++K) {
+      if (Parent.Ops[K].get() == &Loop) {
+        Parent.Ops.insert(Parent.Ops.begin() + static_cast<long>(K + 1),
+                          std::move(Out));
+        break;
+      }
+    }
+  }
+
+  //===--- Pattern: dead copies -------------------------------------------===//
+
+  /// Copies into tensors that are never read (and are not kernel outputs).
+  bool deadCopyElimination() {
+    std::set<TensorId> ReadRoots;
+    walkOps(Module.root(), [&](Operation &Op) {
+      if (Op.Kind == OpKind::Copy)
+        ReadRoots.insert(Op.CopySrc.Tensor);
+      if (Op.Kind == OpKind::Call)
+        for (const TensorSlice &Slice : Op.Args)
+          ReadRoots.insert(Slice.Tensor);
+    });
+    std::vector<FlatOp> Ops;
+    flatten(Module.root(), 0, Ops);
+    for (FlatOp &F : Ops) {
+      Operation &Op = *F.Op;
+      if (Op.Kind != OpKind::Copy)
+        continue;
+      TensorId Dst = Op.CopyDst.Tensor;
+      if (Module.tensor(Dst).IsEntryArg)
+        continue;
+      if (ReadRoots.count(Dst))
+        continue;
+      if (eraseOp(F))
+        return true;
+    }
+    return false;
+  }
+
+  //===--- Cleanup ----------------------------------------------------------===//
+
+  void removeDeadDecls() {
+    std::set<TensorId> Live;
+    std::set<PartitionId> LiveParts;
+    walkOps(Module.root(), [&](Operation &Op) {
+      forEachSlice(Op, [&](TensorSlice &Slice) {
+        Live.insert(Slice.Tensor);
+        std::optional<PartitionId> Part = Slice.Part;
+        while (Part) {
+          LiveParts.insert(*Part);
+          const IRPartition &P = Module.partition(*Part);
+          Live.insert(P.Base.Tensor);
+          Part = P.Base.Part;
+        }
+      });
+    });
+    for (TensorId T : Module.entryArgs())
+      Live.insert(T);
+
+    erasePass(Module.root(), Live, LiveParts);
+  }
+
+  void erasePass(IRBlock &Block, const std::set<TensorId> &Live,
+                 const std::set<PartitionId> &LiveParts) {
+    for (size_t I = 0; I < Block.Ops.size();) {
+      Operation &Op = *Block.Ops[I];
+      bool Erase = false;
+      if (Op.Kind == OpKind::Alloc && !Live.count(Op.AllocTensor))
+        Erase = true;
+      if (Op.Kind == OpKind::MakePart && !LiveParts.count(Op.Part))
+        Erase = true;
+      if (Erase) {
+        Block.Ops.erase(Block.Ops.begin() + static_cast<long>(I));
+        continue;
+      }
+      if (Op.Kind == OpKind::For || Op.Kind == OpKind::PFor)
+        erasePass(Op.Body, Live, LiveParts);
+      ++I;
+    }
+  }
+
+  /// Post-condition of Section 3.3: no tensor mapped to `none` may survive
+  /// in a copy or call (it would have to be materialized).
+  ErrorOrVoid checkNoneConstraint() {
+    std::optional<Diagnostic> Err;
+    walkOps(Module.root(), [&](Operation &Op) {
+      if (Err)
+        return;
+      auto Check = [&](const TensorSlice &Slice) {
+        if (Err)
+          return;
+        const IRTensor &T = Module.tensor(Slice.Tensor);
+        if (T.Mem == Memory::None)
+          Err = Diagnostic(formatString(
+              "tensor %s mapped to the none memory cannot be eliminated; "
+              "change the partitioning or mapping strategy",
+              T.Name.c_str()));
+      };
+      if (Op.Kind == OpKind::Copy) {
+        Check(Op.CopySrc);
+        Check(Op.CopyDst);
+      } else if (Op.Kind == OpKind::Call) {
+        for (const TensorSlice &Slice : Op.Args)
+          Check(Slice);
+      }
+    });
+    if (Err)
+      return *Err;
+    return ErrorOrVoid::success();
+  }
+
+  IRModule &Module;
+  std::optional<Diagnostic> Failure;
+};
+
+} // namespace
+
+ErrorOrVoid cypress::runCopyElimination(IRModule &Module) {
+  return CopyEliminator(Module).run();
+}
+
+//===----------------------------------------------------------------------===//
+// Execution-unit assignment
+//===----------------------------------------------------------------------===//
+
+void cypress::assignExecUnits(IRModule &Module) {
+  walkOps(Module.root(), [&](Operation &Op) {
+    if (Op.Kind != OpKind::Copy)
+      return;
+    Memory Src = Module.tensor(Op.CopySrc.Tensor).Mem;
+    Memory Dst = Module.tensor(Op.CopyDst.Tensor).Mem;
+    // Bulk global<->shared transfers ride the TMA on Hopper (Section 2.2);
+    // everything else (register traffic, shared<->shared staging) is SIMT.
+    bool Tma = (Src == Memory::Global && Dst == Memory::Shared) ||
+               (Src == Memory::Shared && Dst == Memory::Global);
+    Op.Unit = Tma ? ExecUnit::TMA : ExecUnit::SIMT;
+  });
+}
+
+//===----------------------------------------------------------------------===//
+// Event scope repair (shared by copy elimination and resource allocation)
+//===----------------------------------------------------------------------===//
+
+void cypress::repairEventScopes(IRModule &Module) {
+  // Definition environment per event: the chain of loop ops entered to
+  // reach the defining block (empty = root block).
+  std::map<EventId, std::vector<const Operation *>> DefChain;
+  std::vector<const Operation *> Chain;
+  std::function<void(const IRBlock &)> Collect = [&](const IRBlock &Block) {
+    for (const std::unique_ptr<Operation> &Op : Block.Ops) {
+      if (Op->Result != InvalidEventId)
+        DefChain[Op->Result] = Chain;
+      if (Op->Kind == OpKind::For || Op->Kind == OpKind::PFor) {
+        Chain.push_back(Op.get());
+        Collect(Op->Body);
+        Chain.pop_back();
+      }
+    }
+  };
+  Collect(Module.root());
+
+  std::function<void(IRBlock &)> Fix = [&](IRBlock &Block) {
+    for (std::unique_ptr<Operation> &Op : Block.Ops) {
+      std::vector<EventRef> Kept;
+      for (EventRef &Ref : Op->Preconds) {
+        auto It = DefChain.find(Ref.Event);
+        if (It == DefChain.end())
+          continue; // Producer erased without rewiring: drop.
+        const std::vector<const Operation *> &Def = It->second;
+        size_t Common = 0;
+        while (Common < Def.size() && Common < Chain.size() &&
+               Def[Common] == Chain[Common])
+          ++Common;
+        if (Common == Def.size()) {
+          Kept.push_back(std::move(Ref));
+          continue;
+        }
+        // The event lives inside loops the user is not in; wait for the
+        // outermost such loop instead.
+        const Operation *Loop = Def[Common];
+        if (Loop == Op.get())
+          continue; // A loop waiting on its own body: drop.
+        if (Loop->Result == InvalidEventId)
+          continue;
+        EventRef Repl;
+        Repl.Event = Loop->Result;
+        const EventType &Type = Module.event(Loop->Result).Type;
+        for (size_t D = 0; D < Type.Dims.size(); ++D)
+          Repl.Indices.push_back(EventIndex::broadcast());
+        Kept.push_back(std::move(Repl));
+      }
+      // Deduplicate structurally identical references.
+      std::vector<EventRef> Unique;
+      for (EventRef &Ref : Kept) {
+        bool Seen = false;
+        for (const EventRef &Have : Unique) {
+          if (Have.Event != Ref.Event || Have.IterLag != Ref.IterLag ||
+              Have.Indices.size() != Ref.Indices.size())
+            continue;
+          bool Same = true;
+          for (size_t D = 0; D < Ref.Indices.size(); ++D) {
+            if (Have.Indices[D].isBroadcast() !=
+                    Ref.Indices[D].isBroadcast() ||
+                (!Ref.Indices[D].isBroadcast() &&
+                 !Have.Indices[D].Index.equals(Ref.Indices[D].Index))) {
+              Same = false;
+              break;
+            }
+          }
+          if (Same) {
+            Seen = true;
+            break;
+          }
+        }
+        if (!Seen)
+          Unique.push_back(std::move(Ref));
+      }
+      Op->Preconds = std::move(Unique);
+      if (Op->Kind == OpKind::For || Op->Kind == OpKind::PFor) {
+        Chain.push_back(Op.get());
+        Fix(Op->Body);
+        Chain.pop_back();
+      }
+    }
+  };
+  Chain.clear();
+  Fix(Module.root());
+}

@@ -1,0 +1,727 @@
+//===- DependenceAnalysis.cpp - Task tree to event IR ----------------------===//
+//
+// Part of the Cypress reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Stage 1 of the compiler (Section 4.2.1). Performs an in-order traversal
+/// of the instantiated task tree, starting at the entrypoint of the mapping
+/// specification. The traversal maintains an event version for each tensor
+/// in scope; task launches follow the four-step copy-in/copy-out discipline:
+///
+///   (1) fresh allocation per tensor argument in the mapped memory,
+///   (2) copy-in for read arguments (with recorded preconditions),
+///   (3) recursive traversal of the selected callee variant,
+///   (4) copy-out for written arguments.
+///
+/// Sequential (srange) and parallel (prange) groups lower to for/pfor ops;
+/// loop bodies perform dependence tracking in a fresh scope, and the loop
+/// operation itself collects the external dependencies at entry, exactly as
+/// in the worked example of Figure 8.
+///
+//===----------------------------------------------------------------------===//
+
+#include "compiler/Passes.h"
+#include "support/Format.h"
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+
+using namespace cypress;
+
+namespace {
+
+/// Event version of one tensor within a scope: the last writer plus all
+/// readers since (for write-after-read anti-dependencies).
+struct Version {
+  std::optional<EventRef> LastWrite;
+  std::vector<EventRef> Reads;
+};
+
+/// How a loop body used an external tensor (drives the loop op's preconds
+/// and the outer version update at loop exit).
+struct ExternalUse {
+  bool Read = false;
+  bool Written = false;
+};
+
+/// One dependence-tracking scope. The root scope covers the entrypoint
+/// body; every for/pfor body pushes a child scope.
+struct Scope {
+  std::map<TensorId, Version> Versions;
+  std::map<TensorId, ExternalUse> External;
+  std::set<TensorId> Local; ///< Tensors allocated in this scope.
+};
+
+class Analysis;
+
+/// The InnerContext implementation handed to inner task bodies. One exists
+/// per task instance being traversed; handles are indices into its tables.
+class AnalysisContext : public InnerContext {
+public:
+  AnalysisContext(Analysis &A, const TaskMapping &Instance,
+                  const TaskVariant &Variant,
+                  std::vector<ScalarExpr> Scalars = {})
+      : A(A), Instance(Instance), Variant(Variant),
+        Scalars(std::move(Scalars)) {}
+
+  const std::vector<ScalarExpr> &scalarArgs() override { return Scalars; }
+
+  const Shape &shapeOf(TensorHandle Handle) override;
+  int64_t tunable(const std::string &Name) override;
+  Processor tunableProc(const std::string &Name) override;
+  TensorHandle makeTensor(const std::string &Name, Shape Dims,
+                          ElementType Element) override;
+  PartitionHandle partitionByBlocks(TensorHandle Tensor,
+                                    Shape TileShape) override;
+  PartitionHandle partitionByMma(TensorHandle Tensor, MmaInstruction Instr,
+                                 Processor Proc, MmaOperand Operand) override;
+  TensorHandle index(PartitionHandle Part,
+                     std::vector<ScalarExpr> Color) override;
+  void launch(const std::string &Task, std::vector<TensorHandle> Args,
+              std::vector<ScalarExpr> Scalars) override;
+  void srange(ScalarExpr Extent,
+              const std::function<void(ScalarExpr)> &Body) override;
+  void prange(std::vector<ScalarExpr> Extents,
+              const std::function<void(std::vector<ScalarExpr>)> &Body)
+      override;
+
+  TensorHandle bindParam(TensorSlice Slice, Privilege Priv) {
+    Handles.push_back(std::move(Slice));
+    HandlePrivs.push_back(Priv);
+    return {static_cast<uint32_t>(Handles.size() - 1)};
+  }
+
+  const TensorSlice &slice(TensorHandle Handle) const {
+    assert(Handle.Index < Handles.size() && "invalid tensor handle");
+    return Handles[Handle.Index];
+  }
+  Privilege priv(TensorHandle Handle) const {
+    assert(Handle.Index < HandlePrivs.size() && "invalid tensor handle");
+    return HandlePrivs[Handle.Index];
+  }
+
+private:
+  Analysis &A;
+  const TaskMapping &Instance;
+  const TaskVariant &Variant;
+  std::vector<TensorSlice> Handles;
+  std::vector<Privilege> HandlePrivs;
+  std::vector<PartitionId> Parts;
+  std::vector<Privilege> PartPrivs;
+  std::vector<ScalarExpr> Scalars; ///< Launch-time scalar arguments.
+  Shape ShapeCache; ///< Backing storage for shapeOf's returned reference.
+};
+
+/// The traversal engine: owns the module under construction, the scope
+/// stack, and the current emission block.
+class Analysis {
+public:
+  Analysis(const CompileInput &Input) : Input(Input) {}
+
+  ErrorOr<IRModule> run();
+
+  //===--- Emission helpers (used by AnalysisContext) --------------------===//
+
+  IRModule &module() { return Module; }
+  const CompileInput &input() const { return Input; }
+
+  /// Records a fatal diagnostic; traversal unwinds at the next check.
+  void fail(std::string Message) {
+    if (!Failure)
+      Failure = Diagnostic(std::move(Message));
+  }
+  bool failed() const { return Failure.has_value(); }
+
+  IRBlock &block() { return *Blocks.back(); }
+
+  EventId freshEvent(EventType Type = {}) {
+    return Module.addEvent(formatString("e%u", ++EventCounter),
+                           std::move(Type));
+  }
+
+  Operation &emit(OpKind Kind) {
+    auto Op = std::make_unique<Operation>();
+    Op->Kind = Kind;
+    Op->Id = Module.freshOpId();
+    Operation &Ref = *Op;
+    block().Ops.push_back(std::move(Op));
+    return Ref;
+  }
+
+  //===--- Scope / version machinery -------------------------------------===//
+
+  Scope &scope() { return Scopes.back(); }
+
+  void noteLocal(TensorId Tensor) { scope().Local.insert(Tensor); }
+
+  /// Dependencies for reading \p Tensor in the current scope; records the
+  /// external use when the tensor lives further out (the enclosing loop op
+  /// then carries the dependence, per Figure 8's for-loop wiring).
+  std::vector<EventRef> readDeps(TensorId Tensor) {
+    Scope &S = scope();
+    if (!S.Local.count(Tensor))
+      S.External[Tensor].Read = true;
+    auto It = S.Versions.find(Tensor);
+    if (It != S.Versions.end() && It->second.LastWrite)
+      return {*It->second.LastWrite};
+    return {};
+  }
+
+  /// Dependencies for writing \p Tensor (RAW on the last writer plus WAR on
+  /// all readers since).
+  std::vector<EventRef> writeDeps(TensorId Tensor) {
+    Scope &S = scope();
+    if (!S.Local.count(Tensor))
+      S.External[Tensor].Written = true;
+    std::vector<EventRef> Deps;
+    auto It = S.Versions.find(Tensor);
+    if (It == S.Versions.end())
+      return Deps;
+    if (It->second.LastWrite)
+      Deps.push_back(*It->second.LastWrite);
+    for (const EventRef &R : It->second.Reads)
+      Deps.push_back(R);
+    return Deps;
+  }
+
+  void recordRead(TensorId Tensor, EventRef Event) {
+    scope().Versions[Tensor].Reads.push_back(std::move(Event));
+  }
+
+  void recordWrite(TensorId Tensor, EventRef Event) {
+    Version &V = scope().Versions[Tensor];
+    V.LastWrite = std::move(Event);
+    V.Reads.clear();
+  }
+
+  /// Runs \p Body inside a fresh scope whose ops are emitted into \p Into;
+  /// returns the external-use summary for the loop op's dependence wiring.
+  std::map<TensorId, ExternalUse>
+  withLoopScope(IRBlock &Into, const std::function<void()> &Body) {
+    Scopes.emplace_back();
+    Blocks.push_back(&Into);
+    Body();
+    Blocks.pop_back();
+    std::map<TensorId, ExternalUse> External =
+        std::move(Scopes.back().External);
+    Scopes.pop_back();
+    return External;
+  }
+
+  /// Wires a finished loop op into the enclosing scope: collects entry
+  /// dependencies for every external tensor the body touched and updates
+  /// outer versions with the loop's completion event.
+  void finishLoop(Operation &Loop,
+                  const std::map<TensorId, ExternalUse> &External,
+                  EventRef LoopDone) {
+    for (const auto &[Tensor, Use] : External) {
+      // readDeps/writeDeps also propagate the external use outward, so
+      // grand-parent loops see it at their own exits.
+      std::vector<EventRef> Deps =
+          Use.Written ? writeDeps(Tensor) : readDeps(Tensor);
+      for (EventRef &Dep : Deps)
+        addPrecond(Loop, std::move(Dep));
+      if (Use.Written)
+        recordWrite(Tensor, LoopDone);
+      else
+        recordRead(Tensor, LoopDone);
+    }
+  }
+
+  static void addPrecond(Operation &Op, EventRef Ref) {
+    for (const EventRef &Existing : Op.Preconds)
+      if (Existing.Event == Ref.Event && Existing.IterLag == Ref.IterLag &&
+          Existing.Indices.size() == Ref.Indices.size()) {
+        bool Same = true;
+        for (size_t I = 0; I != Ref.Indices.size(); ++I) {
+          if (Existing.Indices[I].isBroadcast() !=
+              Ref.Indices[I].isBroadcast() ||
+              (!Ref.Indices[I].isBroadcast() &&
+               !Existing.Indices[I].Index.equals(Ref.Indices[I].Index))) {
+            Same = false;
+            break;
+          }
+        }
+        if (Same)
+          return;
+      }
+    Op.Preconds.push_back(std::move(Ref));
+  }
+
+  //===--- Launch lowering -------------------------------------------------===//
+
+  void recordLaunch(AnalysisContext &Caller, const TaskMapping &CallerInst,
+                    const std::string &Task, std::vector<TensorHandle> Args,
+                    std::vector<ScalarExpr> Scalars);
+
+  /// Extent of the innermost pipelined enclosing loop (1 when none).
+  int64_t currentPipelineDepth() const { return PipelineStack.back(); }
+  void pushPipeline(int64_t Depth) { PipelineStack.push_back(Depth); }
+  void popPipeline() { PipelineStack.pop_back(); }
+
+  /// Processor of the child instances launched inside the current prange
+  /// body (discovered at the first launch), plus whether those instances
+  /// requested warp specialization of their bodies.
+  std::optional<Processor> PrangeChildProc;
+  bool PrangeChildWarpSpec = false;
+
+  unsigned TempCounter = 0;
+
+private:
+  const CompileInput &Input;
+  IRModule Module;
+  std::vector<Scope> Scopes;
+  std::vector<IRBlock *> Blocks;
+  std::vector<int64_t> PipelineStack{1};
+  unsigned EventCounter = 0;
+  std::optional<Diagnostic> Failure;
+
+public:
+  std::optional<Diagnostic> takeFailure() { return std::move(Failure); }
+};
+
+//===----------------------------------------------------------------------===//
+// AnalysisContext implementation
+//===----------------------------------------------------------------------===//
+
+const Shape &AnalysisContext::shapeOf(TensorHandle Handle) {
+  static Shape Empty;
+  if (Handle.Index >= Handles.size()) {
+    A.fail("invalid tensor handle passed to shapeOf");
+    return Empty;
+  }
+  // Shapes are concrete: slice shapes of symbolic colors are the uniform
+  // tile shape (see IRModule::sliceShape).
+  ShapeCache = A.module().sliceShape(Handles[Handle.Index]);
+  return ShapeCache;
+}
+
+int64_t AnalysisContext::tunable(const std::string &Name) {
+  auto It = Instance.Tunables.find(Name);
+  if (It == Instance.Tunables.end()) {
+    A.fail(formatString("instance %s does not bind tunable %s",
+                        Instance.Instance.c_str(), Name.c_str()));
+    return 1;
+  }
+  return It->second;
+}
+
+Processor AnalysisContext::tunableProc(const std::string &Name) {
+  auto It = Instance.ProcTunables.find(Name);
+  if (It == Instance.ProcTunables.end()) {
+    A.fail(formatString("instance %s does not bind processor tunable %s",
+                        Instance.Instance.c_str(), Name.c_str()));
+    return Processor::Thread;
+  }
+  return It->second;
+}
+
+TensorHandle AnalysisContext::makeTensor(const std::string &Name, Shape Dims,
+                                         ElementType Element) {
+  Memory Mem = Memory::None;
+  if (auto It = Instance.TempMems.find(Name); It != Instance.TempMems.end())
+    Mem = It->second;
+  TensorId Id = A.module().addTensor(
+      formatString("%s.%s", Instance.Instance.c_str(), Name.c_str()),
+      TensorType{std::move(Dims), Element}, Mem);
+  IRTensor &T = A.module().tensor(Id);
+  T.HomeProc = Instance.Proc;
+  T.PipelineDepth =
+      (Mem == Memory::Shared) ? A.currentPipelineDepth() : 1;
+  Operation &Alloc = A.emit(OpKind::Alloc);
+  Alloc.AllocTensor = Id;
+  Alloc.ExecProc = Instance.Proc;
+  A.noteLocal(Id);
+  return bindParam(TensorSlice::whole(Id), Privilege::ReadWrite);
+}
+
+PartitionHandle AnalysisContext::partitionByBlocks(TensorHandle Tensor,
+                                                   Shape TileShape) {
+  const TensorSlice &Base = slice(Tensor);
+  Shape ParentShape = A.module().sliceShape(Base);
+  ErrorOr<Partition> Spec = Partition::byBlocks(ParentShape, TileShape);
+  if (!Spec) {
+    A.fail(Spec.diagnostic().message());
+    return {};
+  }
+  PartitionId Id = A.module().addPartition(Base, std::move(*Spec));
+  Operation &Op = A.emit(OpKind::MakePart);
+  Op.Part = Id;
+  Op.ExecProc = Instance.Proc;
+  Parts.push_back(Id);
+  PartPrivs.push_back(priv(Tensor));
+  return {static_cast<uint32_t>(Parts.size() - 1)};
+}
+
+PartitionHandle AnalysisContext::partitionByMma(TensorHandle Tensor,
+                                                MmaInstruction Instr,
+                                                Processor Proc,
+                                                MmaOperand Operand) {
+  const TensorSlice &Base = slice(Tensor);
+  Shape ParentShape = A.module().sliceShape(Base);
+  MmaGranularity Granularity = Proc == Processor::Warp
+                                   ? MmaGranularity::Warp
+                                   : MmaGranularity::Thread;
+  ErrorOr<Partition> Spec =
+      Partition::byMma(ParentShape, Instr, Granularity, Operand);
+  if (!Spec) {
+    A.fail(Spec.diagnostic().message());
+    return {};
+  }
+  PartitionId Id = A.module().addPartition(Base, std::move(*Spec));
+  Operation &Op = A.emit(OpKind::MakePart);
+  Op.Part = Id;
+  Op.ExecProc = Instance.Proc;
+  Parts.push_back(Id);
+  PartPrivs.push_back(priv(Tensor));
+  return {static_cast<uint32_t>(Parts.size() - 1)};
+}
+
+TensorHandle AnalysisContext::index(PartitionHandle Part,
+                                    std::vector<ScalarExpr> Color) {
+  if (Part.Index >= Parts.size()) {
+    A.fail("invalid partition handle passed to index");
+    return {};
+  }
+  PartitionId Id = Parts[Part.Index];
+  const IRPartition &P = A.module().partition(Id);
+  TensorSlice Slice =
+      TensorSlice::piece(P.Base.Tensor, Id, std::move(Color));
+  Handles.push_back(std::move(Slice));
+  HandlePrivs.push_back(PartPrivs[Part.Index]);
+  return {static_cast<uint32_t>(Handles.size() - 1)};
+}
+
+void AnalysisContext::launch(const std::string &Task,
+                             std::vector<TensorHandle> Args,
+                             std::vector<ScalarExpr> Scalars) {
+  A.recordLaunch(*this, Instance, Task, std::move(Args), std::move(Scalars));
+}
+
+void AnalysisContext::srange(ScalarExpr Extent,
+                             const std::function<void(ScalarExpr)> &Body) {
+  if (A.failed())
+    return;
+  Operation &Loop = A.emit(OpKind::For);
+  LoopVarId Var = A.module().freshLoopVar();
+  Loop.LoopVar = Var;
+  Loop.LoopVarName = formatString("k%u", Var);
+  Loop.LoopLo = ScalarExpr(0);
+  Loop.LoopHi = Extent;
+  Loop.ExecProc = Instance.Proc;
+  Loop.ForPipeline = Instance.PipelineDepth;
+  Loop.Result = A.freshEvent();
+  A.module().event(Loop.Result).Producer = Loop.Id;
+
+  A.pushPipeline(Instance.PipelineDepth);
+  std::map<TensorId, ExternalUse> External = A.withLoopScope(
+      Loop.Body,
+      [&] { Body(ScalarExpr::loopVar(Var, Loop.LoopVarName)); });
+  A.popPipeline();
+
+  if (!Loop.Body.Ops.empty()) {
+    // Yield the completion of the final operation with a result event.
+    for (auto It = Loop.Body.Ops.rbegin(); It != Loop.Body.Ops.rend(); ++It) {
+      if ((*It)->Result != InvalidEventId) {
+        Loop.Body.Yield = EventRef::unit((*It)->Result);
+        break;
+      }
+    }
+  }
+  A.finishLoop(Loop, External, EventRef::unit(Loop.Result));
+}
+
+void AnalysisContext::prange(
+    std::vector<ScalarExpr> Extents,
+    const std::function<void(std::vector<ScalarExpr>)> &Body) {
+  if (A.failed())
+    return;
+  // Linearize the (possibly multi-dimensional) domain; all extents must be
+  // static (they derive from shapes and tunables).
+  int64_t Total = 1;
+  std::vector<int64_t> Dims;
+  for (const ScalarExpr &E : Extents) {
+    if (!E.isConstant()) {
+      A.fail("prange extents must be statically evaluable");
+      return;
+    }
+    Dims.push_back(E.constantValue());
+    Total *= E.constantValue();
+  }
+
+  Operation &Loop = A.emit(OpKind::PFor);
+  LoopVarId Var = A.module().freshLoopVar();
+  Loop.LoopVar = Var;
+  Loop.LoopVarName = formatString("i%u", Var);
+  Loop.LoopLo = ScalarExpr(0);
+  Loop.LoopHi = ScalarExpr(Total);
+  Loop.ExecProc = Instance.Proc;
+
+  ScalarExpr LinearVar = ScalarExpr::loopVar(Var, Loop.LoopVarName);
+  std::vector<ScalarExpr> Indices;
+  {
+    // Row-major delinearization of the linear induction variable.
+    ScalarExpr Rest = LinearVar;
+    std::vector<ScalarExpr> Rev;
+    for (unsigned I = Dims.size(); I-- > 0;) {
+      if (I == 0) {
+        Rev.push_back(Rest);
+      } else {
+        Rev.push_back(Rest.mod(ScalarExpr(Dims[I])));
+        Rest = Rest.floorDiv(ScalarExpr(Dims[I]));
+      }
+    }
+    Indices.assign(Rev.rbegin(), Rev.rend());
+  }
+
+  std::optional<Processor> SavedChild = A.PrangeChildProc;
+  bool SavedWarpSpec = A.PrangeChildWarpSpec;
+  A.PrangeChildProc.reset();
+  A.PrangeChildWarpSpec = false;
+  std::map<TensorId, ExternalUse> External =
+      A.withLoopScope(Loop.Body, [&] { Body(Indices); });
+  if (!A.PrangeChildProc) {
+    A.fail("prange body launched no tasks; cannot infer processor level");
+    return;
+  }
+  Loop.PForProc = *A.PrangeChildProc;
+  if (Loop.PForProc == Processor::Block && A.PrangeChildWarpSpec)
+    Loop.WarpSpecialize = true;
+  A.PrangeChildProc = SavedChild;
+  A.PrangeChildWarpSpec = SavedWarpSpec;
+
+  // A Block-level pfor is the kernel grid; record whether its child
+  // instances asked for warp specialization (discovered during launches).
+  EventType Type;
+  Type.Dims.push_back({Total, Loop.PForProc});
+  Loop.Result = A.freshEvent(Type);
+  A.module().event(Loop.Result).Producer = Loop.Id;
+
+  if (!Loop.Body.Ops.empty()) {
+    for (auto It = Loop.Body.Ops.rbegin(); It != Loop.Body.Ops.rend(); ++It) {
+      if ((*It)->Result != InvalidEventId) {
+        Loop.Body.Yield = EventRef::unit((*It)->Result);
+        break;
+      }
+    }
+  }
+  EventRef Done;
+  Done.Event = Loop.Result;
+  Done.Indices.push_back(EventIndex::broadcast());
+  A.finishLoop(Loop, External, Done);
+}
+
+//===----------------------------------------------------------------------===//
+// Launch lowering
+//===----------------------------------------------------------------------===//
+
+void Analysis::recordLaunch(AnalysisContext &Caller,
+                            const TaskMapping &CallerInst,
+                            const std::string &Task,
+                            std::vector<TensorHandle> Args,
+                            std::vector<ScalarExpr> Scalars) {
+  if (failed())
+    return;
+  const TaskRegistry &Registry = *Input.Registry;
+  const MappingSpec &Mapping = *Input.Mapping;
+
+  ErrorOr<std::string> ChildName = Mapping.dispatch(Registry, CallerInst, Task);
+  if (!ChildName) {
+    fail(ChildName.diagnostic().message());
+    return;
+  }
+  const TaskMapping &Child = Mapping.instance(*ChildName);
+  const TaskVariant &Variant = Registry.variant(Child.Variant);
+
+  if (Variant.Params.size() != Args.size()) {
+    fail(formatString("launch of %s passes %zu tensors but variant %s takes "
+                      "%zu",
+                      Task.c_str(), Args.size(), Child.Variant.c_str(),
+                      Variant.Params.size()));
+    return;
+  }
+
+  // Record the child processor for enclosing prange inference.
+  if (!PrangeChildProc)
+    PrangeChildProc = Child.Proc;
+  PrangeChildWarpSpec |= Child.WarpSpecialize;
+
+  // Privilege containment: a launch may not request privileges on a tensor
+  // beyond what the caller holds (Section 3.2).
+  for (size_t I = 0, E = Args.size(); I != E; ++I) {
+    Privilege Parent = Caller.priv(Args[I]);
+    Privilege Request = Variant.Params[I].Priv;
+    if (!privilegeAllows(Parent, Request)) {
+      fail(formatString(
+          "launch of %s requests %s on parameter %s but caller holds %s",
+          Task.c_str(), privilegeName(Request),
+          Variant.Params[I].Name.c_str(), privilegeName(Parent)));
+      return;
+    }
+  }
+
+  // Step 1: fresh allocations in the memories the mapping requests.
+  std::vector<TensorId> Fresh(Args.size());
+  for (size_t I = 0, E = Args.size(); I != E; ++I) {
+    const TensorSlice &Arg = Caller.slice(Args[I]);
+    Shape ArgShape = Module.sliceShape(Arg);
+    ElementType Elem = Module.tensor(Arg.Tensor).Type.Element;
+    TensorId Id = Module.addTensor(
+        formatString("%s.%s.%u", Child.Instance.c_str(),
+                     Variant.Params[I].Name.c_str(), ++TempCounter),
+        TensorType{ArgShape, Elem}, Child.Mems[I]);
+    IRTensor &T = Module.tensor(Id);
+    T.HomeProc = Child.Proc;
+    T.PipelineDepth =
+        (Child.Mems[I] == Memory::Shared) ? currentPipelineDepth() : 1;
+    Operation &Alloc = emit(OpKind::Alloc);
+    Alloc.AllocTensor = Id;
+    Alloc.ExecProc = Child.Proc;
+    noteLocal(Id);
+    Fresh[I] = Id;
+  }
+
+  // Step 2: copy-ins for read parameters.
+  for (size_t I = 0, E = Args.size(); I != E; ++I) {
+    if (!privilegeReads(Variant.Params[I].Priv))
+      continue;
+    const TensorSlice &Arg = Caller.slice(Args[I]);
+    Operation &Copy = emit(OpKind::Copy);
+    Copy.CopySrc = Arg;
+    Copy.CopyDst = TensorSlice::whole(Fresh[I]);
+    Copy.ExecProc = CallerInst.Proc;
+    Copy.LaunchBoundary = true;
+    Copy.BoundaryTensor = Fresh[I];
+    Copy.Result = freshEvent();
+    Module.event(Copy.Result).Producer = Copy.Id;
+    for (EventRef &Dep : readDeps(Arg.Tensor))
+      addPrecond(Copy, std::move(Dep));
+    recordRead(Arg.Tensor, EventRef::unit(Copy.Result));
+    recordWrite(Fresh[I], EventRef::unit(Copy.Result));
+  }
+
+  // Step 3: traverse the callee.
+  if (Variant.Kind == VariantKind::Leaf) {
+    Operation &Call = emit(OpKind::Call);
+    Call.Callee = Variant.Leaf.Function;
+    Call.Unit = Variant.Leaf.Unit;
+    Call.ExecProc = Child.Proc;
+    Call.ScalarArgs = std::move(Scalars);
+    std::vector<Shape> ArgShapes;
+    for (size_t I = 0, E = Args.size(); I != E; ++I) {
+      Call.Args.push_back(TensorSlice::whole(Fresh[I]));
+      Call.ArgIsWritten.push_back(privilegeWrites(Variant.Params[I].Priv));
+      ArgShapes.push_back(Module.tensor(Fresh[I]).Type.Dims);
+    }
+    Call.Flops = Variant.Leaf.Flops ? Variant.Leaf.Flops(ArgShapes) : 0.0;
+    Call.Result = freshEvent();
+    Module.event(Call.Result).Producer = Call.Id;
+    for (size_t I = 0, E = Args.size(); I != E; ++I) {
+      std::vector<EventRef> Deps =
+          privilegeWrites(Variant.Params[I].Priv) ? writeDeps(Fresh[I])
+                                                  : readDeps(Fresh[I]);
+      for (EventRef &Dep : Deps)
+        addPrecond(Call, std::move(Dep));
+    }
+    for (size_t I = 0, E = Args.size(); I != E; ++I) {
+      if (privilegeWrites(Variant.Params[I].Priv))
+        recordWrite(Fresh[I], EventRef::unit(Call.Result));
+      else
+        recordRead(Fresh[I], EventRef::unit(Call.Result));
+    }
+  } else {
+    AnalysisContext ChildCtx(*this, Child, Variant, std::move(Scalars));
+    std::vector<TensorHandle> Params;
+    for (size_t I = 0, E = Args.size(); I != E; ++I)
+      Params.push_back(ChildCtx.bindParam(TensorSlice::whole(Fresh[I]),
+                                          Variant.Params[I].Priv));
+    Variant.Body(ChildCtx, Params);
+    if (failed())
+      return;
+  }
+
+  // Step 4: copy-outs for written parameters.
+  for (size_t I = 0, E = Args.size(); I != E; ++I) {
+    if (!privilegeWrites(Variant.Params[I].Priv))
+      continue;
+    const TensorSlice &Arg = Caller.slice(Args[I]);
+    Operation &Copy = emit(OpKind::Copy);
+    Copy.CopySrc = TensorSlice::whole(Fresh[I]);
+    Copy.CopyDst = Arg;
+    Copy.ExecProc = CallerInst.Proc;
+    Copy.LaunchBoundary = true;
+    Copy.BoundaryTensor = Fresh[I];
+    Copy.Result = freshEvent();
+    Module.event(Copy.Result).Producer = Copy.Id;
+    for (EventRef &Dep : readDeps(Fresh[I]))
+      addPrecond(Copy, std::move(Dep));
+    for (EventRef &Dep : writeDeps(Arg.Tensor))
+      addPrecond(Copy, std::move(Dep));
+    recordRead(Fresh[I], EventRef::unit(Copy.Result));
+    recordWrite(Arg.Tensor, EventRef::unit(Copy.Result));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Entry
+//===----------------------------------------------------------------------===//
+
+ErrorOr<IRModule> Analysis::run() {
+  const TaskRegistry &Registry = *Input.Registry;
+  const MappingSpec &Mapping = *Input.Mapping;
+
+  if (ErrorOrVoid Valid = Mapping.validate(Registry, *Input.Machine); !Valid)
+    return Valid.diagnostic();
+
+  const TaskMapping &Entry = Mapping.entrypoint();
+  const TaskVariant &Variant = Registry.variant(Entry.Variant);
+  if (Variant.Kind != VariantKind::Inner)
+    return Diagnostic("entrypoint variant must be an inner task");
+  if (Variant.Params.size() != Input.EntryArgTypes.size())
+    return Diagnostic(formatString(
+        "entrypoint takes %zu tensors but %zu argument types were supplied",
+        Variant.Params.size(), Input.EntryArgTypes.size()));
+
+  Scopes.emplace_back();
+  Blocks.push_back(&Module.root());
+
+  AnalysisContext Ctx(*this, Entry, Variant);
+  std::vector<TensorHandle> Params;
+  for (size_t I = 0, E = Variant.Params.size(); I != E; ++I) {
+    Memory Mem = Entry.Mems[I];
+    TensorId Id = Module.addTensor(Variant.Params[I].Name,
+                                   Input.EntryArgTypes[I], Mem);
+    IRTensor &T = Module.tensor(Id);
+    T.HomeProc = Entry.Proc;
+    T.IsEntryArg = true;
+    Module.entryArgs().push_back(Id);
+    noteLocal(Id);
+    Params.push_back(Ctx.bindParam(TensorSlice::whole(Id),
+                                   Variant.Params[I].Priv));
+  }
+
+  Variant.Body(Ctx, Params);
+
+  Blocks.pop_back();
+  Scopes.pop_back();
+
+  if (std::optional<Diagnostic> Failed = takeFailure())
+    return *Failed;
+
+  if (ErrorOrVoid Valid = verifyModule(Module); !Valid)
+    return Valid.diagnostic();
+  return std::move(Module);
+}
+
+} // namespace
+
+ErrorOr<IRModule> cypress::runDependenceAnalysis(const CompileInput &Input) {
+  assert(Input.Registry && Input.Mapping && Input.Machine &&
+         "compile input missing components");
+  Analysis A(Input);
+  return A.run();
+}

@@ -1,0 +1,130 @@
+//===- Passes.h - Cypress compiler pass pipeline ---------------------------===//
+//
+// Part of the Cypress reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The six-stage pipeline of Section 4.2 (Figure 6):
+///
+///   dependence analysis -> vectorization -> copy elimination ->
+///   resource allocation -> warp specialization -> code generation
+///
+/// The first three capture information from the task-based representation
+/// and lower away the tasking abstractions; resource allocation and warp
+/// specialization optimize; the emitters (CudaEmitter / the simulator
+/// backend in src/sim) replace events by concrete synchronization.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CYPRESS_COMPILER_PASSES_H
+#define CYPRESS_COMPILER_PASSES_H
+
+#include "frontend/Task.h"
+#include "ir/IR.h"
+#include "machine/Machine.h"
+#include "mapping/Mapping.h"
+#include "support/Error.h"
+
+#include <string>
+#include <vector>
+
+namespace cypress {
+
+/// Everything the compiler needs to lower one kernel.
+struct CompileInput {
+  const TaskRegistry *Registry = nullptr;
+  const MappingSpec *Mapping = nullptr;
+  const MachineModel *Machine = nullptr;
+  /// Concrete types of the entrypoint's tensor arguments (shapes are static
+  /// per kernel instantiation; the prototype compiles one kernel per
+  /// problem size, like the paper's statically specialized programs).
+  std::vector<TensorType> EntryArgTypes;
+};
+
+/// Stage 1 (Section 4.2.1): interprets the instantiated task tree under the
+/// mapping, enforcing privileges, inserting copy-in/copy-out data movement,
+/// and chaining events to encode all true and anti dependencies. Produces
+/// the event IR of Figure 8.
+ErrorOr<IRModule> runDependenceAnalysis(const CompileInput &Input);
+
+/// Stage 2 (Section 4.2.2): flattens the implicit intra-block parallel
+/// loops (warpgroup / warp / thread pfors), substituting induction variables
+/// with processor indices and promoting events to indexed event arrays
+/// (Figure 9). Block-level pfors remain: they become the kernel grid.
+ErrorOrVoid runVectorization(IRModule &Module, const MachineModel &Machine);
+
+/// Stage 3 (Section 4.2.3): removes the copies introduced by the
+/// copy-in/copy-out discipline using the rewrite patterns of Figure 10
+/// (copy propagation, spill elimination/hoisting, duplicate and self-copy
+/// elimination, unmaterialized-tensor forwarding), preserving required
+/// synchronization. Reports an error if a tensor mapped to the `none`
+/// memory would have to be materialized (Section 3.3).
+ErrorOrVoid runCopyElimination(IRModule &Module);
+
+/// Restores event-scope well-formedness: references that point at events
+/// defined inside loop bodies from outside those bodies (which both event
+/// splicing and the allocator's WAR edges can create) are replaced by the
+/// enclosing loop's completion event; duplicates are removed.
+void repairEventScopes(IRModule &Module);
+
+/// Assigns execution units to the surviving copies (TMA for global<->shared
+/// bulk transfers, SIMT otherwise). Run after copy elimination, once the
+/// real endpoints are known.
+void assignExecUnits(IRModule &Module);
+
+/// Result of shared-memory resource allocation for one block.
+struct SharedAllocation {
+  struct Entry {
+    TensorId Tensor = InvalidTensorId;
+    int64_t Offset = 0; ///< Byte offset of buffer 0.
+    int64_t Bytes = 0;  ///< Total bytes including pipeline copies.
+  };
+  std::vector<Entry> Entries;
+  int64_t TotalBytes = 0;
+  /// Pairs of tensors that ended up aliased (share addresses) and therefore
+  /// required write-after-read synchronization edges.
+  std::vector<std::pair<TensorId, TensorId>> AliasedPairs;
+
+  const Entry *find(TensorId Tensor) const {
+    for (const Entry &E : Entries)
+      if (E.Tensor == Tensor)
+        return &E;
+    return nullptr;
+  }
+};
+
+/// Stage 4 (Section 4.2.4): binds shared-memory tensors to physical offsets
+/// within the per-block budget, starting from a complete interference graph
+/// and removing auxiliary edges (allowing aliasing) only until the
+/// allocation fits, then inserting WAR event edges between aliased users
+/// (Figure 11). Fails with an out-of-memory diagnostic if even full
+/// aliasing cannot fit.
+ErrorOr<SharedAllocation> runResourceAllocation(IRModule &Module,
+                                                const MachineModel &Machine);
+
+/// Stage 5 (Section 4.2.5): for block bodies whose mapping requested warp
+/// specialization, partitions the dependence graph into a data-movement
+/// (DMA) agent and compute agents (Figure 12), and software-pipelines the
+/// main sequential loop to the mapped depth: multi-buffers shared tensors,
+/// rewrites buffer indices to (k mod PIPE), and inserts backward
+/// anti-dependence edges so copies wait for the consumers of their
+/// destination buffers from PIPE iterations ago.
+ErrorOrVoid runWarpSpecialization(IRModule &Module);
+
+/// Full pipeline through stage 5. The returned module is what the emitters
+/// (CUDA text, simulator program) consume.
+ErrorOr<IRModule> compileToIR(const CompileInput &Input,
+                              SharedAllocation *AllocOut = nullptr);
+
+/// Stage 6a: prints warp-specialized CUDA C++ matching the structure of
+/// Figure 1b (mbarriers, TMA intrinsics, wgmma, named barriers). The text
+/// is golden-tested; it is not compiled in this environment (see DESIGN.md
+/// substitutions).
+std::string emitCudaSource(const IRModule &Module,
+                           const SharedAllocation &Alloc,
+                           const std::string &KernelName);
+
+} // namespace cypress
+
+#endif // CYPRESS_COMPILER_PASSES_H

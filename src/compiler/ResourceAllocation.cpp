@@ -1,0 +1,352 @@
+//===- ResourceAllocation.cpp - Shared-memory allocation -------------------===//
+//
+// Part of the Cypress reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Stage 4 of the compiler (Section 4.2.4, Figure 11). Binds every
+/// shared-memory tensor of a block to a physical byte range within the
+/// user's per-block budget. The trade-off is memory pressure versus
+/// parallelism: aliasing two logical tensors onto one buffer saves space
+/// but serializes their live ranges.
+///
+/// The algorithm starts from the COMPLETE interference graph (every pair of
+/// tensors interferes, i.e. nothing aliases) and relaxes: if an allocation
+/// under the current graph exceeds the budget, one auxiliary edge — an edge
+/// between tensors whose live ranges do NOT actually overlap — is removed
+/// (largest combined size first) and allocation retries. Removing edges
+/// only between non-overlapping tensors keeps the result correct; starting
+/// complete keeps aliasing minimal. If even the true interference graph
+/// does not fit, an out-of-memory diagnostic tells the user to adjust the
+/// mapping.
+///
+/// For every aliased pair the pass inserts a write-after-read event edge:
+/// the first writer of the later tensor waits on the last readers of the
+/// earlier one, preventing reuse hazards.
+///
+//===----------------------------------------------------------------------===//
+
+#include "compiler/Passes.h"
+#include "support/Format.h"
+#include "support/MathUtil.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+using namespace cypress;
+
+namespace {
+
+/// Live-range info for one shared tensor within the block body, in
+/// flattened op order.
+struct LiveRange {
+  TensorId Tensor = InvalidTensorId;
+  int64_t Bytes = 0;     ///< Allocation size including pipeline buffers.
+  size_t FirstUse = 0;   ///< Flattened position of the first def/use.
+  size_t LastUse = 0;    ///< Flattened position of the last use.
+  Operation *FirstWriter = nullptr;
+  std::vector<Operation *> LastReaders;
+};
+
+/// Flattens the block body (including loop bodies) into a linear order used
+/// for live-range construction. Ops inside loops conservatively extend live
+/// ranges across the whole loop.
+void linearize(IRBlock &Block, std::vector<Operation *> &Out) {
+  for (std::unique_ptr<Operation> &Op : Block.Ops) {
+    Out.push_back(Op.get());
+    if (Op->Kind == OpKind::For || Op->Kind == OpKind::PFor)
+      linearize(Op->Body, Out);
+  }
+}
+
+bool opUsesTensor(const Operation &Op, TensorId Tensor, bool &Reads,
+                  bool &Writes) {
+  Reads = Writes = false;
+  if (Op.Kind == OpKind::Alloc)
+    return Op.AllocTensor == Tensor;
+  if (Op.Kind == OpKind::Copy) {
+    Reads = Op.CopySrc.Tensor == Tensor;
+    Writes = Op.CopyDst.Tensor == Tensor;
+    return Reads || Writes;
+  }
+  if (Op.Kind == OpKind::Call) {
+    for (size_t I = 0, E = Op.Args.size(); I != E; ++I) {
+      if (Op.Args[I].Tensor != Tensor)
+        continue;
+      Reads = true; // Read-write args also read.
+      Writes = Writes || Op.ArgIsWritten[I];
+    }
+    return Reads || Writes;
+  }
+  return false;
+}
+
+class Allocator {
+public:
+  Allocator(IRModule &Module, const MachineModel &Machine)
+      : Module(Module), Machine(Machine) {}
+
+  ErrorOr<SharedAllocation> run() {
+    if (ErrorOrVoid Regs = checkRegisterPressure(); !Regs)
+      return Regs.diagnostic();
+    collectRanges();
+    if (Ranges.empty())
+      return SharedAllocation{};
+
+    int64_t Budget = Machine.memory(Memory::Shared).CapacityBytes;
+    // (A per-mapping budget override would arrive through the grid pfor's
+    // instance; the machine capacity is the hard ceiling either way.)
+
+    // Complete interference graph: every unordered pair starts present.
+    // Auxiliary edges are those whose live ranges do not truly overlap.
+    std::set<std::pair<size_t, size_t>> Edges;
+    std::vector<std::pair<size_t, size_t>> Auxiliary;
+    for (size_t I = 0; I < Ranges.size(); ++I) {
+      for (size_t J = I + 1; J < Ranges.size(); ++J) {
+        Edges.insert({I, J});
+        bool Overlap = Ranges[I].FirstUse <= Ranges[J].LastUse &&
+                       Ranges[J].FirstUse <= Ranges[I].LastUse;
+        if (!Overlap)
+          Auxiliary.push_back({I, J});
+      }
+    }
+    // Remove the largest-combined-size auxiliary edges first: each removal
+    // buys the most space, so total aliasing stays minimal.
+    std::sort(Auxiliary.begin(), Auxiliary.end(),
+              [&](const auto &A, const auto &B) {
+                int64_t SA = Ranges[A.first].Bytes + Ranges[A.second].Bytes;
+                int64_t SB = Ranges[B.first].Bytes + Ranges[B.second].Bytes;
+                return SA > SB;
+              });
+
+    size_t NextRelax = 0;
+    SharedAllocation Result;
+    while (true) {
+      std::optional<SharedAllocation> Attempt = tryAllocate(Edges, Budget);
+      if (Attempt) {
+        Result = std::move(*Attempt);
+        break;
+      }
+      if (NextRelax == Auxiliary.size())
+        return Diagnostic(formatString(
+            "shared memory allocation exceeds the per-block budget of %lld "
+            "bytes even with maximal aliasing; map fewer tensors to shared "
+            "memory or reduce tile sizes",
+            static_cast<long long>(Budget)));
+      Edges.erase(Auxiliary[NextRelax++]);
+    }
+
+    insertWarEdges(Result);
+    return Result;
+  }
+
+private:
+  /// Register-file capacity check (Section 3.4): tensors mapped to the
+  /// register memory are distributed over the threads of their home
+  /// processor level; the per-thread total must fit the 255-register CUDA
+  /// limit. This is what forces large accumulators to be split across
+  /// warpgroups.
+  ErrorOrVoid checkRegisterPressure() {
+    const int64_t BytesPerThread =
+        Machine.memory(Memory::Register).CapacityBytes;
+    // Live-range-insensitive sum: register tensors in our kernels are live
+    // for essentially the whole block.
+    int64_t PerThreadBytes = 0;
+    std::set<TensorId> Counted;
+    walkOps(Module.root(), [&](const Operation &Op) {
+      auto Count = [&](TensorId Id) {
+        const IRTensor &T = Module.tensor(Id);
+        if (T.Mem != Memory::Register || Counted.count(Id))
+          return;
+        Counted.insert(Id);
+        int64_t Threads = 1;
+        switch (T.HomeProc) {
+        case Processor::Warpgroup:
+          Threads = H100Constants::ThreadsPerWarp *
+                    H100Constants::WarpsPerWarpgroup;
+          break;
+        case Processor::Warp:
+          Threads = H100Constants::ThreadsPerWarp;
+          break;
+        default:
+          break;
+        }
+        PerThreadBytes += ceilDiv(T.Type.sizeBytes(), Threads);
+      };
+      if (Op.Kind == OpKind::Copy) {
+        Count(Op.CopySrc.Tensor);
+        Count(Op.CopyDst.Tensor);
+      } else if (Op.Kind == OpKind::Call) {
+        for (const TensorSlice &Slice : Op.Args)
+          Count(Slice.Tensor);
+      }
+    });
+    if (PerThreadBytes > BytesPerThread)
+      return Diagnostic(formatString(
+          "register allocation needs %lld bytes per thread but the machine "
+          "provides %lld (255 registers); split accumulators across more "
+          "warpgroups (Section 3.4)",
+          static_cast<long long>(PerThreadBytes),
+          static_cast<long long>(BytesPerThread)));
+    return ErrorOrVoid::success();
+  }
+
+  void collectRanges() {
+    std::vector<Operation *> Order;
+    linearize(Module.root(), Order);
+
+    // Tensors allocated inside flattened warpgroup context have one
+    // physical instance per warpgroup; their footprint scales accordingly.
+    std::map<TensorId, int64_t> WgExtent;
+    walkOps(Module.root(), [&](const Operation &Op) {
+      if (Op.Kind != OpKind::Alloc)
+        return;
+      int64_t Extent = 1;
+      for (const EventDim &Dim : Op.VecContext)
+        if (Dim.Proc == Processor::Warpgroup)
+          Extent = Dim.Extent;
+      WgExtent[Op.AllocTensor] = Extent;
+    });
+
+    std::map<TensorId, size_t> Seen;
+    for (size_t Pos = 0; Pos < Order.size(); ++Pos) {
+      Operation &Op = *Order[Pos];
+      for (const IRTensor &T : Module.tensors()) {
+        if (T.Mem != Memory::Shared)
+          continue;
+        bool Reads = false, Writes = false;
+        if (!opUsesTensor(Op, T.Id, Reads, Writes))
+          continue;
+        size_t Index;
+        if (auto It = Seen.find(T.Id); It != Seen.end()) {
+          Index = It->second;
+        } else {
+          Index = Ranges.size();
+          Seen.emplace(T.Id, Index);
+          LiveRange R;
+          R.Tensor = T.Id;
+          int64_t Instances = 1;
+          if (auto WgIt = WgExtent.find(T.Id); WgIt != WgExtent.end())
+            Instances = WgIt->second;
+          R.Bytes =
+              alignUp(T.Type.sizeBytes(), 128) * T.PipelineDepth * Instances;
+          R.FirstUse = Pos;
+          Ranges.push_back(R);
+        }
+        LiveRange &R = Ranges[Index];
+        R.LastUse = Pos;
+        if (Writes && !R.FirstWriter && Op.Kind != OpKind::Alloc)
+          R.FirstWriter = &Op;
+        if (Reads && Op.Kind != OpKind::Alloc) {
+          // Maintain the set of current last readers (everything at the
+          // final read position; simplest: keep the latest reader only,
+          // plus collect all at the end).
+          R.LastReaders.clear();
+          R.LastReaders.push_back(&Op);
+        }
+      }
+    }
+  }
+
+  /// First-fit offset assignment honoring the interference graph: tensors
+  /// connected by an edge must not overlap in addresses; unconnected
+  /// tensors are packed greedily and may alias.
+  std::optional<SharedAllocation>
+  tryAllocate(const std::set<std::pair<size_t, size_t>> &Edges,
+              int64_t Budget) {
+    // Sort by size descending for better packing.
+    std::vector<size_t> BydSize(Ranges.size());
+    for (size_t I = 0; I < BydSize.size(); ++I)
+      BydSize[I] = I;
+    std::sort(BydSize.begin(), BydSize.end(), [&](size_t A, size_t B) {
+      if (Ranges[A].Bytes != Ranges[B].Bytes)
+        return Ranges[A].Bytes > Ranges[B].Bytes;
+      return A < B;
+    });
+
+    std::vector<int64_t> Offsets(Ranges.size(), -1);
+    int64_t High = 0;
+    for (size_t I : BydSize) {
+      // Collect forbidden intervals from already-placed neighbors.
+      std::vector<std::pair<int64_t, int64_t>> Forbidden;
+      for (size_t J = 0; J < Ranges.size(); ++J) {
+        if (J == I || Offsets[J] < 0)
+          continue;
+        auto Key = std::minmax(I, J);
+        if (!Edges.count({Key.first, Key.second}))
+          continue;
+        Forbidden.push_back({Offsets[J], Offsets[J] + Ranges[J].Bytes});
+      }
+      std::sort(Forbidden.begin(), Forbidden.end());
+      int64_t Candidate = 0;
+      for (const auto &[Lo, Hi] : Forbidden) {
+        if (Candidate + Ranges[I].Bytes <= Lo)
+          break;
+        Candidate = std::max(Candidate, Hi);
+      }
+      if (Candidate + Ranges[I].Bytes > Budget)
+        return std::nullopt;
+      Offsets[I] = Candidate;
+      High = std::max(High, Candidate + Ranges[I].Bytes);
+    }
+
+    SharedAllocation Result;
+    Result.TotalBytes = High;
+    for (size_t I = 0; I < Ranges.size(); ++I)
+      Result.Entries.push_back({Ranges[I].Tensor, Offsets[I],
+                                Ranges[I].Bytes});
+    // Record aliased pairs (address overlap).
+    for (size_t I = 0; I < Ranges.size(); ++I)
+      for (size_t J = I + 1; J < Ranges.size(); ++J) {
+        bool Overlap = Offsets[I] < Offsets[J] + Ranges[J].Bytes &&
+                       Offsets[J] < Offsets[I] + Ranges[I].Bytes;
+        if (Overlap)
+          Result.AliasedPairs.push_back(
+              {Ranges[I].Tensor, Ranges[J].Tensor});
+      }
+    return Result;
+  }
+
+  /// For each aliased pair, the later tensor's first writer must wait for
+  /// the earlier tensor's last readers (write-after-read on the shared
+  /// physical buffer).
+  void insertWarEdges(const SharedAllocation &Alloc) {
+    std::map<TensorId, size_t> Index;
+    for (size_t I = 0; I < Ranges.size(); ++I)
+      Index[Ranges[I].Tensor] = I;
+    for (const auto &[TA, TB] : Alloc.AliasedPairs) {
+      LiveRange &A = Ranges[Index[TA]];
+      LiveRange &B = Ranges[Index[TB]];
+      // Order by live range: earlier one's readers gate later's writer.
+      LiveRange &Early = A.LastUse <= B.FirstUse ? A : B;
+      LiveRange &Late = A.LastUse <= B.FirstUse ? B : A;
+      if (!Late.FirstWriter)
+        continue;
+      for (Operation *Reader : Early.LastReaders) {
+        if (Reader->Result == InvalidEventId)
+          continue;
+        EventRef Ref;
+        Ref.Event = Reader->Result;
+        const EventType &Type = Module.event(Reader->Result).Type;
+        for (const EventDim &Dim : Type.Dims) {
+          (void)Dim;
+          Ref.Indices.push_back(EventIndex::broadcast());
+        }
+        Late.FirstWriter->Preconds.push_back(std::move(Ref));
+      }
+    }
+  }
+
+  IRModule &Module;
+  const MachineModel &Machine;
+  std::vector<LiveRange> Ranges;
+};
+
+} // namespace
+
+ErrorOr<SharedAllocation>
+cypress::runResourceAllocation(IRModule &Module, const MachineModel &Machine) {
+  return Allocator(Module, Machine).run();
+}

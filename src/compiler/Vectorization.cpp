@@ -1,0 +1,301 @@
+//===- Vectorization.cpp - Flattening implicit parallel loops --------------===//
+//
+// Part of the Cypress reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Stage 2 of the compiler (Section 4.2.2, Figure 9). Flattens the pfor
+/// loops that are implicit in the GPU programming model — loops over
+/// warpgroups, warps, and threads — starting from the deepest nesting:
+///
+///  * the induction variable is substituted with the processor index,
+///  * events defined in the body gain a leading (extent, proc) dimension,
+///  * point-wise uses inside the body prepend the processor index,
+///  * uses of the loop's own completion event are redirected to the yielded
+///    event, prepending the original indexing (so `e2[:]` becomes `e4[:]`
+///    and `e2[i]` becomes `e4[i, ...]`).
+///
+/// Point-wise dependencies between the independent iterations are thereby
+/// preserved, while post-loop synchronization stays encoded as broadcasted
+/// indexing. Block-level pfors are left intact: they are the kernel grid.
+///
+//===----------------------------------------------------------------------===//
+
+#include "compiler/Passes.h"
+#include "support/Format.h"
+
+#include <map>
+#include <set>
+
+using namespace cypress;
+
+namespace {
+
+/// Replaces every occurrence of loop variable \p Var with \p Replacement in
+/// an operation's expressions (slices, scalar args, loop bounds, event
+/// indices).
+void substituteVar(Operation &Op, LoopVarId Var,
+                   const ScalarExpr &Replacement) {
+  auto FixSlice = [&](TensorSlice &Slice) {
+    for (ScalarExpr &Color : Slice.Color)
+      Color = Color.substituteLoopVar(Var, Replacement);
+    Slice.BufferIndex = Slice.BufferIndex.substituteLoopVar(Var, Replacement);
+  };
+  FixSlice(Op.CopySrc);
+  FixSlice(Op.CopyDst);
+  for (TensorSlice &Slice : Op.Args)
+    FixSlice(Slice);
+  for (ScalarExpr &Expr : Op.ScalarArgs)
+    Expr = Expr.substituteLoopVar(Var, Replacement);
+  Op.LoopLo = Op.LoopLo.substituteLoopVar(Var, Replacement);
+  Op.LoopHi = Op.LoopHi.substituteLoopVar(Var, Replacement);
+  for (EventRef &Ref : Op.Preconds)
+    for (EventIndex &Index : Ref.Indices)
+      if (!Index.isBroadcast())
+        Index.Index = Index.Index.substituteLoopVar(Var, Replacement);
+  if (Op.Kind == OpKind::For || Op.Kind == OpKind::PFor) {
+    for (std::unique_ptr<Operation> &Inner : Op.Body.Ops)
+      substituteVar(*Inner, Var, Replacement);
+    if (Op.Body.Yield)
+      for (EventIndex &Index : Op.Body.Yield->Indices)
+        if (!Index.isBroadcast())
+          Index.Index = Index.Index.substituteLoopVar(Var, Replacement);
+  }
+}
+
+/// Substitutes the induction variable inside partition bases too:
+/// partitions created in a flattened body may select pieces with the loop
+/// variable in their base-slice colors.
+void substituteInPartitions(IRModule &Module, LoopVarId Var,
+                            const ScalarExpr &Replacement) {
+  for (IRPartition &P : Module.partitions()) {
+    for (ScalarExpr &Color : P.Base.Color)
+      Color = Color.substituteLoopVar(Var, Replacement);
+    P.Base.BufferIndex = P.Base.BufferIndex.substituteLoopVar(Var, Replacement);
+  }
+}
+
+class Vectorizer {
+public:
+  Vectorizer(IRModule &Module, const MachineModel &Machine)
+      : Module(Module), Machine(Machine) {}
+
+  ErrorOrVoid run() {
+    processBlock(Module.root(), {});
+    if (Failure)
+      return *Failure;
+    return ErrorOrVoid::success();
+  }
+
+private:
+  /// True if pfors at this level flatten away (intra-block parallelism).
+  bool isImplicitLevel(Processor Proc) const {
+    return Proc == Processor::Warpgroup || Proc == Processor::Warp ||
+           Proc == Processor::Thread;
+  }
+
+  /// Recursively vectorizes \p Block. \p Context is the flattened parallel
+  /// context accumulated so far (outermost first).
+  void processBlock(IRBlock &Block, std::vector<EventDim> Context) {
+    // Deepest-first: vectorize inside loop bodies before flattening here.
+    for (std::unique_ptr<Operation> &Op : Block.Ops) {
+      if (Op->Kind == OpKind::For) {
+        processBlock(Op->Body, Context);
+      } else if (Op->Kind == OpKind::PFor) {
+        std::vector<EventDim> Inner = Context;
+        if (isImplicitLevel(Op->PForProc))
+          Inner.push_back(
+              {Op->LoopHi.constantValue() - Op->LoopLo.constantValue(),
+               Op->PForProc});
+        processBlock(Op->Body, Inner);
+      }
+    }
+
+    // Now flatten the implicit pfors at this level, in place.
+    for (size_t I = 0; I < Block.Ops.size();) {
+      Operation &Op = *Block.Ops[I];
+      if (Op.Kind != OpKind::PFor || !isImplicitLevel(Op.PForProc)) {
+        if (!Context.empty() && Op.Kind != OpKind::PFor)
+          appendContext(Op, Context);
+        ++I;
+        continue;
+      }
+      flattenPFor(Block, I, Context);
+      // Re-visit index I: the first moved op now sits there.
+    }
+  }
+
+  void appendContext(Operation &Op, const std::vector<EventDim> &Context) {
+    // Record the enclosing flattened dims once (outermost first); avoid
+    // double-stamping ops already annotated via nested processing.
+    if (Op.VecContext.empty())
+      Op.VecContext = Context;
+  }
+
+  /// Flattens the pfor at Block.Ops[Index].
+  void flattenPFor(IRBlock &Block, size_t Index,
+                   const std::vector<EventDim> &Context) {
+    std::unique_ptr<Operation> Loop = std::move(Block.Ops[Index]);
+    Block.Ops.erase(Block.Ops.begin() + static_cast<long>(Index));
+
+    if (!Loop->LoopLo.isConstant() || !Loop->LoopHi.isConstant()) {
+      fail("pfor bounds over implicit processor levels must be static");
+      return;
+    }
+    int64_t Extent = Loop->LoopHi.constantValue() -
+                     Loop->LoopLo.constantValue();
+    EventDim NewDim{Extent, Loop->PForProc};
+    ScalarExpr ProcVar = ScalarExpr::procIndex(Loop->PForProc);
+
+    // Events defined directly in the body (loop results of nested loops
+    // included — nested implicit pfors were flattened already, so their
+    // events now live directly in this body).
+    std::set<EventId> BodyEvents;
+    for (std::unique_ptr<Operation> &Op : Loop->Body.Ops)
+      if (Op->Result != InvalidEventId)
+        BodyEvents.insert(Op->Result);
+
+    // Promote event types: prepend the new dimension.
+    for (EventId E : BodyEvents) {
+      EventType &Type = Module.event(E).Type;
+      Type.Dims.insert(Type.Dims.begin(), NewDim);
+    }
+
+    // Capture the yield target before rewriting body refs.
+    std::optional<EventRef> Yield = Loop->Body.Yield;
+
+    // Rewrite uses inside the body: substitute the induction variable with
+    // the processor index and prepend the point-wise index on refs to
+    // promoted events.
+    for (std::unique_ptr<Operation> &Op : Loop->Body.Ops) {
+      substituteVar(*Op, Loop->LoopVar, ProcVar);
+      prependIndexOnRefs(*Op, BodyEvents,
+                         EventIndex::expr(ProcVar));
+    }
+    substituteInPartitions(Module, Loop->LoopVar, ProcVar);
+
+    // Uses of the loop's completion event elsewhere redirect to the yielded
+    // event; uses of promoted body events cannot appear outside by SSA
+    // scoping, but the yield ref's event was promoted, so the original
+    // outer index takes the new leading slot.
+    if (Loop->Result != InvalidEventId) {
+      if (!Yield) {
+        // Empty loops: drop refs to the loop event entirely.
+        dropRefsTo(Module.root(), Loop->Result);
+      } else {
+        redirectLoopEvent(Module.root(), Loop->Result, *Yield);
+      }
+    }
+
+    // Splice the body into the parent, annotating the flattened context.
+    std::vector<EventDim> Inner = Context;
+    Inner.push_back(NewDim);
+    size_t At = Index;
+    for (std::unique_ptr<Operation> &Op : Loop->Body.Ops) {
+      // Entry ops (no intra-body precondition) inherit the loop's
+      // preconditions.
+      if (opHasNoPrecondIn(*Op, BodyEvents))
+        for (const EventRef &Pre : Loop->Preconds)
+          Op->Preconds.push_back(Pre);
+      if (Op->Kind == OpKind::PFor) {
+        // Remaining pfors are grid-level only; they cannot appear under an
+        // implicit level.
+        fail("block-level pfor nested inside an implicit parallel loop");
+        return;
+      }
+      Op->VecContext = Inner;
+      if (Op->Kind == OpKind::For)
+        stampContext(Op->Body, Inner);
+      Block.Ops.insert(Block.Ops.begin() + static_cast<long>(At++),
+                       std::move(Op));
+    }
+  }
+
+  void stampContext(IRBlock &Block, const std::vector<EventDim> &Context) {
+    for (std::unique_ptr<Operation> &Op : Block.Ops) {
+      Op->VecContext = Context;
+      if (Op->Kind == OpKind::For)
+        stampContext(Op->Body, Context);
+    }
+  }
+
+  static bool opHasNoPrecondIn(const Operation &Op,
+                               const std::set<EventId> &Events) {
+    for (const EventRef &Ref : Op.Preconds)
+      if (Events.count(Ref.Event))
+        return false;
+    return true;
+  }
+
+  /// Prepends \p Index to every reference to an event in \p Events within
+  /// one operation (preconditions, nested bodies, yields).
+  void prependIndexOnRefs(Operation &Op, const std::set<EventId> &Events,
+                          const EventIndex &Index) {
+    for (EventRef &Ref : Op.Preconds)
+      if (Events.count(Ref.Event))
+        Ref.Indices.insert(Ref.Indices.begin(), Index);
+    if (Op.Kind == OpKind::For || Op.Kind == OpKind::PFor) {
+      for (std::unique_ptr<Operation> &Inner : Op.Body.Ops)
+        prependIndexOnRefs(*Inner, Events, Index);
+      if (Op.Body.Yield && Events.count(Op.Body.Yield->Event))
+        Op.Body.Yield->Indices.insert(Op.Body.Yield->Indices.begin(), Index);
+    }
+  }
+
+  /// Redirects every use of \p LoopEvent to \p Yield, prepending the
+  /// original outer index to the yield's indices.
+  void redirectLoopEvent(IRBlock &Block, EventId LoopEvent,
+                         const EventRef &Yield) {
+    for (std::unique_ptr<Operation> &Op : Block.Ops) {
+      for (EventRef &Ref : Op->Preconds)
+        redirectRef(Ref, LoopEvent, Yield);
+      if (Op->Kind == OpKind::For || Op->Kind == OpKind::PFor) {
+        redirectLoopEvent(Op->Body, LoopEvent, Yield);
+        if (Op->Body.Yield)
+          redirectRef(*Op->Body.Yield, LoopEvent, Yield);
+      }
+    }
+  }
+
+  static void redirectRef(EventRef &Ref, EventId LoopEvent,
+                          const EventRef &Yield) {
+    if (Ref.Event != LoopEvent)
+      return;
+    assert(Ref.Indices.size() == 1 &&
+           "loop completion events have exactly one dimension at flatten");
+    EventIndex Outer = Ref.Indices[0];
+    EventRef New = Yield;
+    New.Indices.insert(New.Indices.begin(), Outer);
+    New.IterLag = Ref.IterLag;
+    Ref = std::move(New);
+  }
+
+  void dropRefsTo(IRBlock &Block, EventId Event) {
+    for (std::unique_ptr<Operation> &Op : Block.Ops) {
+      std::vector<EventRef> Kept;
+      for (EventRef &Ref : Op->Preconds)
+        if (Ref.Event != Event)
+          Kept.push_back(std::move(Ref));
+      Op->Preconds = std::move(Kept);
+      if (Op->Kind == OpKind::For || Op->Kind == OpKind::PFor)
+        dropRefsTo(Op->Body, Event);
+    }
+  }
+
+  void fail(std::string Message) {
+    if (!Failure)
+      Failure = Diagnostic(std::move(Message));
+  }
+
+  IRModule &Module;
+  [[maybe_unused]] const MachineModel &Machine;
+  std::optional<Diagnostic> Failure;
+};
+
+} // namespace
+
+ErrorOrVoid cypress::runVectorization(IRModule &Module,
+                                      const MachineModel &Machine) {
+  return Vectorizer(Module, Machine).run();
+}

@@ -1,0 +1,223 @@
+//===- WarpSpecialization.cpp - DMA/compute split and pipelining -----------===//
+//
+// Part of the Cypress reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Stage 5 of the compiler (Section 4.2.5, Figure 12). Two transformations:
+///
+/// 1. Warp specialization partitions the dependence graph of a block body
+///    between a data-movement (DMA) warp and the compute warpgroups: all
+///    TMA transfers are assigned to the DMA agent, everything else to the
+///    compute agents. Dependence edges that cross the partition become
+///    inter-warp barriers during code generation — the prod/cons mbarriers
+///    of Figure 1b.
+///
+/// 2. Software pipelining of the main sequential loop to the mapped depth:
+///    multi-buffered shared tensors (allocated with PipelineDepth > 1) are
+///    hoisted out of the loop, their uses indexed with (k mod PIPE), and
+///    backward anti-dependence edges are inserted so an asynchronous copy
+///    only begins once the consumers of its destination buffer from PIPE
+///    iterations ago have completed (the dashed edges of Figure 12). With
+///    warp specialization, the DMA warp thereby runs PIPE iterations ahead
+///    of the compute warps, hiding global-memory latency.
+///
+//===----------------------------------------------------------------------===//
+
+#include "compiler/Passes.h"
+
+#include <set>
+
+using namespace cypress;
+
+namespace {
+
+class WarpSpecializer {
+public:
+  explicit WarpSpecializer(IRModule &Module) : Module(Module) {}
+
+  ErrorOrVoid run() {
+    processBlock(Module.root(), /*InWarpSpec=*/false);
+    if (Failure)
+      return *Failure;
+    return ErrorOrVoid::success();
+  }
+
+private:
+  void processBlock(IRBlock &Block, bool InWarpSpec) {
+    for (size_t I = 0; I < Block.Ops.size(); ++I) {
+      if (Block.Ops[I]->Kind == OpKind::For) {
+        // Even unpipelined loops (depth 1) need the backward WAR edges:
+        // an iteration's copies reuse the previous iteration's buffers.
+        // Hoisting buffer allocations shifts the loop right; track it.
+        I += pipelineLoop(Block, I);
+      }
+      Operation &Op = *Block.Ops[I];
+      switch (Op.Kind) {
+      case OpKind::PFor:
+        processBlock(Op.Body, Op.WarpSpecialize || InWarpSpec);
+        break;
+      case OpKind::For:
+        processBlock(Op.Body, InWarpSpec);
+        break;
+      default:
+        break;
+      }
+      if (InWarpSpec)
+        assignAgent(Op);
+    }
+  }
+
+  /// DMA agent = TMA transfers (both loads into shared memory and the
+  /// final store of staged results back to global memory); everything else
+  /// belongs to the compute warps. Alternative partitions of the graph are
+  /// possible (the paper notes this); this is the one CUTLASS-style main
+  /// loops use.
+  void assignAgent(Operation &Op) {
+    Op.DmaAgent = Op.Kind == OpKind::Copy && Op.Unit == ExecUnit::TMA;
+    if (Op.Kind == OpKind::For || Op.Kind == OpKind::PFor)
+      for (std::unique_ptr<Operation> &Inner : Op.Body.Ops)
+        assignAgent(*Inner);
+  }
+
+  /// Pipelines the loop at Parent.Ops[LoopIndex]; returns how many hoisted
+  /// allocations were inserted before it (the loop's new position shift).
+  size_t pipelineLoop(IRBlock &Parent, size_t LoopIndex) {
+    int64_t Depth = Parent.Ops[LoopIndex]->ForPipeline;
+
+    // 1. Identify the shared tiles of the loop body. Multi-buffered ones
+    //    (PipelineDepth > 1) are hoisted and rotate through their buffers;
+    //    depth-1 tiles stay in place but still need the WAR edge below.
+    std::set<TensorId> Buffered;
+    std::set<TensorId> AllShared;
+    for (std::unique_ptr<Operation> &Op : Parent.Ops[LoopIndex]->Body.Ops)
+      if (Op->Kind == OpKind::Alloc) {
+        IRTensor &T = Module.tensor(Op->AllocTensor);
+        if (T.Mem != Memory::Shared)
+          continue;
+        AllShared.insert(T.Id);
+        if (T.PipelineDepth > 1)
+          Buffered.insert(T.Id);
+      }
+    if (AllShared.empty())
+      return 0;
+
+    // 2. Hoist their allocations before the loop: one allocation of
+    //    PipelineDepth buffers lives across all iterations. (Insertion may
+    //    reallocate Parent.Ops, so the loop op is re-fetched by index.)
+    size_t Hoisted = 0;
+    for (size_t I = 0; I < Parent.Ops[LoopIndex + Hoisted]->Body.Ops.size();) {
+      IRBlock &Body = Parent.Ops[LoopIndex + Hoisted]->Body;
+      Operation &Op = *Body.Ops[I];
+      if (Op.Kind == OpKind::Alloc && Buffered.count(Op.AllocTensor)) {
+        std::unique_ptr<Operation> Alloc = std::move(Body.Ops[I]);
+        Body.Ops.erase(Body.Ops.begin() + static_cast<long>(I));
+        Parent.Ops.insert(Parent.Ops.begin() + static_cast<long>(LoopIndex),
+                          std::move(Alloc));
+        ++Hoisted;
+        continue;
+      }
+      ++I;
+    }
+    Operation &Loop = *Parent.Ops[LoopIndex + Hoisted];
+    IRBlock &Body = Loop.Body;
+
+    // 3. Rewrite uses: slices of buffered tensors select buffer
+    //    (k mod PIPE), like `sA[_, _, k % PIPE]` in Figure 1b.
+    ScalarExpr Var = ScalarExpr::loopVar(Loop.LoopVar, Loop.LoopVarName);
+    ScalarExpr BufIdx = Var.mod(ScalarExpr(Depth));
+    walkOps(Body, [&](Operation &Op) {
+      auto Fix = [&](TensorSlice &Slice) {
+        if (Buffered.count(Slice.Tensor))
+          Slice.BufferIndex = BufIdx;
+      };
+      if (Op.Kind == OpKind::Copy) {
+        Fix(Op.CopySrc);
+        Fix(Op.CopyDst);
+      } else if (Op.Kind == OpKind::Call) {
+        for (TensorSlice &Slice : Op.Args)
+          Fix(Slice);
+      }
+    });
+
+    // 4. Backward anti-dependence edges: a copy writing buffer X at
+    //    iteration k reuses the physical buffer of iteration k - PIPE, so
+    //    it must wait for X's consumers from that iteration (vacuously
+    //    satisfied for k < PIPE). This is the `wait(cons[k % PIPE])` of
+    //    Figure 1b.
+    for (std::unique_ptr<Operation> &Writer : Body.Ops) {
+      if (Writer->Kind != OpKind::Copy)
+        continue;
+      TensorId Dst = Writer->CopyDst.Tensor;
+      if (!AllShared.count(Dst))
+        continue;
+      Operation *LastReader = nullptr;
+      for (std::unique_ptr<Operation> &Op : Body.Ops) {
+        bool Reads = false;
+        if (Op->Kind == OpKind::Copy)
+          Reads = Op->CopySrc.Tensor == Dst;
+        else if (Op->Kind == OpKind::Call)
+          for (const TensorSlice &Slice : Op->Args)
+            Reads |= Slice.Tensor == Dst;
+        if (Reads && Op->Result != InvalidEventId)
+          LastReader = Op.get();
+      }
+      if (!LastReader)
+        continue;
+      EventRef Ref;
+      Ref.Event = LastReader->Result;
+      const EventType &Type = Module.event(LastReader->Result).Type;
+      for (size_t D = 0, E = Type.Dims.size(); D != E; ++D)
+        Ref.Indices.push_back(EventIndex::broadcast());
+      // Depth-1 tiles reuse their single buffer every iteration; deeper
+      // pipelines reuse PIPE iterations back.
+      Ref.IterLag =
+          Buffered.count(Dst) ? Depth : 1;
+      Writer->Preconds.push_back(std::move(Ref));
+    }
+    return Hoisted;
+  }
+
+  void fail(std::string Message) {
+    if (!Failure)
+      Failure = Diagnostic(std::move(Message));
+  }
+
+  IRModule &Module;
+  std::optional<Diagnostic> Failure;
+};
+
+} // namespace
+
+ErrorOrVoid cypress::runWarpSpecialization(IRModule &Module) {
+  return WarpSpecializer(Module).run();
+}
+
+//===----------------------------------------------------------------------===//
+// Full pipeline driver
+//===----------------------------------------------------------------------===//
+
+ErrorOr<IRModule> cypress::compileToIR(const CompileInput &Input,
+                                       SharedAllocation *AllocOut) {
+  ErrorOr<IRModule> Module = runDependenceAnalysis(Input);
+  if (!Module)
+    return Module.diagnostic();
+
+  if (ErrorOrVoid Err = runVectorization(*Module, *Input.Machine); !Err)
+    return Err.diagnostic();
+  if (ErrorOrVoid Err = runCopyElimination(*Module); !Err)
+    return Err.diagnostic();
+  assignExecUnits(*Module);
+  ErrorOr<SharedAllocation> Alloc =
+      runResourceAllocation(*Module, *Input.Machine);
+  if (!Alloc)
+    return Alloc.diagnostic();
+  // The allocator's WAR edges may cross loop scopes; normalize them.
+  repairEventScopes(*Module);
+  if (ErrorOrVoid Err = runWarpSpecialization(*Module); !Err)
+    return Err.diagnostic();
+  if (AllocOut)
+    *AllocOut = std::move(*Alloc);
+  return Module;
+}

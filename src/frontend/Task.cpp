@@ -1,0 +1,62 @@
+//===- Task.cpp - Logical description: tasks, variants, privileges ---------===//
+//
+// Part of the Cypress reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Task.h"
+
+using namespace cypress;
+
+const char *cypress::privilegeName(Privilege P) {
+  switch (P) {
+  case Privilege::Read:
+    return "read";
+  case Privilege::Write:
+    return "write";
+  case Privilege::ReadWrite:
+    return "read-write";
+  }
+  cypressUnreachable("unknown privilege");
+}
+
+InnerContext::~InnerContext() = default;
+
+void TaskRegistry::addInner(std::string Task, std::string Variant,
+                            std::vector<TaskParam> Params, InnerBody Body) {
+  assert(!hasVariant(Variant) && "variant name already registered");
+  TaskVariant V;
+  V.Task = std::move(Task);
+  V.Variant = Variant;
+  V.Kind = VariantKind::Inner;
+  V.Params = std::move(Params);
+  V.Body = std::move(Body);
+  Variants.emplace(std::move(Variant), std::move(V));
+}
+
+void TaskRegistry::addLeaf(std::string Task, std::string Variant,
+                           std::vector<TaskParam> Params, LeafInfo Leaf) {
+  assert(!hasVariant(Variant) && "variant name already registered");
+  TaskVariant V;
+  V.Task = std::move(Task);
+  V.Variant = Variant;
+  V.Kind = VariantKind::Leaf;
+  V.Params = std::move(Params);
+  V.Leaf = std::move(Leaf);
+  Variants.emplace(std::move(Variant), std::move(V));
+}
+
+const TaskVariant &TaskRegistry::variant(const std::string &Variant) const {
+  auto It = Variants.find(Variant);
+  assert(It != Variants.end() && "unknown task variant");
+  return It->second;
+}
+
+std::vector<std::string>
+TaskRegistry::variantsOf(const std::string &Task) const {
+  std::vector<std::string> Result;
+  for (const auto &[Name, V] : Variants)
+    if (V.Task == Task)
+      Result.push_back(Name);
+  return Result;
+}

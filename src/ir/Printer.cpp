@@ -1,0 +1,151 @@
+//===- Printer.cpp - Textual IR dump ---------------------------------------===//
+//
+// Part of the Cypress reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prints modules in the surface syntax used by the paper's Figure 8/9
+/// worked examples, e.g.:
+///
+///   e5 : () = copy(CW, C1p[i]), {e2[:]}
+///   e7 : () = for k in [0, 16), {e6} do ... yield e12
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/IR.h"
+#include "support/Format.h"
+
+using namespace cypress;
+
+namespace {
+
+std::string eventTypeString(const EventType &Type) {
+  if (Type.isUnit())
+    return "()";
+  std::vector<std::string> Parts;
+  for (const EventDim &Dim : Type.Dims)
+    Parts.push_back(formatString("(%lld, %s)",
+                                 static_cast<long long>(Dim.Extent),
+                                 processorName(Dim.Proc)));
+  return "[" + joinStrings(Parts, ", ") + "]";
+}
+
+std::string eventRefString(const IRModule &Module, const EventRef &Ref) {
+  std::string Result = Module.event(Ref.Event).Name;
+  if (!Ref.Indices.empty()) {
+    std::vector<std::string> Parts;
+    for (const EventIndex &Index : Ref.Indices)
+      Parts.push_back(Index.isBroadcast() ? ":" : Index.Index.toString());
+    Result += "[" + joinStrings(Parts, ", ") + "]";
+  }
+  if (Ref.IterLag != 0)
+    Result += formatString("@lag(%lld)", static_cast<long long>(Ref.IterLag));
+  return Result;
+}
+
+std::string precondString(const IRModule &Module,
+                          const std::vector<EventRef> &Preconds) {
+  std::vector<std::string> Parts;
+  for (const EventRef &Ref : Preconds)
+    Parts.push_back(eventRefString(Module, Ref));
+  return "{" + joinStrings(Parts, ", ") + "}";
+}
+
+std::string sliceString(const IRModule &Module, const TensorSlice &Slice) {
+  std::string Result = Module.tensor(Slice.Tensor).Name;
+  if (Slice.Part) {
+    std::vector<std::string> Parts;
+    for (const ScalarExpr &Expr : Slice.Color)
+      Parts.push_back(Expr.toString());
+    Result += "[" + joinStrings(Parts, ", ") + "]";
+  }
+  if (!Slice.BufferIndex.isConstant() ||
+      Slice.BufferIndex.constantValue() != 0)
+    Result += "@buf(" + Slice.BufferIndex.toString() + ")";
+  return Result;
+}
+
+std::string resultString(const IRModule &Module, const Operation &Op) {
+  if (Op.Result == InvalidEventId)
+    return "";
+  const IREvent &Ev = Module.event(Op.Result);
+  return Ev.Name + " : " + eventTypeString(Ev.Type) + " = ";
+}
+
+void printOp(const IRModule &Module, const Operation &Op, unsigned Indent,
+             std::string &Out);
+
+void printBlockInto(const IRModule &Module, const IRBlock &Block,
+                    unsigned Indent, std::string &Out) {
+  for (const std::unique_ptr<Operation> &Op : Block.Ops)
+    printOp(Module, *Op, Indent, Out);
+  if (Block.Yield)
+    Out += std::string(Indent, ' ') +
+           "yield " + eventRefString(Module, *Block.Yield) + "\n";
+}
+
+void printOp(const IRModule &Module, const Operation &Op, unsigned Indent,
+             std::string &Out) {
+  std::string Pad(Indent, ' ');
+  switch (Op.Kind) {
+  case OpKind::Alloc: {
+    const IRTensor &T = Module.tensor(Op.AllocTensor);
+    Out += Pad + T.Name + " = tensor(" + T.Type.toString() + ", " +
+           memoryName(T.Mem);
+    if (T.PipelineDepth > 1)
+      Out += formatString(", pipe=%lld", static_cast<long long>(T.PipelineDepth));
+    Out += ")\n";
+    break;
+  }
+  case OpKind::MakePart: {
+    const IRPartition &P = Module.partition(Op.Part);
+    Out += Pad + formatString("p%u", P.Id) + " = partition(" +
+           sliceString(Module, P.Base) + ", " +
+           partitionKindName(P.Spec.kind()) + ")\n";
+    break;
+  }
+  case OpKind::Copy:
+    Out += Pad + resultString(Module, Op) + "copy(" +
+           sliceString(Module, Op.CopySrc) + ", " +
+           sliceString(Module, Op.CopyDst) + ") on " +
+           execUnitName(Op.Unit) + ", " +
+           precondString(Module, Op.Preconds) + "\n";
+    break;
+  case OpKind::Call: {
+    std::vector<std::string> Args;
+    for (const TensorSlice &Slice : Op.Args)
+      Args.push_back(sliceString(Module, Slice));
+    for (const ScalarExpr &Expr : Op.ScalarArgs)
+      Args.push_back(Expr.toString());
+    Out += Pad + resultString(Module, Op) + "call(" + Op.Callee + ", " +
+           joinStrings(Args, ", ") + ") on " + execUnitName(Op.Unit) + ", " +
+           precondString(Module, Op.Preconds) + "\n";
+    break;
+  }
+  case OpKind::For:
+  case OpKind::PFor: {
+    const char *Keyword = Op.Kind == OpKind::For ? "for" : "pfor";
+    Out += Pad + resultString(Module, Op) + Keyword + " " + Op.LoopVarName +
+           " in [" + Op.LoopLo.toString() + ", " + Op.LoopHi.toString() + ")";
+    if (Op.Kind == OpKind::PFor)
+      Out += formatString(" @%s", processorName(Op.PForProc));
+    Out += ", " + precondString(Module, Op.Preconds) + " do\n";
+    printBlockInto(Module, Op.Body, Indent + 2, Out);
+    break;
+  }
+  }
+}
+
+} // namespace
+
+std::string cypress::printBlock(const IRModule &Module, const IRBlock &Block,
+                                unsigned Indent) {
+  std::string Out;
+  printBlockInto(Module, Block, Indent, Out);
+  return Out;
+}
+
+std::string cypress::printModule(const IRModule &Module) {
+  return printBlock(Module, Module.root(), 0);
+}

@@ -1,0 +1,215 @@
+//===- Scalar.cpp - Symbolic scalar expressions -----------------------------===//
+//
+// Part of the Cypress reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Scalar.h"
+
+#include "support/Format.h"
+
+using namespace cypress;
+
+ScalarExpr::ScalarExpr(int64_t Value) : TheKind(Kind::Constant), Value(Value) {}
+
+ScalarExpr ScalarExpr::loopVar(LoopVarId Id, std::string Name) {
+  ScalarExpr Result;
+  Result.TheKind = Kind::LoopVar;
+  Result.VarId = Id;
+  Result.VarName = std::move(Name);
+  return Result;
+}
+
+ScalarExpr ScalarExpr::procIndex(Processor Proc) {
+  ScalarExpr Result;
+  Result.TheKind = Kind::ProcIndex;
+  Result.Proc = Proc;
+  return Result;
+}
+
+ScalarExpr ScalarExpr::binary(Kind K, const ScalarExpr &L,
+                              const ScalarExpr &R) {
+  // Constant fold eagerly; symbolic expressions stay small in practice.
+  if (L.isConstant() && R.isConstant()) {
+    int64_t A = L.constantValue(), B = R.constantValue();
+    switch (K) {
+    case Kind::Add:
+      return ScalarExpr(A + B);
+    case Kind::Sub:
+      return ScalarExpr(A - B);
+    case Kind::Mul:
+      return ScalarExpr(A * B);
+    case Kind::FloorDiv:
+      assert(B != 0 && "division by zero in constant fold");
+      return ScalarExpr(A / B);
+    case Kind::Mod:
+      assert(B != 0 && "modulo by zero in constant fold");
+      return ScalarExpr(A % B);
+    default:
+      cypressUnreachable("non-binary kind in binary fold");
+    }
+  }
+  // Identity simplifications keep printed IR readable.
+  if (K == Kind::Add && L.isConstant() && L.constantValue() == 0)
+    return R;
+  if ((K == Kind::Add || K == Kind::Sub) && R.isConstant() &&
+      R.constantValue() == 0)
+    return L;
+  if (K == Kind::Mul && L.isConstant() && L.constantValue() == 1)
+    return R;
+  if (K == Kind::Mul && R.isConstant() && R.constantValue() == 1)
+    return L;
+  if (K == Kind::Mul && ((L.isConstant() && L.constantValue() == 0) ||
+                         (R.isConstant() && R.constantValue() == 0)))
+    return ScalarExpr(0);
+  if (K == Kind::FloorDiv && R.isConstant() && R.constantValue() == 1)
+    return L;
+
+  ScalarExpr Result;
+  Result.TheKind = K;
+  Result.Lhs = std::make_shared<const ScalarExpr>(L);
+  Result.Rhs = std::make_shared<const ScalarExpr>(R);
+  return Result;
+}
+
+namespace cypress {
+
+ScalarExpr operator+(const ScalarExpr &L, const ScalarExpr &R) {
+  return ScalarExpr::binary(ScalarExpr::Kind::Add, L, R);
+}
+ScalarExpr operator-(const ScalarExpr &L, const ScalarExpr &R) {
+  return ScalarExpr::binary(ScalarExpr::Kind::Sub, L, R);
+}
+ScalarExpr operator*(const ScalarExpr &L, const ScalarExpr &R) {
+  return ScalarExpr::binary(ScalarExpr::Kind::Mul, L, R);
+}
+
+} // namespace cypress
+
+ScalarExpr ScalarExpr::floorDiv(const ScalarExpr &Divisor) const {
+  return binary(Kind::FloorDiv, *this, Divisor);
+}
+
+ScalarExpr ScalarExpr::mod(const ScalarExpr &Divisor) const {
+  return binary(Kind::Mod, *this, Divisor);
+}
+
+int64_t ScalarExpr::evaluate(const ScalarEnv &Env) const {
+  switch (TheKind) {
+  case Kind::Constant:
+    return Value;
+  case Kind::LoopVar:
+    return Env.loopVar(VarId);
+  case Kind::ProcIndex:
+    return Env.procIndex(Proc);
+  case Kind::Add:
+    return Lhs->evaluate(Env) + Rhs->evaluate(Env);
+  case Kind::Sub:
+    return Lhs->evaluate(Env) - Rhs->evaluate(Env);
+  case Kind::Mul:
+    return Lhs->evaluate(Env) * Rhs->evaluate(Env);
+  case Kind::FloorDiv: {
+    int64_t D = Rhs->evaluate(Env);
+    assert(D != 0 && "division by zero");
+    return Lhs->evaluate(Env) / D;
+  }
+  case Kind::Mod: {
+    int64_t D = Rhs->evaluate(Env);
+    assert(D != 0 && "modulo by zero");
+    return Lhs->evaluate(Env) % D;
+  }
+  }
+  cypressUnreachable("unknown scalar expression kind");
+}
+
+ScalarExpr ScalarExpr::substituteLoopVar(LoopVarId Id,
+                                         const ScalarExpr &Replacement) const {
+  switch (TheKind) {
+  case Kind::Constant:
+  case Kind::ProcIndex:
+    return *this;
+  case Kind::LoopVar:
+    return VarId == Id ? Replacement : *this;
+  case Kind::Add:
+  case Kind::Sub:
+  case Kind::Mul:
+  case Kind::FloorDiv:
+  case Kind::Mod:
+    return binary(TheKind, Lhs->substituteLoopVar(Id, Replacement),
+                  Rhs->substituteLoopVar(Id, Replacement));
+  }
+  cypressUnreachable("unknown scalar expression kind");
+}
+
+bool ScalarExpr::usesLoopVar(LoopVarId Id) const {
+  switch (TheKind) {
+  case Kind::Constant:
+  case Kind::ProcIndex:
+    return false;
+  case Kind::LoopVar:
+    return VarId == Id;
+  default:
+    return Lhs->usesLoopVar(Id) || Rhs->usesLoopVar(Id);
+  }
+}
+
+bool ScalarExpr::usesProcIndex() const {
+  switch (TheKind) {
+  case Kind::Constant:
+  case Kind::LoopVar:
+    return false;
+  case Kind::ProcIndex:
+    return true;
+  default:
+    return Lhs->usesProcIndex() || Rhs->usesProcIndex();
+  }
+}
+
+std::string ScalarExpr::toString() const {
+  switch (TheKind) {
+  case Kind::Constant:
+    return std::to_string(Value);
+  case Kind::LoopVar:
+    return VarName.empty() ? formatString("v%u", VarId) : VarName;
+  case Kind::ProcIndex:
+    switch (Proc) {
+    case Processor::Block:
+      return "block_id()";
+    case Processor::Warpgroup:
+      return "warpgroup_id()";
+    case Processor::Warp:
+      return "warp_id()";
+    case Processor::Thread:
+      return "thread_id()";
+    case Processor::Host:
+      return "host_id()";
+    }
+    cypressUnreachable("unknown processor");
+  case Kind::Add:
+    return "(" + Lhs->toString() + " + " + Rhs->toString() + ")";
+  case Kind::Sub:
+    return "(" + Lhs->toString() + " - " + Rhs->toString() + ")";
+  case Kind::Mul:
+    return "(" + Lhs->toString() + " * " + Rhs->toString() + ")";
+  case Kind::FloorDiv:
+    return "(" + Lhs->toString() + " / " + Rhs->toString() + ")";
+  case Kind::Mod:
+    return "(" + Lhs->toString() + " % " + Rhs->toString() + ")";
+  }
+  cypressUnreachable("unknown scalar expression kind");
+}
+
+bool ScalarExpr::equals(const ScalarExpr &Other) const {
+  if (TheKind != Other.TheKind)
+    return false;
+  switch (TheKind) {
+  case Kind::Constant:
+    return Value == Other.Value;
+  case Kind::LoopVar:
+    return VarId == Other.VarId;
+  case Kind::ProcIndex:
+    return Proc == Other.Proc;
+  default:
+    return Lhs->equals(*Other.Lhs) && Rhs->equals(*Other.Rhs);
+  }
+}

@@ -1,0 +1,121 @@
+//===- Scalar.h - Symbolic scalar expressions ------------------------------===//
+//
+// Part of the Cypress reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Symbolic integer expressions for the Cypress IR. Loop induction variables
+/// and processor indices (the warp/thread ids substituted by vectorization,
+/// Section 4.2.2) stay symbolic through the pass pipeline; everything else
+/// constant-folds on construction. Expressions evaluate to concrete values
+/// during simulation/codegen once an environment binds every variable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CYPRESS_IR_SCALAR_H
+#define CYPRESS_IR_SCALAR_H
+
+#include "machine/Machine.h"
+#include "support/Error.h"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+namespace cypress {
+
+/// Identifies a loop induction variable.
+using LoopVarId = uint32_t;
+
+/// Environment binding loop variables and processor indices to values.
+struct ScalarEnv {
+  std::map<LoopVarId, int64_t> LoopVars;
+  std::map<Processor, int64_t> ProcIndices;
+
+  int64_t loopVar(LoopVarId Id) const {
+    auto It = LoopVars.find(Id);
+    assert(It != LoopVars.end() && "unbound loop variable");
+    return It->second;
+  }
+
+  int64_t procIndex(Processor Proc) const {
+    auto It = ProcIndices.find(Proc);
+    assert(It != ProcIndices.end() && "unbound processor index");
+    return It->second;
+  }
+};
+
+/// An immutable symbolic integer expression with value semantics.
+class ScalarExpr {
+public:
+  enum class Kind : uint8_t {
+    Constant,
+    LoopVar,
+    ProcIndex,
+    Add,
+    Sub,
+    Mul,
+    FloorDiv,
+    Mod,
+  };
+
+  /// Default-constructs the constant 0.
+  ScalarExpr() : ScalarExpr(0) {}
+  /*implicit*/ ScalarExpr(int64_t Value);
+
+  static ScalarExpr constant(int64_t Value) { return ScalarExpr(Value); }
+  static ScalarExpr loopVar(LoopVarId Id, std::string Name);
+  static ScalarExpr procIndex(Processor Proc);
+
+  friend ScalarExpr operator+(const ScalarExpr &L, const ScalarExpr &R);
+  friend ScalarExpr operator-(const ScalarExpr &L, const ScalarExpr &R);
+  friend ScalarExpr operator*(const ScalarExpr &L, const ScalarExpr &R);
+  /// Floor division (C-style for non-negative operands).
+  ScalarExpr floorDiv(const ScalarExpr &Divisor) const;
+  ScalarExpr mod(const ScalarExpr &Divisor) const;
+
+  Kind kind() const { return TheKind; }
+  bool isConstant() const { return TheKind == Kind::Constant; }
+  /// The constant value; asserts isConstant().
+  int64_t constantValue() const {
+    assert(isConstant() && "expression is not constant");
+    return Value;
+  }
+
+  /// Evaluates with all variables bound by \p Env.
+  int64_t evaluate(const ScalarEnv &Env) const;
+
+  /// Substitutes loop variable \p Id with \p Replacement everywhere.
+  /// Used by vectorization to replace pfor induction variables with
+  /// processor indices, and by pipelining for modular rotation.
+  ScalarExpr substituteLoopVar(LoopVarId Id,
+                               const ScalarExpr &Replacement) const;
+
+  /// True if the expression mentions loop variable \p Id.
+  bool usesLoopVar(LoopVarId Id) const;
+  /// True if the expression mentions any processor index.
+  bool usesProcIndex() const;
+
+  std::string toString() const;
+
+  /// Structural equality.
+  bool equals(const ScalarExpr &Other) const;
+
+private:
+  struct Node;
+  explicit ScalarExpr(std::shared_ptr<const Node> N);
+  static ScalarExpr binary(Kind K, const ScalarExpr &L, const ScalarExpr &R);
+
+  Kind TheKind = Kind::Constant;
+  int64_t Value = 0;                  // Constant payload.
+  LoopVarId VarId = 0;                // LoopVar payload.
+  std::string VarName;                // LoopVar payload.
+  Processor Proc = Processor::Thread; // ProcIndex payload.
+  std::shared_ptr<const ScalarExpr> Lhs, Rhs; // Binary payload.
+};
+
+} // namespace cypress
+
+#endif // CYPRESS_IR_SCALAR_H

@@ -1,0 +1,141 @@
+//===- Verifier.cpp - IR structural well-formedness checks -----------------===//
+//
+// Part of the Cypress reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Checks the SSA/event invariants of Section 4.1: every event used as a
+/// precondition is defined by an earlier operation in scope, index counts
+/// match event ranks, and slice colors match partition color-space ranks.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/IR.h"
+#include "support/Format.h"
+
+#include <set>
+
+using namespace cypress;
+
+namespace {
+
+class VerifierImpl {
+public:
+  explicit VerifierImpl(const IRModule &Module) : Module(Module) {}
+
+  ErrorOrVoid run() {
+    std::set<EventId> Defined;
+    return verifyBlock(Module.root(), Defined);
+  }
+
+private:
+  ErrorOrVoid verifyRef(const EventRef &Ref, const std::set<EventId> &Defined,
+                        const char *Where) {
+    if (Ref.Event >= Module.numEvents())
+      return Diagnostic(formatString("%s references unknown event", Where));
+    // Lagged references point backward across loop iterations (pipelining's
+    // anti-dependence edges); the producer may appear later in the body.
+    if (Ref.IterLag > 0)
+      return ErrorOrVoid::success();
+    if (!Defined.count(Ref.Event))
+      return Diagnostic(formatString(
+          "%s uses event %s before its definition", Where,
+          Module.event(Ref.Event).Name.c_str()));
+    const EventType &Type = Module.event(Ref.Event).Type;
+    if (Ref.Indices.size() != Type.Dims.size())
+      return Diagnostic(formatString(
+          "%s indexes event %s with %zu indices but its rank is %zu", Where,
+          Module.event(Ref.Event).Name.c_str(), Ref.Indices.size(),
+          Type.Dims.size()));
+    return ErrorOrVoid::success();
+  }
+
+  ErrorOrVoid verifySlice(const TensorSlice &Slice, const char *Where) {
+    if (Slice.Tensor >= Module.tensors().size())
+      return Diagnostic(formatString("%s references unknown tensor", Where));
+    if (!Slice.Part)
+      return ErrorOrVoid::success();
+    const IRPartition &P = Module.partition(*Slice.Part);
+    if (P.Base.Tensor != Slice.Tensor)
+      return Diagnostic(formatString(
+          "%s slices tensor %s through a partition rooted at %s", Where,
+          Module.tensor(Slice.Tensor).Name.c_str(),
+          Module.tensor(P.Base.Tensor).Name.c_str()));
+    if (Slice.Color.size() != P.Spec.colorSpace().rank())
+      return Diagnostic(formatString(
+          "%s colors partition p%u with %zu indices but its rank is %u",
+          Where, P.Id, Slice.Color.size(), P.Spec.colorSpace().rank()));
+    return ErrorOrVoid::success();
+  }
+
+  ErrorOrVoid verifyBlock(const IRBlock &Block, std::set<EventId> &Defined) {
+    for (const std::unique_ptr<Operation> &Op : Block.Ops) {
+      for (const EventRef &Ref : Op->Preconds)
+        if (ErrorOrVoid Err = verifyRef(Ref, Defined, "precondition"); !Err)
+          return Err;
+
+      switch (Op->Kind) {
+      case OpKind::Alloc:
+        if (Op->AllocTensor >= Module.tensors().size())
+          return Diagnostic("alloc references unknown tensor");
+        break;
+      case OpKind::MakePart:
+        break;
+      case OpKind::Copy: {
+        if (ErrorOrVoid Err = verifySlice(Op->CopySrc, "copy source"); !Err)
+          return Err;
+        if (ErrorOrVoid Err = verifySlice(Op->CopyDst, "copy dest"); !Err)
+          return Err;
+        Shape SrcShape = Module.sliceShape(Op->CopySrc);
+        Shape DstShape = Module.sliceShape(Op->CopyDst);
+        if (SrcShape.numElements() != DstShape.numElements())
+          return Diagnostic(formatString(
+              "copy moves %lld elements into %lld",
+              static_cast<long long>(SrcShape.numElements()),
+              static_cast<long long>(DstShape.numElements())));
+        break;
+      }
+      case OpKind::Call:
+        if (Op->Args.size() != Op->ArgIsWritten.size())
+          return Diagnostic(formatString(
+              "call %s has %zu args but %zu privilege flags",
+              Op->Callee.c_str(), Op->Args.size(), Op->ArgIsWritten.size()));
+        for (const TensorSlice &Slice : Op->Args)
+          if (ErrorOrVoid Err = verifySlice(Slice, "call argument"); !Err)
+            return Err;
+        break;
+      case OpKind::For:
+      case OpKind::PFor: {
+        // Loop bodies may reference events defined outside plus their own;
+        // definitions inside do not escape except via the loop's own result.
+        std::set<EventId> Inner = Defined;
+        if (ErrorOrVoid Err = verifyBlock(Op->Body, Inner); !Err)
+          return Err;
+        if (Op->Body.Yield)
+          if (ErrorOrVoid Err = verifyRef(*Op->Body.Yield, Inner, "yield");
+              !Err)
+            return Err;
+        break;
+      }
+      }
+
+      if (Op->Result != InvalidEventId) {
+        if (Defined.count(Op->Result))
+          return Diagnostic(formatString(
+              "event %s defined more than once (SSA violation)",
+              Module.event(Op->Result).Name.c_str()));
+        Defined.insert(Op->Result);
+      }
+    }
+    return ErrorOrVoid::success();
+  }
+
+  const IRModule &Module;
+};
+
+} // namespace
+
+ErrorOrVoid cypress::verifyModule(const IRModule &Module) {
+  return VerifierImpl(Module).run();
+}

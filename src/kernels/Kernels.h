@@ -1,0 +1,123 @@
+//===- Kernels.h - Cypress kernel library ----------------------------------===//
+//
+// Part of the Cypress reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The kernels evaluated in the paper (Section 5), each expressed as a
+/// Cypress logical description plus a tuned mapping specification:
+///
+///  * GEMM (Figure 5 / Figure 13a) and Batched-GEMM (Figure 13b),
+///  * Dual-GEMM, A.B1 + A.B2 fused (Figure 13c),
+///  * GEMM+Reduction, C = A.B with y = rowsum(A) fused (Figure 13d),
+///  * Flash Attention 2 and 3 forward kernels (Figure 14).
+///
+/// Every builder returns the task registry contributions, the mapping, and
+/// the entry argument types for one problem instantiation. Mappings expose
+/// the tunables the paper tunes: tile sizes, warpgroup counts, pipeline
+/// depth, and memory placements.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CYPRESS_KERNELS_KERNELS_H
+#define CYPRESS_KERNELS_KERNELS_H
+
+#include "frontend/Task.h"
+#include "mapping/Mapping.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace cypress {
+
+//===----------------------------------------------------------------------===//
+// GEMM family
+//===----------------------------------------------------------------------===//
+
+/// Tile/mapping parameters of the GEMM kernels. Defaults reproduce the
+/// paper's Hopper configuration (128x256 block tiles, K-tile 64, two
+/// consumer warpgroups, 3-deep pipeline).
+struct GemmConfig {
+  int64_t M = 4096;
+  int64_t N = 4096;
+  int64_t K = 4096;
+  int64_t L = 1;   ///< Batch count (Batched-GEMM).
+  int64_t U = 128; ///< Block tile rows.
+  int64_t V = 256; ///< Block tile columns.
+  int64_t W = 64;  ///< K-reduction tile.
+  int64_t WGS = 2; ///< Consumer warpgroups per block.
+  int64_t Pipe = 3;
+  bool WarpSpecialize = true;
+};
+
+/// Registers the GEMM task tree of Figure 5a (host / block / tile /
+/// warpgroup variants plus the clear and store trees).
+void registerGemmTasks(TaskRegistry &Registry);
+MappingSpec gemmMapping(const GemmConfig &Config);
+/// Entry argument types, in order C, A, B.
+std::vector<TensorType> gemmArgTypes(const GemmConfig &Config);
+
+/// Batched GEMM: L independent problems stored row-stacked
+/// (C is [L*M, N], A is [L*M, K], B is [L*K, N]).
+void registerBatchedGemmTasks(TaskRegistry &Registry);
+MappingSpec batchedGemmMapping(const GemmConfig &Config);
+std::vector<TensorType> batchedGemmArgTypes(const GemmConfig &Config);
+
+/// Dual-GEMM: C = A.B1 + A.B2 in one kernel (Gated Linear Units).
+/// Entry args: C, A, B1, B2.
+void registerDualGemmTasks(TaskRegistry &Registry);
+MappingSpec dualGemmMapping(const GemmConfig &Config);
+std::vector<TensorType> dualGemmArgTypes(const GemmConfig &Config);
+
+/// GEMM+Reduction: C = A.B and y(i) = sum_k A(i,k) in one kernel. The
+/// reduction is computed per block-column into Y[N/V, M]; row 0 is the
+/// kernel's logical y (other rows are identical replicas — the reduction
+/// runs redundantly per column block so the SIMT units overlap the Tensor
+/// Core everywhere, see DESIGN.md). Entry args: C, A, B, Y.
+void registerGemmRedTasks(TaskRegistry &Registry);
+MappingSpec gemmRedMapping(const GemmConfig &Config);
+std::vector<TensorType> gemmRedArgTypes(const GemmConfig &Config);
+
+//===----------------------------------------------------------------------===//
+// Flash Attention
+//===----------------------------------------------------------------------===//
+
+/// Forward-attention parameters (FP16, HeadDim = 128 as in Figure 14).
+struct AttentionConfig {
+  int64_t Batch = 1;
+  /// 12 heads: divisible by both the FA2 (192-row) and FA3 (128-row) query
+  /// blocks at every sequence length of Figure 14.
+  int64_t Heads = 12;
+  int64_t SeqLen = 4096;
+  int64_t HeadDim = 128;
+  int64_t BR = 192; ///< Query rows per block (64 per consumer warpgroup).
+  int64_t BC = 64;  ///< Key/value rows per main-loop step.
+  int64_t WGS = 3;  ///< Consumer warpgroups.
+  int64_t Pipe = 2;
+  /// FA3 restructuring: stage the score tile so the next Q.K^T overlaps
+  /// the current softmax (Section 5.3).
+  bool StageScores = false;
+};
+
+/// The tuned configurations of Section 5.3: Cypress FA2 uses three
+/// consumer warpgroups over 192-row query blocks; Cypress FA3 uses two
+/// warpgroups over 128-row blocks with the staged-scores restructuring.
+AttentionConfig fa2Config(int64_t SeqLen);
+AttentionConfig fa3Config(int64_t SeqLen);
+
+/// Registers the attention task tree (FA2 when StageScores = false, FA3
+/// when true — both share most tasks). Entry args: O, Q, K, V, all
+/// [Batch*Heads*SeqLen, HeadDim] row-stacked.
+void registerAttentionTasks(TaskRegistry &Registry);
+MappingSpec attentionMapping(const AttentionConfig &Config);
+std::vector<TensorType> attentionArgTypes(const AttentionConfig &Config);
+
+/// FLOP count conventions used by the benchmarks (matching the paper:
+/// 2MNK for GEMM, 4 * S^2 * D per head for attention).
+double gemmFlops(const GemmConfig &Config);
+double attentionFlops(const AttentionConfig &Config);
+
+} // namespace cypress
+
+#endif // CYPRESS_KERNELS_KERNELS_H

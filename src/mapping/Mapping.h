@@ -1,0 +1,105 @@
+//===- Mapping.h - Mapping specification -----------------------------------===//
+//
+// Part of the Cypress reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The mapping-specification half of a Cypress program (Section 3.3,
+/// Figure 5b). A mapping statically instantiates a tree of task instances:
+/// each instance names the task variant it executes, the processor level it
+/// runs on, the memory for every tensor argument, concrete values for the
+/// variant's tunables, and the instance each launched child task dispatches
+/// to. Instances can additionally request warp specialization, a software
+/// pipeline depth, and a shared-memory budget for the resource allocator.
+/// Mapping decisions may affect performance only, never correctness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CYPRESS_MAPPING_MAPPING_H
+#define CYPRESS_MAPPING_MAPPING_H
+
+#include "frontend/Task.h"
+#include "machine/Machine.h"
+#include "support/Error.h"
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cypress {
+
+/// One task-mapping object ("instance", Figure 5b).
+struct TaskMapping {
+  /// Unique instance name referenced by other instances' Calls lists.
+  std::string Instance;
+  /// The task variant this instance executes.
+  std::string Variant;
+  /// Processor level the variant runs on.
+  Processor Proc = Processor::Host;
+  /// Memory placement for each tensor argument (in signature order).
+  std::vector<Memory> Mems;
+  /// Concrete values for the variant's integer tunables.
+  std::map<std::string, int64_t> Tunables;
+  /// Concrete values for the variant's processor tunables.
+  std::map<std::string, Processor> ProcTunables;
+  /// Memory placement for temporaries created with make_tensor, by name;
+  /// temporaries default to Memory::None (materialize further down).
+  std::map<std::string, Memory> TempMems;
+  /// Instances child launches dispatch to. At a launch of task T, dispatch
+  /// goes to the first entry whose variant implements T.
+  std::vector<std::string> Calls;
+  /// Entry point of the computation (exactly one instance).
+  bool Entrypoint = false;
+  /// Request warp specialization of this instance's body (Section 4.2.5).
+  bool WarpSpecialize = false;
+  /// Software pipeline depth for the instance's main sequential loop
+  /// (1 = no pipelining).
+  int64_t PipelineDepth = 1;
+  /// Upper bound on shared-memory usage for the resource allocator
+  /// (Section 4.2.4); 0 = the machine's full per-block capacity.
+  int64_t SharedLimitBytes = 0;
+};
+
+/// A full mapping specification plus lookup and validation.
+class MappingSpec {
+public:
+  MappingSpec() = default;
+  explicit MappingSpec(std::vector<TaskMapping> Instances);
+
+  const std::vector<TaskMapping> &instances() const { return Instances; }
+
+  bool hasInstance(const std::string &Name) const {
+    return Index.count(Name) != 0;
+  }
+  const TaskMapping &instance(const std::string &Name) const;
+
+  /// The unique entrypoint instance.
+  const TaskMapping &entrypoint() const;
+
+  /// Resolves the instance a launch of \p Task dispatches to from within
+  /// \p Parent, following the parent's Calls list.
+  ErrorOr<std::string> dispatch(const TaskRegistry &Registry,
+                                const TaskMapping &Parent,
+                                const std::string &Task) const;
+
+  /// Static validation against the registry and machine model:
+  ///  * every referenced variant exists and arities match,
+  ///  * exactly one entrypoint,
+  ///  * argument memories are addressable from the instance's processor
+  ///    (or None),
+  ///  * Calls entries resolve to known instances,
+  ///  * child instances run at the same or a deeper processor level,
+  ///  * child privileges do not exceed the parent's.
+  ErrorOrVoid validate(const TaskRegistry &Registry,
+                       const MachineModel &Machine) const;
+
+private:
+  std::vector<TaskMapping> Instances;
+  std::map<std::string, size_t> Index;
+};
+
+} // namespace cypress
+
+#endif // CYPRESS_MAPPING_MAPPING_H

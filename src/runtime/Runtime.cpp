@@ -1,0 +1,19 @@
+//===- Runtime.cpp - Host-side compile-and-run API --------------------------===//
+//
+// Part of the Cypress reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Runtime.h"
+
+using namespace cypress;
+
+ErrorOr<std::unique_ptr<CompiledKernel>>
+cypress::compileKernel(const CompileInput &Input, std::string Name) {
+  SharedAllocation Alloc;
+  ErrorOr<IRModule> Module = compileToIR(Input, &Alloc);
+  if (!Module)
+    return Module.diagnostic();
+  return std::make_unique<CompiledKernel>(std::move(*Module),
+                                          std::move(Alloc), std::move(Name));
+}

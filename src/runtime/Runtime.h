@@ -1,0 +1,89 @@
+//===- Runtime.h - Host-side compile-and-run API ---------------------------===//
+//
+// Part of the Cypress reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The public entry point a downstream user programs against: register
+/// tasks, write a mapping, then compile and run kernels on the simulated
+/// H100. `CompiledKernel` bundles the lowered IR, the shared-memory plan,
+/// the generated CUDA text, and simulation entry points.
+///
+/// Typical use (see examples/quickstart.cpp):
+///
+/// \code
+///   TaskRegistry Registry;
+///   registerGemmTasks(Registry);                  // or your own tasks
+///   MappingSpec Mapping = gemmMapping(M, N, K);   // or your own mapping
+///   auto Kernel = compileKernel({&Registry, &Mapping,
+///                                &MachineModel::h100(), ArgTypes});
+///   SimResult R = Kernel->runTiming();            // paper-style TFLOP/s
+///   Kernel->runFunctional({&A, &B, &C});          // real results
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CYPRESS_RUNTIME_RUNTIME_H
+#define CYPRESS_RUNTIME_RUNTIME_H
+
+#include "compiler/Passes.h"
+#include "sim/Simulator.h"
+
+#include <memory>
+#include <string>
+
+namespace cypress {
+
+/// A fully lowered kernel plus its execution entry points.
+class CompiledKernel {
+public:
+  CompiledKernel(IRModule Module, SharedAllocation Alloc, std::string Name)
+      : Module(std::move(Module)), Alloc(std::move(Alloc)),
+        Name(std::move(Name)), Leaves(LeafRegistry::builtins()) {}
+
+  const IRModule &module() const { return Module; }
+  const SharedAllocation &sharedPlan() const { return Alloc; }
+  const std::string &name() const { return Name; }
+
+  /// Extra leaf implementations beyond the builtins.
+  void addLeaf(std::string LeafName, LeafFn Fn) {
+    Leaves.add(std::move(LeafName), std::move(Fn));
+  }
+
+  /// Timing-only simulation (fast; used by the benchmarks).
+  ErrorOr<SimResult> runTiming(const SimConfig &Config = SimConfig()) const {
+    return simulate(Module, Alloc, Config, Leaves);
+  }
+
+  /// Timing plus functional execution into \p EntryBuffers (one per entry
+  /// argument, shapes matching the compile-time types).
+  ErrorOr<SimResult>
+  runFunctional(std::vector<TensorData *> EntryBuffers,
+                const SimConfig &Config = SimConfig()) const {
+    return simulate(Module, Alloc, Config, Leaves,
+                    std::move(EntryBuffers));
+  }
+
+  /// The generated warp-specialized CUDA C++ (structural artifact).
+  std::string cudaSource() const {
+    return emitCudaSource(Module, Alloc, Name);
+  }
+
+  /// The IR in the paper's textual form (Figures 8/9).
+  std::string irDump() const { return printModule(Module); }
+
+private:
+  IRModule Module;
+  SharedAllocation Alloc;
+  std::string Name;
+  LeafRegistry Leaves;
+};
+
+/// Runs the full compiler pipeline on \p Input.
+ErrorOr<std::unique_ptr<CompiledKernel>>
+compileKernel(const CompileInput &Input, std::string Name);
+
+} // namespace cypress
+
+#endif // CYPRESS_RUNTIME_RUNTIME_H

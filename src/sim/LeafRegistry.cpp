@@ -1,0 +1,260 @@
+//===- LeafRegistry.cpp - Builtin leaf-task implementations ----------------===//
+//
+// Part of the Cypress reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Functional implementations of the builtin leaves. These are the host
+/// equivalents of the device code the paper's leaf tasks dispatch to via
+/// CuTe: FP16 inputs with FP32 accumulation for the Tensor Core path, plus
+/// the SIMT leaves used by the attention kernels (row max/sum, exponential
+/// rescaling of the online-softmax state).
+///
+//===----------------------------------------------------------------------===//
+
+#include "sim/LeafRegistry.h"
+
+#include <cmath>
+
+using namespace cypress;
+
+namespace {
+
+/// C += A x B with FP32 accumulation (the wgmma semantics; C is an FP32
+/// accumulator view, A/B are FP16 tiles).
+void wgmmaAccumulate(std::vector<TensorView> &Args,
+                     const std::vector<int64_t> &) {
+  assert(Args.size() == 3 && "wgmma expects C, A, B");
+  TensorView &C = Args[0];
+  TensorView &A = Args[1];
+  TensorView &B = Args[2];
+  int64_t M = C.shape().dim(0);
+  int64_t N = C.shape().dim(1);
+  int64_t K = A.shape().dim(1);
+  assert(A.shape().dim(0) == M && B.shape().dim(0) == K &&
+         B.shape().dim(1) == N && "wgmma operand shape mismatch");
+  for (int64_t I = 0; I < M; ++I)
+    for (int64_t J = 0; J < N; ++J) {
+      float Acc = C.at2(I, J);
+      for (int64_t KK = 0; KK < K; ++KK)
+        Acc += A.at2(I, KK) * B.at2(KK, J);
+      C.set2(I, J, Acc);
+    }
+}
+
+/// C = A x B^T with FP32 accumulation (attention's Q.K^T step; B is stored
+/// row-major [N, K] and used transposed).
+void wgmmaAccumulateBT(std::vector<TensorView> &Args,
+                       const std::vector<int64_t> &) {
+  assert(Args.size() == 3 && "wgmma_bt expects C, A, B");
+  TensorView &C = Args[0];
+  TensorView &A = Args[1];
+  TensorView &B = Args[2];
+  int64_t M = C.shape().dim(0);
+  int64_t N = C.shape().dim(1);
+  int64_t K = A.shape().dim(1);
+  assert(B.shape().dim(0) == N && B.shape().dim(1) == K &&
+         "wgmma_bt operand shape mismatch");
+  for (int64_t I = 0; I < M; ++I)
+    for (int64_t J = 0; J < N; ++J) {
+      float Acc = C.at2(I, J);
+      for (int64_t KK = 0; KK < K; ++KK)
+        Acc += A.at2(I, KK) * B.at2(J, KK);
+      C.set2(I, J, Acc);
+    }
+}
+
+void clearTensor(std::vector<TensorView> &Args,
+                 const std::vector<int64_t> &) {
+  assert(!Args.empty() && "clear expects one tensor");
+  TensorView &T = Args[0];
+  int64_t Count = T.shape().numElements();
+  for (int64_t I = 0; I < Count; ++I)
+    T.set(T.shape().delinearize(I), 0.0f);
+}
+
+/// Dst = Src (element-wise, possibly with FP16 quantization on the store).
+void storeTensor(std::vector<TensorView> &Args,
+                 const std::vector<int64_t> &) {
+  assert(Args.size() == 2 && "store expects Dst, Src");
+  TensorView &Dst = Args[0];
+  TensorView &Src = Args[1];
+  int64_t Count = Dst.shape().numElements();
+  assert(Src.shape().numElements() == Count && "store size mismatch");
+  for (int64_t I = 0; I < Count; ++I)
+    Dst.set(Dst.shape().delinearize(I),
+            Src.at(Src.shape().delinearize(I)));
+}
+
+/// y(i) += sum_k A(i, k): the fused row reduction of Figure 13d's kernel.
+void rowSumAccumulate(std::vector<TensorView> &Args,
+                      const std::vector<int64_t> &) {
+  assert(Args.size() == 2 && "row_sum expects y, A");
+  TensorView &Y = Args[0];
+  TensorView &A = Args[1];
+  int64_t M = A.shape().dim(0);
+  int64_t K = A.shape().dim(1);
+  for (int64_t I = 0; I < M; ++I) {
+    float Acc = Y.at({I});
+    for (int64_t KK = 0; KK < K; ++KK)
+      Acc += A.at2(I, KK);
+    Y.set({I}, Acc);
+  }
+}
+
+/// One step of online softmax (Flash Attention 2 inner loop):
+/// given scores S (m x n), running max Mx (m), running denominator L (m)
+/// and output accumulator O (m x d):
+///   newmax = max(Mx, rowmax(S)); alpha = exp(Mx - newmax)
+///   P = exp(S - newmax); L = alpha*L + rowsum(P); O = alpha*O  (rescale)
+///   S <- P (probabilities written back for the following P.V GEMM)
+/// Scalars[0] carries the softmax scale multiplied into S first, as a
+/// fixed-point thousandth (scale = Scalars[0] / 65536.0).
+void onlineSoftmaxStep(std::vector<TensorView> &Args,
+                       const std::vector<int64_t> &Scalars) {
+  assert(Args.size() == 4 && "softmax_step expects S, Mx, L, O");
+  TensorView &S = Args[0];
+  TensorView &Mx = Args[1];
+  TensorView &L = Args[2];
+  TensorView &O = Args[3];
+  double Scale = Scalars.empty()
+                     ? 1.0
+                     : static_cast<double>(Scalars[0]) / 65536.0;
+  int64_t M = S.shape().dim(0);
+  int64_t N = S.shape().dim(1);
+  int64_t D = O.shape().dim(1);
+  for (int64_t I = 0; I < M; ++I) {
+    float RowMax = Mx.at({I});
+    for (int64_t J = 0; J < N; ++J) {
+      float V = static_cast<float>(S.at2(I, J) * Scale);
+      S.set2(I, J, V);
+      RowMax = std::max(RowMax, V);
+    }
+    float Alpha = std::exp(Mx.at({I}) - RowMax);
+    float RowSum = 0.0f;
+    for (int64_t J = 0; J < N; ++J) {
+      float P = std::exp(S.at2(I, J) - RowMax);
+      S.set2(I, J, P);
+      RowSum += P;
+    }
+    L.set({I}, Alpha * L.at({I}) + RowSum);
+    Mx.set({I}, RowMax);
+    for (int64_t J = 0; J < D; ++J)
+      O.set2(I, J, Alpha * O.at2(I, J));
+  }
+}
+
+/// Final normalization of attention output: O(i, :) /= L(i).
+void softmaxFinalize(std::vector<TensorView> &Args,
+                     const std::vector<int64_t> &) {
+  assert(Args.size() == 2 && "softmax_finalize expects O, L");
+  TensorView &O = Args[0];
+  TensorView &L = Args[1];
+  int64_t M = O.shape().dim(0);
+  int64_t D = O.shape().dim(1);
+  for (int64_t I = 0; I < M; ++I) {
+    float Denominator = L.at({I});
+    float Inv = Denominator != 0.0f ? 1.0f / Denominator : 0.0f;
+    for (int64_t J = 0; J < D; ++J)
+      O.set2(I, J, O.at2(I, J) * Inv);
+  }
+}
+
+/// Initializes the online-softmax state: Mx = -inf, L = 0.
+void softmaxInit(std::vector<TensorView> &Args, const std::vector<int64_t> &) {
+  assert(Args.size() == 2 && "softmax_init expects Mx, L");
+  TensorView &Mx = Args[0];
+  TensorView &L = Args[1];
+  int64_t M = Mx.shape().dim(0);
+  for (int64_t I = 0; I < M; ++I) {
+    Mx.set({I}, -3.0e38f);
+    L.set({I}, 0.0f);
+  }
+}
+
+/// Element-wise addition Dst += Src (Dual-GEMM's combine step when the two
+/// products are accumulated in separate register tiles).
+void addInto(std::vector<TensorView> &Args, const std::vector<int64_t> &) {
+  assert(Args.size() == 2 && "add_into expects Dst, Src");
+  TensorView &Dst = Args[0];
+  TensorView &Src = Args[1];
+  int64_t Count = Dst.shape().numElements();
+  for (int64_t I = 0; I < Count; ++I) {
+    std::vector<int64_t> Index = Dst.shape().delinearize(I);
+    Dst.set(Index, Dst.at(Index) + Src.at(Src.shape().delinearize(I)));
+  }
+}
+
+/// Dual-GEMM inner step: C += A x B1 + A x B2 in one Tensor Core pass over
+/// the shared tiles (two chained WGMMAs in hardware).
+void dualWgmma(std::vector<TensorView> &Args, const std::vector<int64_t> &) {
+  assert(Args.size() == 4 && "dual_wgmma expects C, A, B1, B2");
+  TensorView &C = Args[0];
+  TensorView &A = Args[1];
+  TensorView &B1 = Args[2];
+  TensorView &B2 = Args[3];
+  int64_t M = C.shape().dim(0);
+  int64_t N = C.shape().dim(1);
+  int64_t K = A.shape().dim(1);
+  for (int64_t I = 0; I < M; ++I)
+    for (int64_t J = 0; J < N; ++J) {
+      float Acc = C.at2(I, J);
+      for (int64_t KK = 0; KK < K; ++KK)
+        Acc += A.at2(I, KK) * (B1.at2(KK, J) + B2.at2(KK, J));
+      C.set2(I, J, Acc);
+    }
+}
+
+/// Fused-reduction leaf: Y(0, i) += sum_k A(i, k) where Y is a [1, M] row
+/// accumulator tile (Figure 13d's kernel).
+void rowSumTile(std::vector<TensorView> &Args, const std::vector<int64_t> &) {
+  assert(Args.size() == 2 && "row_sum_tile expects Y, A");
+  TensorView &Y = Args[0];
+  TensorView &A = Args[1];
+  int64_t M = A.shape().dim(0);
+  int64_t K = A.shape().dim(1);
+  for (int64_t I = 0; I < M; ++I) {
+    float Acc = Y.at2(0, I);
+    for (int64_t KK = 0; KK < K; ++KK)
+      Acc += A.at2(I, KK);
+    Y.set2(0, I, Acc);
+  }
+}
+
+/// S = A x B^T (overwrite, no accumulate): attention's Q.K^T scores.
+void wgmmaBTSet(std::vector<TensorView> &Args, const std::vector<int64_t> &) {
+  assert(Args.size() == 3 && "wgmma_bt_set expects S, Q, K");
+  TensorView &S = Args[0];
+  TensorView &Q = Args[1];
+  TensorView &K = Args[2];
+  int64_t M = S.shape().dim(0);
+  int64_t N = S.shape().dim(1);
+  int64_t D = Q.shape().dim(1);
+  for (int64_t I = 0; I < M; ++I)
+    for (int64_t J = 0; J < N; ++J) {
+      float Acc = 0.0f;
+      for (int64_t KK = 0; KK < D; ++KK)
+        Acc += Q.at2(I, KK) * K.at2(J, KK);
+      S.set2(I, J, Acc);
+    }
+}
+
+} // namespace
+
+LeafRegistry LeafRegistry::builtins() {
+  LeafRegistry R;
+  R.add("wgmma_fp16", wgmmaAccumulate);
+  R.add("wgmma_fp16_bt", wgmmaAccumulateBT);
+  R.add("clear", clearTensor);
+  R.add("store", storeTensor);
+  R.add("row_sum", rowSumAccumulate);
+  R.add("softmax_step", onlineSoftmaxStep);
+  R.add("softmax_finalize", softmaxFinalize);
+  R.add("softmax_init", softmaxInit);
+  R.add("add_into", addInto);
+  R.add("dual_wgmma", dualWgmma);
+  R.add("row_sum_tile", rowSumTile);
+  R.add("wgmma_fp16_bt_set", wgmmaBTSet);
+  return R;
+}

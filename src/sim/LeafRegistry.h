@@ -1,0 +1,57 @@
+//===- LeafRegistry.h - Leaf-task function registry ------------------------===//
+//
+// Part of the Cypress reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Leaf task variants name external functions (the analogue of the paper's
+/// call-external / CuTe dispatch). The registry resolves those names for
+/// functional execution on the simulator. Builtin leaves cover the kernels
+/// shipped with the library (WGMMA, clears, stores, reductions, softmax
+/// pieces); applications may register their own.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CYPRESS_SIM_LEAFREGISTRY_H
+#define CYPRESS_SIM_LEAFREGISTRY_H
+
+#include "sim/TensorView.h"
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cypress {
+
+/// Signature of a functional leaf implementation.
+using LeafFn = std::function<void(std::vector<TensorView> &Args,
+                                  const std::vector<int64_t> &Scalars)>;
+
+/// Name-to-implementation table for leaf tasks.
+class LeafRegistry {
+public:
+  void add(std::string Name, LeafFn Fn) {
+    Table[std::move(Name)] = std::move(Fn);
+  }
+
+  bool has(const std::string &Name) const { return Table.count(Name) != 0; }
+
+  const LeafFn &lookup(const std::string &Name) const {
+    auto It = Table.find(Name);
+    assert(It != Table.end() && "unknown leaf function");
+    return It->second;
+  }
+
+  /// The registry preloaded with the builtin leaves used by the shipped
+  /// kernels (wgmma_fp16, clear, store, row reductions, online softmax).
+  static LeafRegistry builtins();
+
+private:
+  std::map<std::string, LeafFn> Table;
+};
+
+} // namespace cypress
+
+#endif // CYPRESS_SIM_LEAFREGISTRY_H

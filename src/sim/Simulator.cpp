@@ -1,0 +1,843 @@
+//===- Simulator.cpp - Discrete-event Hopper SM simulator ------------------===//
+//
+// Part of the Cypress reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implementation of both execution modes described in Simulator.h. The
+/// timing model treats the TMA and Tensor Core as asynchronous units — the
+/// issuing agent only pays an issue cost, and downstream operations wait on
+/// the completion events the compiler wired — so schedules that overlap
+/// copies, matrix ops, and SIMT math are rewarded exactly as on Hopper.
+///
+//===----------------------------------------------------------------------===//
+
+#include "sim/Simulator.h"
+
+#include "support/Format.h"
+#include "support/MathUtil.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <map>
+#include <set>
+#include <cstdio>
+
+using namespace cypress;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Shared helpers
+//===----------------------------------------------------------------------===//
+
+/// Warpgroup replication count of an op (1 when it has no warpgroup dim).
+int64_t warpgroupExtent(const Operation &Op) {
+  for (const EventDim &Dim : Op.VecContext)
+    if (Dim.Proc == Processor::Warpgroup)
+      return Dim.Extent;
+  return 1;
+}
+
+bool hasWarpgroupDim(const Operation &Op) {
+  for (const EventDim &Dim : Op.VecContext)
+    if (Dim.Proc == Processor::Warpgroup)
+      return true;
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Timing simulation of one block
+//===----------------------------------------------------------------------===//
+
+/// One executable instance of an operation: a concrete warpgroup index plus
+/// concrete indices for the enclosing sequential loops.
+struct OpInstance {
+  const Operation *Op = nullptr;
+  int64_t Wg = -1;              ///< -1 when the op has no warpgroup dim.
+  std::vector<int64_t> Iters;   ///< Enclosing For indices, outermost first.
+  std::vector<LoopVarId> IterVars;
+  /// Enclosing For-loop op ids, outermost first (loop d encloses the
+  /// instance with iteration prefix Iters[0..d]).
+  std::vector<OpId> LoopChain;
+};
+
+/// Per-event bookkeeping for completion lookup.
+struct EventRecord {
+  /// (wg, iters) -> completion cycle. wg = -1 for unreplicated events.
+  std::map<std::vector<int64_t>, double> Times;
+  unsigned Depth = 0;   ///< Number of enclosing loops of the producer.
+  bool WgReplicated = false;
+};
+
+/// Shared-memory access trace entry for the WAR race detector.
+struct SmemAccess {
+  TensorId Tensor;
+  int64_t Lo = 0, Hi = 0; ///< Byte range.
+  double Start = 0, End = 0;
+  bool Write = false;
+  /// Identity of the accessing instance (op id, warpgroup, iteration hash)
+  /// so an instance is never raced against itself.
+  OpId Op = ~0u;
+  int64_t Wg = -1;
+  size_t IterHash = 0;
+};
+
+class BlockTimer {
+public:
+  BlockTimer(const IRModule &Module, const SharedAllocation &Alloc,
+             const SimConfig &Config, const Operation &Grid)
+      : Module(Module), Alloc(Alloc), Config(Config), Grid(Grid) {}
+
+  ErrorOr<SimResult> run() {
+    buildStreams();
+    if (Failure)
+      return *Failure;
+    schedule();
+    if (Failure)
+      return *Failure;
+    detectRaces();
+
+    SimResult Result;
+    Result.BlockCycles = Finish;
+    Result.TotalFlops = BlockFlops;
+    Result.TmaBusyCycles = TmaBusy;
+    Result.TensorCoreBusyCycles = TcBusy;
+    Result.Races = std::move(Races);
+    return Result;
+  }
+
+private:
+  //===--- Stream construction --------------------------------------------===//
+
+  /// Number of compute warpgroup agents: the widest warpgroup dim seen.
+  int64_t numWarpgroups() const {
+    int64_t Count = 1;
+    walkOps(Grid.Body, [&](const Operation &Op) {
+      Count = std::max(Count, warpgroupExtent(Op));
+    });
+    return Count;
+  }
+
+  void buildStreams() {
+    int64_t Wgs = numWarpgroups();
+    // Agent 0 = DMA warp; agents 1..Wgs = compute warpgroups.
+    Streams.resize(1 + static_cast<size_t>(Wgs));
+    std::vector<int64_t> Iters;
+    std::vector<LoopVarId> Vars;
+    std::vector<OpId> Loops;
+    expandBlock(Grid.Body, Iters, Vars, Loops);
+
+    // Record per-event metadata.
+    walkOps(Grid.Body, [&](const Operation &Op) {
+      if (Op.Result == InvalidEventId)
+        return;
+      EventRecord &Rec = Events[Op.Result];
+      Rec.WgReplicated = hasWarpgroupDim(Op);
+      Rec.Depth = DepthOf.count(Op.Id) ? DepthOf.at(Op.Id) : 0;
+    });
+  }
+
+  void expandBlock(const IRBlock &Block, std::vector<int64_t> &Iters,
+                   std::vector<LoopVarId> &Vars, std::vector<OpId> &Loops) {
+    for (const std::unique_ptr<Operation> &Op : Block.Ops) {
+      if (Failure)
+        return;
+      switch (Op->Kind) {
+      case OpKind::Alloc:
+      case OpKind::MakePart:
+        break; // No runtime cost; addresses come from the allocator.
+      case OpKind::For: {
+        DepthOf[Op->Id] = static_cast<unsigned>(Iters.size());
+        if (Op->Result != InvalidEventId)
+          LoopEventOf[Op->Id] = Op->Result;
+        ScalarEnv Env = makeEnv(Iters, Vars, /*Wg=*/0);
+        int64_t Lo = Op->LoopLo.evaluate(Env);
+        int64_t Hi = Op->LoopHi.evaluate(Env);
+        Vars.push_back(Op->LoopVar);
+        Loops.push_back(Op->Id);
+        for (int64_t K = Lo; K < Hi; ++K) {
+          Iters.push_back(K);
+          expandBlock(Op->Body, Iters, Vars, Loops);
+          Iters.pop_back();
+        }
+        Loops.pop_back();
+        Vars.pop_back();
+        break;
+      }
+      case OpKind::PFor:
+        fail("nested parallel loops must be flattened before simulation");
+        return;
+      case OpKind::Copy:
+      case OpKind::Call: {
+        DepthOf[Op->Id] = static_cast<unsigned>(Iters.size());
+        bool Dma = Grid.WarpSpecialize && Op->DmaAgent;
+        // Count every instance against every enclosing loop so the loop's
+        // completion event fires when all body instances have finished.
+        auto Push = [&](size_t Agent, OpInstance Inst) {
+          for (size_t D = 0; D < Loops.size(); ++D) {
+            std::vector<int64_t> Prefix(
+                Iters.begin(), Iters.begin() + static_cast<long>(D));
+            ++LoopRemaining[{Loops[D], Prefix}].Remaining;
+          }
+          Streams[Agent].push_back(std::move(Inst));
+        };
+        OpInstance Inst{Op.get(), -1, Iters, Vars, Loops};
+        if (hasWarpgroupDim(*Op)) {
+          for (int64_t Wg = 0; Wg < warpgroupExtent(*Op); ++Wg) {
+            Inst.Wg = Wg;
+            Push(Dma ? 0 : 1 + static_cast<size_t>(Wg), Inst);
+          }
+        } else {
+          Push(Dma ? 0 : 1, Inst);
+        }
+        break;
+      }
+      }
+    }
+  }
+
+  ScalarEnv makeEnv(const std::vector<int64_t> &Iters,
+                    const std::vector<LoopVarId> &Vars, int64_t Wg) const {
+    ScalarEnv Env;
+    for (size_t I = 0; I < Iters.size(); ++I)
+      Env.LoopVars[Vars[I]] = Iters[I];
+    Env.ProcIndices[Processor::Block] = 0;
+    Env.ProcIndices[Processor::Warpgroup] = std::max<int64_t>(Wg, 0);
+    Env.ProcIndices[Processor::Warp] = 0;
+    Env.ProcIndices[Processor::Thread] = 0;
+    return Env;
+  }
+
+  //===--- Cost model -------------------------------------------------------===//
+
+  struct Cost {
+    double IssueCycles = 0;   ///< Time the issuing agent is occupied.
+    double UnitCycles = 0;    ///< Occupancy of the shared unit (TMA/TC).
+    double Latency = 0;       ///< Extra completion latency after transfer.
+    enum class UnitKind { None, Tma, TensorCore } Unit = UnitKind::None;
+  };
+
+  Cost costOf(const Operation &Op) const {
+    Cost C;
+    if (Op.Kind == OpKind::Copy) {
+      int64_t Bytes = Module.sliceBytes(Op.CopySrc);
+      Memory Src = Module.tensor(Op.CopySrc.Tensor).Mem;
+      Memory Dst = Module.tensor(Op.CopyDst.Tensor).Mem;
+      bool Global = Src == Memory::Global || Dst == Memory::Global;
+      if (Op.Unit == ExecUnit::TMA) {
+        C.Unit = Cost::UnitKind::Tma;
+        C.IssueCycles = Config.SimtLatency;
+        C.UnitCycles = static_cast<double>(Bytes) / Config.TmaBytesPerCycle;
+        C.Latency = Config.GlobalLatency;
+      } else if (Global) {
+        // SIMT path to global memory (the no-TMA fallback).
+        C.IssueCycles = Config.SimtLatency +
+                        static_cast<double>(Bytes) /
+                            Config.SimtGlobalBytesPerCycle;
+        C.Latency = Config.GlobalLatency;
+      } else {
+        C.IssueCycles = Config.SimtLatency +
+                        static_cast<double>(Bytes) /
+                            Config.SimtLocalBytesPerCycle;
+      }
+      return C;
+    }
+    assert(Op.Kind == OpKind::Call && "costOf expects copies or calls");
+    if (Op.Unit == ExecUnit::TensorCore) {
+      C.Unit = Cost::UnitKind::TensorCore;
+      C.IssueCycles = Config.SimtLatency;
+      C.UnitCycles = Op.Flops / Config.TensorCoreFlopsPerCycle;
+      C.Latency = Config.TensorCoreLatency;
+    } else {
+      C.IssueCycles = Config.SimtLatency +
+                      Op.Flops / Config.SimtFlopsPerCycle;
+    }
+    return C;
+  }
+
+  //===--- Scheduling --------------------------------------------------------===//
+
+  void schedule() {
+    std::vector<size_t> Cursor(Streams.size(), 0);
+    std::vector<double> Ready(Streams.size(), 0.0);
+
+    // Time-ordered scheduling: of all agents whose next instruction has
+    // satisfied preconditions, execute the one that can start earliest.
+    // (Greedy per-agent draining would let one warpgroup book the shared
+    // Tensor Core arbitrarily far ahead of its peers, which the hardware
+    // warp scheduler does not do.)
+    while (true) {
+      size_t BestAgent = ~size_t(0);
+      double BestStart = 0.0, BestWait = 0.0;
+      bool AnyPending = false;
+      for (size_t Agent = 0; Agent < Streams.size(); ++Agent) {
+        if (Cursor[Agent] >= Streams[Agent].size())
+          continue;
+        AnyPending = true;
+        const OpInstance &Inst = Streams[Agent][Cursor[Agent]];
+        double WaitTime = 0.0;
+        if (!precondsReady(Inst, WaitTime))
+          continue;
+        double Start = std::max(Ready[Agent], WaitTime);
+        if (BestAgent == ~size_t(0) || Start < BestStart) {
+          BestAgent = Agent;
+          BestStart = Start;
+          BestWait = WaitTime;
+        }
+      }
+      if (!AnyPending)
+        break;
+      if (BestAgent == ~size_t(0)) {
+        for (size_t Agent = 0; Agent < Streams.size(); ++Agent)
+          if (Cursor[Agent] < Streams[Agent].size()) {
+            fail(formatString(
+                "simulation deadlock: agent %zu blocked at instruction %zu "
+                "(missing event producer)",
+                Agent, Cursor[Agent]));
+            return;
+          }
+      }
+      executeInstance(Streams[BestAgent][Cursor[BestAgent]],
+                      Ready[BestAgent], BestWait);
+      ++Cursor[BestAgent];
+    }
+    for (size_t Agent = 0; Agent < Streams.size(); ++Agent)
+      Finish = std::max(Finish, Ready[Agent]);
+    // Outstanding async completions also bound the block time.
+    Finish = std::max(Finish, LastCompletion);
+  }
+
+  /// Checks all preconditions of an instance; on success \p WaitTime is the
+  /// cycle when the last of them completes.
+  bool precondsReady(const OpInstance &Inst, double &WaitTime) {
+    WaitTime = 0.0;
+    for (const EventRef &Ref : Inst.Op->Preconds) {
+      auto It = Events.find(Ref.Event);
+      if (It == Events.end())
+        continue; // Events from outside the grid body: host-level, ready.
+      EventRecord &Rec = It->second;
+
+      std::vector<int64_t> Key = Inst.Iters;
+      Key.resize(std::min<size_t>(Key.size(), Rec.Depth));
+      if (Ref.IterLag > 0) {
+        if (Key.empty())
+          continue; // Lag at depth zero: vacuously satisfied.
+        Key.back() -= Ref.IterLag;
+        if (Key.back() < 0)
+          continue; // First PIPE iterations: buffer not yet reused.
+      }
+
+      // Identify warpgroup indexing.
+      bool Broadcast = false;
+      int64_t WantWg = -1;
+      const EventType &Type = Module.event(Ref.Event).Type;
+      for (size_t D = 0; D < Ref.Indices.size() && D < Type.Dims.size();
+           ++D) {
+        if (Type.Dims[D].Proc == Processor::Warpgroup) {
+          if (Ref.Indices[D].isBroadcast()) {
+            Broadcast = true;
+          } else {
+            ScalarEnv Env = makeEnv(Inst.Iters, Inst.IterVars, Inst.Wg);
+            WantWg = Ref.Indices[D].Index.evaluate(Env);
+          }
+        } else if (Ref.Indices[D].isBroadcast()) {
+          // Warp/thread broadcast: the collective instance plus a barrier.
+          Broadcast = true;
+        }
+      }
+
+      double Cycle = 0.0;
+      if (Rec.WgReplicated) {
+        if (WantWg >= 0 && !Broadcast) {
+          std::vector<int64_t> K = Key;
+          K.insert(K.begin(), WantWg);
+          auto TimeIt = Rec.Times.find(K);
+          if (TimeIt == Rec.Times.end())
+            return false;
+          Cycle = TimeIt->second;
+        } else {
+          // All warpgroup instances must exist.
+          int64_t Wgs = static_cast<int64_t>(Streams.size()) - 1;
+          for (int64_t Wg = 0; Wg < Wgs; ++Wg) {
+            std::vector<int64_t> K = Key;
+            K.insert(K.begin(), Wg);
+            auto TimeIt = Rec.Times.find(K);
+            if (TimeIt == Rec.Times.end())
+              return false;
+            Cycle = std::max(Cycle, TimeIt->second);
+          }
+          Cycle += Config.BarrierLatency;
+        }
+      } else {
+        std::vector<int64_t> K = Key;
+        K.insert(K.begin(), -1);
+        auto TimeIt = Rec.Times.find(K);
+        if (TimeIt == Rec.Times.end())
+          return false;
+        Cycle = TimeIt->second;
+        if (Broadcast)
+          Cycle += Config.BarrierLatency;
+      }
+      WaitTime = std::max(WaitTime, Cycle);
+    }
+    return true;
+  }
+
+  void executeInstance(const OpInstance &Inst, double &Ready,
+                       double WaitTime) {
+    const Operation &Op = *Inst.Op;
+    Cost C = costOf(Op);
+
+    double Start = std::max(Ready, WaitTime);
+    double Completion;
+    if (C.Unit == Cost::UnitKind::Tma) {
+      double UnitStart = std::max(Start + C.IssueCycles, TmaFree);
+      TmaFree = UnitStart + C.UnitCycles;
+      TmaBusy += C.UnitCycles;
+      Completion = TmaFree + C.Latency;
+      Ready = Start + C.IssueCycles; // Issuing agent moves on (async).
+    } else if (C.Unit == Cost::UnitKind::TensorCore) {
+      double UnitStart = std::max(Start + C.IssueCycles, TcFree);
+      TcFree = UnitStart + C.UnitCycles;
+      TcBusy += C.UnitCycles;
+      Completion = TcFree + C.Latency;
+      Ready = Start + C.IssueCycles; // wgmma is asynchronous too.
+    } else {
+      Completion = Start + C.IssueCycles;
+      Ready = Completion;
+    }
+    LastCompletion = std::max(LastCompletion, Completion);
+
+#ifdef CYPRESS_SIM_TRACE
+    if (!Inst.Iters.empty() && Inst.Iters[0] < 8)
+      std::fprintf(stderr, "[trace] op%u %s wg=%lld k=%lld start=%.0f done=%.0f wait=%.0f\n",
+                   Op.Id,
+                   Op.Kind == OpKind::Copy ? "copy" : Op.Callee.c_str(),
+                   (long long)Inst.Wg,
+                   (long long)(Inst.Iters.empty() ? -1 : Inst.Iters[0]),
+                   Start, Completion, WaitTime);
+#endif
+
+
+    if (Op.Kind == OpKind::Call)
+      BlockFlops += Op.Flops;
+
+    if (Op.Result != InvalidEventId) {
+      std::vector<int64_t> Key = Inst.Iters;
+      Key.resize(std::min<size_t>(Key.size(), DepthOf.at(Op.Id)));
+      Key.insert(Key.begin(), Inst.Wg);
+      Events[Op.Result].Times[Key] = Completion;
+    }
+
+    // Credit the completion to every enclosing loop; when the last body
+    // instance of a loop instance finishes, the loop's completion event
+    // becomes available (Figure 8's `for` events).
+    for (size_t D = 0; D < Inst.LoopChain.size(); ++D) {
+      std::vector<int64_t> Prefix(Inst.Iters.begin(),
+                                  Inst.Iters.begin() + static_cast<long>(D));
+      auto It = LoopRemaining.find({Inst.LoopChain[D], Prefix});
+      if (It == LoopRemaining.end())
+        continue;
+      It->second.MaxTime = std::max(It->second.MaxTime, Completion);
+      if (--It->second.Remaining == 0) {
+        auto EvIt = LoopEventOf.find(Inst.LoopChain[D]);
+        if (EvIt != LoopEventOf.end()) {
+          std::vector<int64_t> Key = Prefix;
+          Key.insert(Key.begin(), static_cast<int64_t>(-1));
+          EventRecord &Rec = Events[EvIt->second];
+          Rec.Depth = static_cast<unsigned>(D);
+          Rec.Times[Key] = It->second.MaxTime;
+        }
+      }
+    }
+
+    traceSmem(Inst, Start, Completion);
+  }
+
+  //===--- Loop events -------------------------------------------------------===//
+
+  /// After body instances execute, register each loop's completion event as
+  /// the max completion of its body events for the loop's iteration key.
+  /// Called lazily from precondsReady via the normal lookup: loop events
+  /// are registered eagerly here instead, after scheduling rounds, keyed at
+  /// the loop's own depth. Simpler: loops yield their final op's event, and
+  /// the dependence analysis points loop-event uses at the for op's Result.
+  /// We register the loop event when all its body instances completed.
+  /// (Invoked from schedule() rounds implicitly by re-checking.)
+
+  //===--- Race detection ----------------------------------------------------===//
+
+  void traceSmem(const OpInstance &Inst, double Start, double End) {
+    const Operation &Op = *Inst.Op;
+    auto Record = [&](const TensorSlice &Slice, bool Write) {
+      const IRTensor &T = Module.tensor(Slice.Tensor);
+      if (T.Mem != Memory::Shared)
+        return;
+      const SharedAllocation::Entry *Entry = Alloc.find(Slice.Tensor);
+      if (!Entry)
+        return;
+      int64_t BufBytes = Entry->Bytes / std::max<int64_t>(T.PipelineDepth, 1);
+      ScalarEnv Env = makeEnv(Inst.Iters, Inst.IterVars, Inst.Wg);
+      int64_t Buf = Slice.BufferIndex.evaluate(Env);
+      int64_t Lo = Entry->Offset + Buf * BufBytes;
+      size_t IterHash = 0;
+      for (int64_t I : Inst.Iters)
+        IterHash = IterHash * 1000003u + static_cast<size_t>(I + 1);
+      Accesses.push_back({Slice.Tensor, Lo, Lo + BufBytes, Start, End,
+                          Write, Op.Id, Inst.Wg, IterHash});
+    };
+    if (Op.Kind == OpKind::Copy) {
+      Record(Op.CopySrc, false);
+      Record(Op.CopyDst, true);
+    } else if (Op.Kind == OpKind::Call) {
+      for (size_t I = 0; I < Op.Args.size(); ++I)
+        Record(Op.Args[I], Op.ArgIsWritten[I]);
+    }
+  }
+
+  void detectRaces() {
+    for (size_t I = 0; I < Accesses.size(); ++I) {
+      for (size_t J = I + 1; J < Accesses.size(); ++J) {
+        const SmemAccess &A = Accesses[I];
+        const SmemAccess &B = Accesses[J];
+        // Same-tensor conflicts are real too: an unsynchronized loop would
+        // overwrite a buffer another iteration is still reading. Only the
+        // exact same instance (and the read side of its own write) is
+        // exempt.
+        if (A.Op == B.Op && A.Wg == B.Wg && A.IterHash == B.IterHash)
+          continue;
+        if (!(A.Write || B.Write))
+          continue;
+        // Distinct warpgroups touch disjoint slices of per-warpgroup
+        // tensors; the byte-range trace is per-tensor, so cross-warpgroup
+        // pairs on the same tensor cannot be classified and are skipped.
+        if (A.Tensor == B.Tensor && A.Wg != B.Wg)
+          continue;
+        bool AddrOverlap = A.Lo < B.Hi && B.Lo < A.Hi;
+        bool TimeOverlap = A.Start < B.End && B.Start < A.End;
+        if (AddrOverlap && TimeOverlap) {
+          Races.push_back(formatString(
+              "shared-memory hazard between %s and %s (aliased bytes "
+              "[%lld, %lld) overlap in time)",
+              Module.tensor(A.Tensor).Name.c_str(),
+              Module.tensor(B.Tensor).Name.c_str(),
+              static_cast<long long>(std::max(A.Lo, B.Lo)),
+              static_cast<long long>(std::min(A.Hi, B.Hi))));
+          if (Races.size() > 8)
+            return; // Enough evidence.
+        }
+      }
+    }
+  }
+
+  void fail(std::string Message) {
+    if (!Failure)
+      Failure = Diagnostic(std::move(Message));
+  }
+
+  const IRModule &Module;
+  const SharedAllocation &Alloc;
+  const SimConfig &Config;
+  const Operation &Grid;
+
+  /// Outstanding body-instance counts per (loop op, iteration prefix).
+  struct LoopProgress {
+    int64_t Remaining = 0;
+    double MaxTime = 0;
+  };
+
+  std::vector<std::vector<OpInstance>> Streams;
+  std::map<std::pair<OpId, std::vector<int64_t>>, LoopProgress>
+      LoopRemaining;
+  std::map<OpId, EventId> LoopEventOf;
+  std::map<OpId, unsigned> DepthOf;
+  std::map<EventId, EventRecord> Events;
+  std::vector<SmemAccess> Accesses;
+  std::vector<std::string> Races;
+
+  double TmaFree = 0, TcFree = 0;
+  double TmaBusy = 0, TcBusy = 0;
+  double Finish = 0, LastCompletion = 0;
+  double BlockFlops = 0;
+  std::optional<Diagnostic> Failure;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Functional execution
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class FunctionalExec {
+public:
+  FunctionalExec(const IRModule &Module, const LeafRegistry &Leaves,
+                 std::vector<TensorData *> EntryBuffers)
+      : Module(Module), Leaves(Leaves),
+        EntryBuffers(std::move(EntryBuffers)) {}
+
+  ErrorOrVoid run() {
+    // Map alloc contexts (which processor dims key a tensor's storage).
+    walkOps(Module.root(), [&](const Operation &Op) {
+      if (Op.Kind == OpKind::Alloc)
+        AllocContext[Op.AllocTensor] = Op.VecContext;
+    });
+    execBlockSeq(Module.root(), BaseEnv());
+    if (Failure)
+      return *Failure;
+    return ErrorOrVoid::success();
+  }
+
+private:
+  ScalarEnv BaseEnv() const {
+    ScalarEnv Env;
+    Env.ProcIndices[Processor::Block] = 0;
+    Env.ProcIndices[Processor::Warpgroup] = 0;
+    Env.ProcIndices[Processor::Warp] = 0;
+    Env.ProcIndices[Processor::Thread] = 0;
+    return Env;
+  }
+
+  /// Storage key: the values of the processor indices the tensor's alloc
+  /// context names, plus the block index (block-scoped reuse is fine since
+  /// blocks execute sequentially, but register tensors per warp/thread need
+  /// distinct instances).
+  std::vector<int64_t> storageKey(TensorId Tensor,
+                                  const ScalarEnv &Env) const {
+    std::vector<int64_t> Key;
+    auto It = AllocContext.find(Tensor);
+    if (It == AllocContext.end())
+      return Key;
+    for (const EventDim &Dim : It->second)
+      Key.push_back(Env.ProcIndices.at(Dim.Proc));
+    return Key;
+  }
+
+  TensorData &storage(TensorId Tensor, const ScalarEnv &Env, int64_t Buf) {
+    const IRTensor &T = Module.tensor(Tensor);
+    if (T.IsEntryArg) {
+      for (size_t I = 0; I < Module.entryArgs().size(); ++I)
+        if (Module.entryArgs()[I] == Tensor)
+          return *EntryBuffers[I];
+      cypressUnreachable("entry arg not found");
+    }
+    auto &Buffers = Storage[{Tensor, storageKey(Tensor, Env)}];
+    if (Buffers.empty())
+      Buffers.assign(static_cast<size_t>(std::max<int64_t>(T.PipelineDepth,
+                                                           1)),
+                     TensorData(T.Type));
+    assert(Buf >= 0 &&
+           Buf < static_cast<int64_t>(Buffers.size()) &&
+           "pipeline buffer index out of range");
+    return Buffers[static_cast<size_t>(Buf)];
+  }
+
+  /// Executes a block sequentially under \p Env (loop vars bound).
+  void execBlockSeq(const IRBlock &Block, ScalarEnv Env) {
+    for (const std::unique_ptr<Operation> &Op : Block.Ops) {
+      if (Failure)
+        return;
+      switch (Op->Kind) {
+      case OpKind::MakePart:
+        break;
+      case OpKind::Alloc:
+        execAlloc(*Op, Env);
+        break;
+      case OpKind::For: {
+        int64_t Lo = Op->LoopLo.evaluate(Env);
+        int64_t Hi = Op->LoopHi.evaluate(Env);
+        for (int64_t K = Lo; K < Hi; ++K) {
+          Env.LoopVars[Op->LoopVar] = K;
+          execBlockSeq(Op->Body, Env);
+        }
+        Env.LoopVars.erase(Op->LoopVar);
+        break;
+      }
+      case OpKind::PFor: {
+        // Grid (or host-level) parallel loop: iterations are independent by
+        // construction; execute sequentially.
+        int64_t Lo = Op->LoopLo.evaluate(Env);
+        int64_t Hi = Op->LoopHi.evaluate(Env);
+        for (int64_t K = Lo; K < Hi; ++K) {
+          Env.LoopVars[Op->LoopVar] = K;
+          if (Op->PForProc == Processor::Block)
+            Env.ProcIndices[Processor::Block] = K;
+          execBlockSeq(Op->Body, Env);
+        }
+        Env.LoopVars.erase(Op->LoopVar);
+        break;
+      }
+      case OpKind::Copy:
+      case OpKind::Call:
+        forEachProcInstance(*Op, Env, [&](const ScalarEnv &InstEnv) {
+          if (Op->Kind == OpKind::Copy)
+            execCopy(*Op, InstEnv);
+          else
+            execCall(*Op, InstEnv);
+        });
+        break;
+      }
+    }
+  }
+
+  /// Iterates all combinations of the op's flattened processor dims.
+  void forEachProcInstance(const Operation &Op, const ScalarEnv &Env,
+                           const std::function<void(const ScalarEnv &)> &Fn) {
+    std::vector<EventDim> Dims = Op.VecContext;
+    std::vector<int64_t> Index(Dims.size(), 0);
+    ScalarEnv InstEnv = Env;
+    std::function<void(size_t)> Recurse = [&](size_t D) {
+      if (D == Dims.size()) {
+        Fn(InstEnv);
+        return;
+      }
+      for (int64_t I = 0; I < Dims[D].Extent; ++I) {
+        InstEnv.ProcIndices[Dims[D].Proc] = I;
+        Recurse(D + 1);
+      }
+    };
+    Recurse(0);
+  }
+
+  void execAlloc(const Operation &Op, const ScalarEnv &Env) {
+    // (Re)create every instance of the allocation for the current block:
+    // enumerate the alloc's own context dims.
+    forEachProcInstance(Op, Env, [&](const ScalarEnv &InstEnv) {
+      const IRTensor &T = Module.tensor(Op.AllocTensor);
+      auto &Buffers = Storage[{Op.AllocTensor,
+                               storageKey(Op.AllocTensor, InstEnv)}];
+      Buffers.assign(static_cast<size_t>(std::max<int64_t>(T.PipelineDepth,
+                                                           1)),
+                     TensorData(T.Type));
+    });
+  }
+
+  void execCopy(const Operation &Op, const ScalarEnv &Env) {
+    SubTensor SrcMap = Module.resolveSlice(Op.CopySrc, Env);
+    SubTensor DstMap = Module.resolveSlice(Op.CopyDst, Env);
+    TensorData &Src = storage(Op.CopySrc.Tensor, Env,
+                              Op.CopySrc.BufferIndex.evaluate(Env));
+    TensorData &Dst = storage(Op.CopyDst.Tensor, Env,
+                              Op.CopyDst.BufferIndex.evaluate(Env));
+    int64_t Count = SrcMap.shape().numElements();
+    if (Count != DstMap.shape().numElements()) {
+      fail(formatString("copy size mismatch at runtime (%lld vs %lld)",
+                        static_cast<long long>(Count),
+                        static_cast<long long>(
+                            DstMap.shape().numElements())));
+      return;
+    }
+    for (int64_t I = 0; I < Count; ++I) {
+      std::vector<int64_t> SrcIdx =
+          SrcMap.mapToParent(SrcMap.shape().delinearize(I));
+      std::vector<int64_t> DstIdx =
+          DstMap.mapToParent(DstMap.shape().delinearize(I));
+      Dst.set(DstIdx, Src.at(SrcIdx));
+    }
+  }
+
+  void execCall(const Operation &Op, const ScalarEnv &Env) {
+    if (!Leaves.has(Op.Callee)) {
+      fail(formatString("no functional implementation registered for leaf "
+                        "%s",
+                        Op.Callee.c_str()));
+      return;
+    }
+    std::vector<TensorView> Views;
+    for (const TensorSlice &Slice : Op.Args) {
+      SubTensor Map = Module.resolveSlice(Slice, Env);
+      TensorData &Data =
+          storage(Slice.Tensor, Env, Slice.BufferIndex.evaluate(Env));
+      Views.emplace_back(Data, std::move(Map));
+    }
+    std::vector<int64_t> Scalars;
+    for (const ScalarExpr &Expr : Op.ScalarArgs)
+      Scalars.push_back(Expr.evaluate(Env));
+    Leaves.lookup(Op.Callee)(Views, Scalars);
+  }
+
+  void fail(std::string Message) {
+    if (!Failure)
+      Failure = Diagnostic(std::move(Message));
+  }
+
+  const IRModule &Module;
+  const LeafRegistry &Leaves;
+  std::vector<TensorData *> EntryBuffers;
+  std::map<TensorId, std::vector<EventDim>> AllocContext;
+  std::map<std::pair<TensorId, std::vector<int64_t>>,
+           std::vector<TensorData>>
+      Storage;
+  std::optional<Diagnostic> Failure;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Entry point
+//===----------------------------------------------------------------------===//
+
+ErrorOr<SimResult> cypress::simulate(const IRModule &Module,
+                                     const SharedAllocation &Alloc,
+                                     const SimConfig &Config,
+                                     const LeafRegistry &Leaves,
+                                     std::vector<TensorData *> EntryBuffers) {
+  SimResult Total;
+  bool FoundGrid = false;
+
+  for (const std::unique_ptr<Operation> &Op : Module.root().Ops) {
+    if (Op->Kind != OpKind::PFor || Op->PForProc != Processor::Block)
+      continue;
+    FoundGrid = true;
+    ScalarEnv Env;
+    Env.ProcIndices[Processor::Block] = 0;
+    int64_t Blocks = Op->LoopHi.evaluate(Env) - Op->LoopLo.evaluate(Env);
+
+    BlockTimer Timer(Module, Alloc, Config, *Op);
+    ErrorOr<SimResult> BlockResult = Timer.run();
+    if (!BlockResult)
+      return BlockResult.diagnostic();
+
+    int64_t Waves = ceilDiv(Blocks, Config.NumSMs);
+    double Cycles =
+        BlockResult->BlockCycles * static_cast<double>(Waves) +
+        Config.BlockOverhead;
+    double Seconds = Cycles / (Config.ClockGHz * 1e9);
+
+    Total.BlockCycles += BlockResult->BlockCycles;
+    Total.TotalSeconds += Seconds;
+    Total.TotalFlops +=
+        BlockResult->TotalFlops * static_cast<double>(Blocks);
+    Total.Blocks += Blocks;
+    Total.Waves += Waves;
+    Total.TmaBusyCycles += BlockResult->TmaBusyCycles;
+    Total.TensorCoreBusyCycles += BlockResult->TensorCoreBusyCycles;
+    for (std::string &Race : BlockResult->Races)
+      Total.Races.push_back(std::move(Race));
+  }
+
+  if (!FoundGrid)
+    return Diagnostic("module has no block-level parallel loop to simulate");
+
+  // DRAM floor: every kernel argument crosses the pins at least once.
+  double Compulsory = 0;
+  for (TensorId Id : Module.entryArgs())
+    Compulsory += static_cast<double>(Module.tensor(Id).Type.sizeBytes());
+  Total.TotalSeconds =
+      std::max(Total.TotalSeconds, Compulsory / Config.DramBytesPerSec);
+
+  if (Total.TotalSeconds > 0)
+    Total.TFlops = Total.TotalFlops / Total.TotalSeconds / 1e12;
+
+  if (!EntryBuffers.empty()) {
+    FunctionalExec Exec(Module, Leaves, std::move(EntryBuffers));
+    if (ErrorOrVoid Err = Exec.run(); !Err)
+      return Err.diagnostic();
+    Total.FunctionalRan = true;
+  }
+  return Total;
+}

@@ -1,0 +1,101 @@
+//===- Simulator.h - Discrete-event Hopper SM simulator --------------------===//
+//
+// Part of the Cypress reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The simulated H100 substrate (see DESIGN.md, substitution table). The
+/// simulator consumes the compiler's final IR and executes it two ways:
+///
+///  * Timing: a discrete-event model of one SM's block schedule — a DMA
+///    warp agent plus compute-warpgroup agents, a TMA engine with latency
+///    and bandwidth, a Tensor Core with issue latency and throughput,
+///    mbarrier-equivalent event completion tracking (with pipeline phase
+///    lags), and barrier costs for broadcast synchronization. Blocks are
+///    homogeneous, so one block is simulated and scaled by wave count, with
+///    a DRAM-bandwidth floor for compulsory traffic.
+///
+///  * Functional: sequential execution of all block instances on host
+///    TensorData buffers, validating that generated data movement and leaf
+///    calls compute the right answer (mapping decisions must not change
+///    results — the paper's correctness guarantee).
+///
+/// A write-after-read race detector checks that aliased shared-memory
+/// buffers are never overwritten while a reader is still in flight.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CYPRESS_SIM_SIMULATOR_H
+#define CYPRESS_SIM_SIMULATOR_H
+
+#include "compiler/Passes.h"
+#include "ir/IR.h"
+#include "sim/LeafRegistry.h"
+#include "tensor/TensorData.h"
+
+#include <string>
+#include <vector>
+
+namespace cypress {
+
+/// Timing constants of the simulated H100. Defaults are derived from the
+/// Hopper whitepaper/datasheet ratios; only relative magnitudes matter for
+/// reproducing the paper's figures (see DESIGN.md).
+struct SimConfig {
+  double ClockGHz = 1.755;
+  /// Dense FP16 Tensor Core throughput per SM (FLOP per cycle):
+  /// 989 TFLOP/s / (132 SMs * 1.755 GHz).
+  double TensorCoreFlopsPerCycle = 4269.0;
+  /// TMA transfer bandwidth per SM (bytes per cycle), an L2-side share.
+  double TmaBytesPerCycle = 52.0;
+  /// SIMT-issued global copies (no TMA — the Triton default path;
+  /// cp.async through the LSU achieves slightly less than the TMA).
+  double SimtGlobalBytesPerCycle = 46.0;
+  /// SIMT shared/register traffic per warpgroup (bytes per cycle).
+  double SimtLocalBytesPerCycle = 256.0;
+  /// SIMT FP32 math throughput per warpgroup (FLOP per cycle):
+  /// 128 FP32 lanes per SM quadrant.
+  double SimtFlopsPerCycle = 256.0;
+  /// Global-memory access latency (cycles) for the first byte.
+  double GlobalLatency = 650.0;
+  /// Tensor Core issue + drain latency per call (cycles).
+  double TensorCoreLatency = 40.0;
+  /// SIMT instruction issue overhead per op (cycles).
+  double SimtLatency = 12.0;
+  /// Cost of a block-scope barrier / mbarrier wait (cycles).
+  double BarrierLatency = 30.0;
+  /// Device DRAM bandwidth (bytes per second) — the compulsory-traffic
+  /// floor across the whole kernel.
+  double DramBytesPerSec = 3.35e12;
+  int64_t NumSMs = 132;
+  /// Per-block kernel launch/drain overhead (cycles).
+  double BlockOverhead = 1500.0;
+};
+
+/// Outcome of one simulated kernel execution.
+struct SimResult {
+  double BlockCycles = 0.0;  ///< Steady-state cycles of one block.
+  double TotalSeconds = 0.0; ///< Whole-kernel wall time.
+  double TotalFlops = 0.0;   ///< Useful FLOPs (from leaf annotations).
+  double TFlops = 0.0;       ///< TotalFlops / TotalSeconds / 1e12.
+  int64_t Blocks = 0;
+  int64_t Waves = 0;
+  double TmaBusyCycles = 0.0; ///< Per-block TMA engine occupancy.
+  double TensorCoreBusyCycles = 0.0;
+  std::vector<std::string> Races; ///< Detected shared-memory hazards.
+  bool FunctionalRan = false;
+};
+
+/// Simulates \p Module. When \p EntryBuffers is non-empty (one TensorData
+/// per entry argument, matching shapes) the functional executor also runs,
+/// producing real results in those buffers. Timing always runs.
+ErrorOr<SimResult> simulate(const IRModule &Module,
+                            const SharedAllocation &Alloc,
+                            const SimConfig &Config,
+                            const LeafRegistry &Leaves,
+                            std::vector<TensorData *> EntryBuffers = {});
+
+} // namespace cypress
+
+#endif // CYPRESS_SIM_SIMULATOR_H

@@ -1,0 +1,60 @@
+//===- TensorView.h - Coordinate-mapped views over tensor storage ---------===//
+//
+// Part of the Cypress reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A TensorView is how leaf functions and the functional executor touch
+/// data: a dense TensorData allocation plus a SubTensor coordinate map
+/// (often the identity). Views let forwarded leaf arguments address slices
+/// of larger allocations — e.g. a warpgroup's 64-row band of the block's
+/// shared A tile — without copying.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CYPRESS_SIM_TENSORVIEW_H
+#define CYPRESS_SIM_TENSORVIEW_H
+
+#include "tensor/Partition.h"
+#include "tensor/TensorData.h"
+
+namespace cypress {
+
+/// A (possibly swizzled) window into a TensorData allocation.
+class TensorView {
+public:
+  TensorView(TensorData &Data, SubTensor Map)
+      : Data(&Data), Map(std::move(Map)) {}
+
+  /// Identity view over a whole allocation.
+  static TensorView whole(TensorData &Data) {
+    return TensorView(Data, SubTensor::whole(Data.shape()));
+  }
+
+  const Shape &shape() const { return Map.shape(); }
+
+  float at(const std::vector<int64_t> &Index) const {
+    return Data->at(Map.mapToParent(Index));
+  }
+  void set(const std::vector<int64_t> &Index, float Value) {
+    Data->set(Map.mapToParent(Index), Value);
+  }
+
+  /// Convenience accessors for the ubiquitous rank-2 case.
+  float at2(int64_t Row, int64_t Col) const { return at({Row, Col}); }
+  void set2(int64_t Row, int64_t Col, float Value) {
+    set({Row, Col}, Value);
+  }
+
+  TensorData &data() { return *Data; }
+  const SubTensor &map() const { return Map; }
+
+private:
+  TensorData *Data;
+  SubTensor Map;
+};
+
+} // namespace cypress
+
+#endif // CYPRESS_SIM_TENSORVIEW_H

@@ -1,0 +1,110 @@
+//===- Error.h - Lightweight recoverable error handling ------------------===//
+//
+// Part of the Cypress reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal error-handling utilities in the spirit of llvm::Expected. Library
+/// code reports recoverable problems (bad mappings, infeasible allocations)
+/// via ErrorOr<T>; programmatic invariants use assert/cypress_unreachable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CYPRESS_SUPPORT_ERROR_H
+#define CYPRESS_SUPPORT_ERROR_H
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace cypress {
+
+/// Aborts with a message; marks unreachable control flow.
+[[noreturn]] inline void cypressUnreachable(const char *Msg) {
+  std::fprintf(stderr, "cypress fatal: %s\n", Msg);
+  std::abort();
+}
+
+/// A recoverable diagnostic with a human-readable message.
+///
+/// Diagnostics compare equal on their message text, which keeps tests simple
+/// and deterministic. Messages follow the "lowercase, no trailing period"
+/// convention.
+class Diagnostic {
+public:
+  Diagnostic() = default;
+  explicit Diagnostic(std::string Message) : Message(std::move(Message)) {}
+
+  const std::string &message() const { return Message; }
+
+  bool operator==(const Diagnostic &Other) const {
+    return Message == Other.Message;
+  }
+
+private:
+  std::string Message;
+};
+
+/// Either a value of type T or a Diagnostic explaining why none is available.
+template <typename T> class ErrorOr {
+public:
+  ErrorOr(T Value) : Storage(std::move(Value)) {}
+  ErrorOr(Diagnostic Diag) : Storage(std::move(Diag)) {}
+
+  explicit operator bool() const { return std::holds_alternative<T>(Storage); }
+
+  const T &operator*() const {
+    assert(*this && "accessing value of an error result");
+    return std::get<T>(Storage);
+  }
+  T &operator*() {
+    assert(*this && "accessing value of an error result");
+    return std::get<T>(Storage);
+  }
+  const T *operator->() const { return &**this; }
+  T *operator->() { return &**this; }
+
+  /// The diagnostic; only valid when the result holds an error.
+  const Diagnostic &diagnostic() const {
+    assert(!*this && "accessing diagnostic of a success result");
+    return std::get<Diagnostic>(Storage);
+  }
+
+  /// Moves the value out, aborting if this holds an error. Tool-code helper.
+  T take() {
+    if (!*this)
+      cypressUnreachable(diagnostic().message().c_str());
+    return std::move(std::get<T>(Storage));
+  }
+
+private:
+  std::variant<T, Diagnostic> Storage;
+};
+
+/// Result of an operation that produces no value.
+class ErrorOrVoid {
+public:
+  ErrorOrVoid() = default;
+  ErrorOrVoid(Diagnostic Diag) : Diag(std::move(Diag)) {}
+
+  static ErrorOrVoid success() { return ErrorOrVoid(); }
+
+  explicit operator bool() const { return !Diag.has_value(); }
+
+  const Diagnostic &diagnostic() const {
+    assert(Diag && "accessing diagnostic of a success result");
+    return *Diag;
+  }
+
+private:
+  std::optional<Diagnostic> Diag;
+};
+
+} // namespace cypress
+
+#endif // CYPRESS_SUPPORT_ERROR_H

@@ -1,0 +1,90 @@
+//===- Fp16.cpp - IEEE half-precision emulation ---------------------------===//
+//
+// Part of the Cypress reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Fp16.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace cypress {
+
+uint16_t fp32ToFp16Bits(float Value) {
+  uint32_t Bits;
+  std::memcpy(&Bits, &Value, sizeof(Bits));
+
+  uint32_t Sign = (Bits >> 16) & 0x8000u;
+  int32_t Exponent = static_cast<int32_t>((Bits >> 23) & 0xff) - 127 + 15;
+  uint32_t Mantissa = Bits & 0x7fffffu;
+
+  // NaN / infinity.
+  if (((Bits >> 23) & 0xff) == 0xff) {
+    uint16_t NanPayload = Mantissa ? 0x200u : 0u;
+    return static_cast<uint16_t>(Sign | 0x7c00u | NanPayload);
+  }
+
+  // Overflow to infinity.
+  if (Exponent >= 0x1f)
+    return static_cast<uint16_t>(Sign | 0x7c00u);
+
+  // Subnormal or zero in FP16.
+  if (Exponent <= 0) {
+    if (Exponent < -10)
+      return static_cast<uint16_t>(Sign);
+    // Add the implicit bit, then shift into the subnormal position with
+    // round-to-nearest-even.
+    Mantissa |= 0x800000u;
+    unsigned Shift = static_cast<unsigned>(14 - Exponent);
+    uint32_t Rounded = Mantissa >> Shift;
+    uint32_t Remainder = Mantissa & ((1u << Shift) - 1);
+    uint32_t Half = 1u << (Shift - 1);
+    if (Remainder > Half || (Remainder == Half && (Rounded & 1)))
+      ++Rounded;
+    return static_cast<uint16_t>(Sign | Rounded);
+  }
+
+  // Normal case with round-to-nearest-even on the dropped 13 bits.
+  uint32_t Rounded = Mantissa >> 13;
+  uint32_t Remainder = Mantissa & 0x1fffu;
+  if (Remainder > 0x1000u || (Remainder == 0x1000u && (Rounded & 1)))
+    ++Rounded;
+  // The rounded mantissa is ADDED (not OR'd) so a carry out of the
+  // mantissa correctly increments the exponent (0x03ff + 1 -> exponent + 1,
+  // mantissa 0), including overflow to infinity.
+  uint32_t Result = Sign + (static_cast<uint32_t>(Exponent) << 10) + Rounded;
+  return static_cast<uint16_t>(Result);
+}
+
+float fp16BitsToFp32(uint16_t Bits) {
+  uint32_t Sign = static_cast<uint32_t>(Bits & 0x8000u) << 16;
+  uint32_t Exponent = (Bits >> 10) & 0x1f;
+  uint32_t Mantissa = Bits & 0x3ffu;
+
+  uint32_t Out;
+  if (Exponent == 0) {
+    if (Mantissa == 0) {
+      Out = Sign; // Signed zero.
+    } else {
+      // Normalize the subnormal.
+      int Shift = 0;
+      while (!(Mantissa & 0x400u)) {
+        Mantissa <<= 1;
+        ++Shift;
+      }
+      Mantissa &= 0x3ffu;
+      Out = Sign | ((127 - 15 - Shift + 1) << 23) | (Mantissa << 13);
+    }
+  } else if (Exponent == 0x1f) {
+    Out = Sign | 0x7f800000u | (Mantissa << 13); // Inf / NaN.
+  } else {
+    Out = Sign | ((Exponent - 15 + 127) << 23) | (Mantissa << 13);
+  }
+
+  float Value;
+  std::memcpy(&Value, &Out, sizeof(Value));
+  return Value;
+}
+
+} // namespace cypress

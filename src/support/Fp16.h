@@ -1,0 +1,34 @@
+//===- Fp16.h - IEEE half-precision emulation -----------------------------===//
+//
+// Part of the Cypress reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Software emulation of IEEE binary16. The kernels compute in FP32 but all
+/// tensor stores quantize through FP16, matching the Tensor Core FP16 data
+/// path (FP16 inputs, FP32 accumulate) used throughout the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CYPRESS_SUPPORT_FP16_H
+#define CYPRESS_SUPPORT_FP16_H
+
+#include <cstdint>
+
+namespace cypress {
+
+/// Converts an FP32 value to IEEE binary16 bits (round-to-nearest-even).
+uint16_t fp32ToFp16Bits(float Value);
+
+/// Converts IEEE binary16 bits back to FP32.
+float fp16BitsToFp32(uint16_t Bits);
+
+/// Quantizes an FP32 value through FP16 and back (lossy round trip).
+inline float quantizeFp16(float Value) {
+  return fp16BitsToFp32(fp32ToFp16Bits(Value));
+}
+
+} // namespace cypress
+
+#endif // CYPRESS_SUPPORT_FP16_H

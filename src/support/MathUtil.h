@@ -1,0 +1,41 @@
+//===- MathUtil.h - Small integer math helpers ----------------------------===//
+//
+// Part of the Cypress reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ceiling division, alignment, and power-of-two helpers used by tiling and
+/// the shared-memory allocator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CYPRESS_SUPPORT_MATHUTIL_H
+#define CYPRESS_SUPPORT_MATHUTIL_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace cypress {
+
+/// Ceiling division of non-negative integers.
+inline int64_t ceilDiv(int64_t Numerator, int64_t Denominator) {
+  assert(Denominator > 0 && "division by non-positive value");
+  assert(Numerator >= 0 && "ceilDiv expects a non-negative numerator");
+  return (Numerator + Denominator - 1) / Denominator;
+}
+
+/// Rounds \p Value up to the next multiple of \p Align.
+inline int64_t alignUp(int64_t Value, int64_t Align) {
+  assert(Align > 0 && "alignment must be positive");
+  return ceilDiv(Value, Align) * Align;
+}
+
+/// True if \p Value is a power of two (zero is not).
+inline bool isPowerOfTwo(int64_t Value) {
+  return Value > 0 && (Value & (Value - 1)) == 0;
+}
+
+} // namespace cypress
+
+#endif // CYPRESS_SUPPORT_MATHUTIL_H

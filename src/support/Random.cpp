@@ -1,0 +1,19 @@
+//===- Random.cpp - Deterministic pseudo-random generation ----------------===//
+//
+// Part of the Cypress reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Random.h"
+
+#include "support/Fp16.h"
+
+namespace cypress {
+
+void fillRandomFp16(std::vector<float> &Buffer, uint64_t Seed) {
+  SplitMix64 Rng(Seed);
+  for (float &Value : Buffer)
+    Value = quantizeFp16(static_cast<float>(Rng.nextIn(-1.0, 1.0)));
+}
+
+} // namespace cypress

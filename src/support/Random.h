@@ -1,0 +1,56 @@
+//===- Random.h - Deterministic pseudo-random generation ------------------===//
+//
+// Part of the Cypress reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic RNG used by workload generators and property tests. The
+/// paper benchmarks with matrix elements drawn from the same random
+/// distribution across systems to normalize power throttling; we keep the
+/// same discipline so all systems see identical inputs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CYPRESS_SUPPORT_RANDOM_H
+#define CYPRESS_SUPPORT_RANDOM_H
+
+#include <cstdint>
+#include <vector>
+
+namespace cypress {
+
+/// SplitMix64: tiny, fast, deterministic, well distributed.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed) : State(Seed) {}
+
+  uint64_t next() {
+    uint64_t Z = (State += 0x9e3779b97f4a7c15ULL);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform in [0, 1).
+  double nextUnit() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform in [Lo, Hi).
+  double nextIn(double Lo, double Hi) { return Lo + nextUnit() * (Hi - Lo); }
+
+  /// Uniform integer in [0, Bound).
+  uint64_t nextBelow(uint64_t Bound) { return Bound ? next() % Bound : 0; }
+
+private:
+  uint64_t State;
+};
+
+/// Fills a buffer with values in [-1, 1), FP16-quantized on the way in so all
+/// systems compute on identical inputs (mirrors the paper's normalization).
+void fillRandomFp16(std::vector<float> &Buffer, uint64_t Seed);
+
+} // namespace cypress
+
+#endif // CYPRESS_SUPPORT_RANDOM_H

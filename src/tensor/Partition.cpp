@@ -1,0 +1,278 @@
+//===- Partition.cpp - Tensor partitioning operators -----------------------===//
+//
+// Part of the Cypress reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tensor/Partition.h"
+
+#include "support/Format.h"
+#include "support/MathUtil.h"
+
+#include <algorithm>
+
+using namespace cypress;
+
+const char *cypress::partitionKindName(PartitionKind Kind) {
+  switch (Kind) {
+  case PartitionKind::Blocks:
+    return "blocks";
+  case PartitionKind::Mma:
+    return "mma";
+  }
+  cypressUnreachable("unknown partition kind");
+}
+
+const char *cypress::mmaOperandName(MmaOperand Operand) {
+  switch (Operand) {
+  case MmaOperand::A:
+    return "A";
+  case MmaOperand::B:
+    return "B";
+  case MmaOperand::C:
+    return "C";
+  }
+  cypressUnreachable("unknown mma operand");
+}
+
+std::string MmaInstruction::toString() const {
+  return formatString("WGMMA_%lldx%lldx%lld", static_cast<long long>(M),
+                      static_cast<long long>(N), static_cast<long long>(K));
+}
+
+//===----------------------------------------------------------------------===//
+// SubTensor
+//===----------------------------------------------------------------------===//
+
+SubTensor SubTensor::rect(Shape SubShape, std::vector<int64_t> Offset) {
+  assert(SubShape.rank() == Offset.size() && "offset rank mismatch");
+  SubTensor Result;
+  Result.Kind = MapKind::Rect;
+  Result.SubShape = std::move(SubShape);
+  Result.Offset = std::move(Offset);
+  return Result;
+}
+
+SubTensor SubTensor::whole(Shape ParentShape) {
+  SubTensor Result;
+  Result.Kind = MapKind::Whole;
+  Result.SubShape = ParentShape;
+  Result.Offset.assign(ParentShape.rank(), 0);
+  return Result;
+}
+
+SubTensor SubTensor::mmaAccumLane(const MmaInstruction &Instr,
+                                  int64_t WarpIndex, int64_t LaneIndex) {
+  assert(WarpIndex >= 0 && WarpIndex < 4 && "warp index out of range");
+  assert(LaneIndex >= 0 && LaneIndex < 32 && "lane index out of range");
+  assert(Instr.M == 64 && "accumulator swizzle modeled for m64 WGMMA only");
+  assert(Instr.N % 8 == 0 && "WGMMA N must be a multiple of 8");
+  SubTensor Result;
+  Result.Kind = MapKind::MmaLane;
+  // Each lane holds 2 rows x (N/8 column groups x 2 elements) = shape
+  // [2, N/4] in a compacted coordinate system.
+  Result.SubShape = Shape({2, Instr.N / 4});
+  Result.Instr = Instr;
+  Result.WarpIndex = WarpIndex;
+  Result.LaneIndex = LaneIndex;
+  return Result;
+}
+
+SubTensor SubTensor::mmaAccumWarp(const MmaInstruction &Instr,
+                                  int64_t WarpIndex) {
+  assert(WarpIndex >= 0 && WarpIndex < 4 && "warp index out of range");
+  assert(Instr.M == 64 && "accumulator swizzle modeled for m64 WGMMA only");
+  SubTensor Result;
+  Result.Kind = MapKind::MmaWarp;
+  Result.SubShape = Shape({16, Instr.N});
+  Result.Instr = Instr;
+  Result.WarpIndex = WarpIndex;
+  return Result;
+}
+
+SubTensor SubTensor::compose(const SubTensor &Outer, const SubTensor &Inner) {
+  if (Outer.isWhole())
+    return Inner;
+  if (Inner.Kind == MapKind::Whole && !Inner.Parent) {
+    // Whole-of-outer is just outer, provided the shapes agree.
+    assert(Inner.SubShape == Outer.SubShape &&
+           "whole-slice composition with mismatched shapes");
+    return Outer;
+  }
+  SubTensor Result = Inner;
+  // Chain: Result maps into Inner's parent space, which is Outer's sub
+  // space; attach Outer (itself possibly chained) as the continuation.
+  if (Result.Parent) {
+    SubTensor Mid = compose(Outer, *Result.Parent);
+    Result.Parent = std::make_shared<const SubTensor>(std::move(Mid));
+  } else {
+    Result.Parent = std::make_shared<const SubTensor>(Outer);
+  }
+  return Result;
+}
+
+std::vector<int64_t>
+SubTensor::mapToParent(const std::vector<int64_t> &SubIndex) const {
+  std::vector<int64_t> Local = mapToLocalParent(SubIndex);
+  if (Parent)
+    return Parent->mapToParent(Local);
+  return Local;
+}
+
+std::vector<int64_t>
+SubTensor::mapToLocalParent(const std::vector<int64_t> &SubIndex) const {
+  assert(SubIndex.size() == SubShape.rank() && "sub index rank mismatch");
+  switch (Kind) {
+  case MapKind::Rect:
+  case MapKind::Whole: {
+    std::vector<int64_t> Parent(SubIndex.size());
+    for (unsigned I = 0, E = SubIndex.size(); I != E; ++I)
+      Parent[I] = SubIndex[I] + Offset[I];
+    return Parent;
+  }
+  case MapKind::MmaWarp: {
+    // Warp w owns rows [16w, 16w + 16) of the m64 accumulator (Figure 4
+    // row coloring); columns are not swizzled at warp granularity.
+    return {SubIndex[0] + 16 * WarpIndex, SubIndex[1]};
+  }
+  case MapKind::MmaLane: {
+    // PTX m64nNk16 accumulator fragment layout. Within warp w, lane l holds,
+    // for every 8-column group g and row-half h in {0, 1}:
+    //   row = 16w + 8h + l / 4
+    //   col = 8g + 2 * (l % 4) + e      for e in {0, 1}
+    // The compacted fragment is indexed [h][g * 2 + e'] where the flattened
+    // column coordinate walks column groups then element pairs.
+    int64_t H = SubIndex[0];
+    int64_t Flat = SubIndex[1];
+    int64_t Group = Flat / 2;
+    int64_t Elem = Flat % 2;
+    int64_t Row = 16 * WarpIndex + 8 * H + LaneIndex / 4;
+    int64_t Col = 8 * Group + 2 * (LaneIndex % 4) + Elem;
+    return {Row, Col};
+  }
+  }
+  cypressUnreachable("unknown sub-tensor map kind");
+}
+
+void SubTensor::forEachElement(
+    const Shape &ParentShape,
+    const std::function<void(int64_t, const std::vector<int64_t> &)> &Fn)
+    const {
+  int64_t Count = SubShape.numElements();
+  for (int64_t Linear = 0; Linear != Count; ++Linear) {
+    std::vector<int64_t> SubIndex = SubShape.delinearize(Linear);
+    std::vector<int64_t> ParentIndex = mapToParent(SubIndex);
+    // Clamped edge tiles never reach here (shape already clamped); guard in
+    // debug builds anyway.
+#ifndef NDEBUG
+    for (unsigned I = 0, E = ParentIndex.size(); I != E; ++I)
+      assert(ParentIndex[I] >= 0 && ParentIndex[I] < ParentShape.dim(I) &&
+             "sub-tensor element maps outside parent");
+#else
+    (void)ParentShape;
+#endif
+    Fn(Linear, ParentIndex);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Partition
+//===----------------------------------------------------------------------===//
+
+ErrorOr<Partition> Partition::byBlocks(const Shape &Parent,
+                                       const Shape &TileShape) {
+  if (Parent.rank() != TileShape.rank())
+    return Diagnostic(formatString(
+        "blocks partition rank mismatch: parent %s vs tile %s",
+        Parent.toString().c_str(), TileShape.toString().c_str()));
+  Partition Result;
+  Result.Kind = PartitionKind::Blocks;
+  Result.Parent = Parent;
+  Result.TileShape = TileShape;
+  std::vector<int64_t> ColorDims(Parent.rank());
+  for (unsigned I = 0, E = Parent.rank(); I != E; ++I)
+    ColorDims[I] = ceilDiv(Parent.dim(I), TileShape.dim(I));
+  Result.Colors = Shape(std::move(ColorDims));
+  return Result;
+}
+
+ErrorOr<Partition> Partition::byMma(const Shape &Parent,
+                                    const MmaInstruction &Instr,
+                                    MmaGranularity Granularity,
+                                    MmaOperand Operand) {
+  if (Parent.rank() != 2)
+    return Diagnostic("mma partition requires a rank-2 tensor");
+  if (Operand == MmaOperand::C) {
+    if (Parent.dim(0) != Instr.M || Parent.dim(1) != Instr.N)
+      return Diagnostic(formatString(
+          "mma accumulator partition shape mismatch: tensor %s vs %s",
+          Parent.toString().c_str(), Instr.toString().c_str()));
+  }
+  Partition Result;
+  Result.Kind = PartitionKind::Mma;
+  Result.Parent = Parent;
+  Result.Instr = Instr;
+  Result.Granularity = Granularity;
+  Result.Operand = Operand;
+  int64_t Pieces =
+      Granularity == MmaGranularity::Warp ? 4 : 32; // Per enclosing level.
+  Result.Colors = Shape({Pieces});
+  return Result;
+}
+
+SubTensor Partition::piece(const std::vector<int64_t> &Color) const {
+  assert(Color.size() == Colors.rank() && "color rank mismatch");
+#ifndef NDEBUG
+  for (unsigned I = 0, E = Color.size(); I != E; ++I)
+    assert(Color[I] >= 0 && Color[I] < Colors.dim(I) &&
+           "partition color out of range");
+#endif
+  switch (Kind) {
+  case PartitionKind::Blocks: {
+    std::vector<int64_t> Offset(Parent.rank());
+    std::vector<int64_t> Extent(Parent.rank());
+    for (unsigned I = 0, E = Parent.rank(); I != E; ++I) {
+      Offset[I] = Color[I] * TileShape.dim(I);
+      Extent[I] = std::min(TileShape.dim(I), Parent.dim(I) - Offset[I]);
+    }
+    return SubTensor::rect(Shape(std::move(Extent)), std::move(Offset));
+  }
+  case PartitionKind::Mma: {
+    int64_t Index = Color[0];
+    if (Operand != MmaOperand::C) {
+      // Shared-memory operands are referenced in full by every thread of the
+      // warpgroup when WGMMA is issued; each piece aliases the whole tile.
+      return SubTensor::whole(Parent);
+    }
+    if (Granularity == MmaGranularity::Warp)
+      return SubTensor::mmaAccumWarp(Instr, Index);
+    // Thread granularity partitions the enclosing warp's 16-row slice; the
+    // parent here is the warp-level sub-tensor re-based at origin, so warp
+    // index 0 with the true lane index gives the correct swizzle inside it.
+    if (Parent.dim(0) == 16) {
+      SubTensor Lane = SubTensor::mmaAccumLane(
+          {64, Instr.N, Instr.K}, /*WarpIndex=*/0, /*LaneIndex=*/Index);
+      return Lane;
+    }
+    return SubTensor::mmaAccumLane(Instr, /*WarpIndex=*/0,
+                                   /*LaneIndex=*/Index);
+  }
+  }
+  cypressUnreachable("unknown partition kind");
+}
+
+bool Partition::isDisjoint() const {
+  if (Kind == PartitionKind::Blocks)
+    return true;
+  return Operand == MmaOperand::C;
+}
+
+bool Partition::equals(const Partition &Other) const {
+  if (Kind != Other.Kind || Parent != Other.Parent)
+    return false;
+  if (Kind == PartitionKind::Blocks)
+    return TileShape == Other.TileShape;
+  return Instr.M == Other.Instr.M && Instr.N == Other.Instr.N &&
+         Instr.K == Other.Instr.K && Granularity == Other.Granularity &&
+         Operand == Other.Operand;
+}

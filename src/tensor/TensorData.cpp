@@ -1,0 +1,24 @@
+//===- TensorData.cpp - Dense host tensor storage --------------------------===//
+//
+// Part of the Cypress reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tensor/TensorData.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace cypress;
+
+double TensorData::maxAbsDiff(const TensorData &Other) const {
+  assert(shape() == Other.shape() && "shape mismatch in maxAbsDiff");
+  double Max = 0.0;
+  for (size_t I = 0, E = Values.size(); I != E; ++I) {
+    double Diff = std::fabs(static_cast<double>(Values[I]) -
+                            static_cast<double>(Other.Values[I]));
+    if (Diff > Max)
+      Max = Diff;
+  }
+  return Max;
+}

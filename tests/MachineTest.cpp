@@ -1,0 +1,86 @@
+//===- MachineTest.cpp - Machine model tests ---------------------------------===//
+//
+// Part of the Cypress reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Checks the hierarchical machine model of Section 3.1, including the key
+/// relaxation over Sequoia: multiple processor levels address multiple
+/// memories (a thread sees global, shared, and its registers).
+///
+//===----------------------------------------------------------------------===//
+
+#include "machine/Machine.h"
+
+#include <gtest/gtest.h>
+
+using namespace cypress;
+
+TEST(Machine, H100Hierarchy) {
+  const MachineModel &M = MachineModel::h100();
+  EXPECT_EQ(M.name(), "h100");
+  EXPECT_EQ(M.levels().size(), 5u);
+  EXPECT_TRUE(M.hasLevel(Processor::Warpgroup));
+  EXPECT_EQ(M.depthOf(Processor::Host), 0u);
+  EXPECT_LT(M.depthOf(Processor::Block), M.depthOf(Processor::Warpgroup));
+  EXPECT_TRUE(M.isInner(Processor::Thread, Processor::Warp));
+  EXPECT_FALSE(M.isInner(Processor::Block, Processor::Thread));
+  EXPECT_EQ(M.childLevel(Processor::Warpgroup), Processor::Warp);
+}
+
+TEST(Machine, FanOuts) {
+  const MachineModel &M = MachineModel::h100();
+  EXPECT_EQ(M.fanOut(Processor::Warp), 4);    // Warps per warpgroup.
+  EXPECT_EQ(M.fanOut(Processor::Thread), 32); // Threads per warp.
+  EXPECT_EQ(M.level(Processor::Warpgroup).ThreadsPerInstance, 128);
+}
+
+TEST(Machine, MemoryVisibility) {
+  const MachineModel &M = MachineModel::h100();
+  // Global: everyone.
+  EXPECT_TRUE(M.canAccess(Processor::Host, Memory::Global));
+  EXPECT_TRUE(M.canAccess(Processor::Block, Memory::Global));
+  EXPECT_TRUE(M.canAccess(Processor::Thread, Memory::Global));
+  // Shared: the block and below, not the host (the Sequoia-breaking case:
+  // several levels see several memories).
+  EXPECT_FALSE(M.canAccess(Processor::Host, Memory::Shared));
+  EXPECT_TRUE(M.canAccess(Processor::Block, Memory::Shared));
+  EXPECT_TRUE(M.canAccess(Processor::Warpgroup, Memory::Shared));
+  EXPECT_TRUE(M.canAccess(Processor::Thread, Memory::Shared));
+  // Registers: thread groupings only (a warpgroup-level register tensor is
+  // the Figure 4 distributed accumulator).
+  EXPECT_TRUE(M.canAccess(Processor::Thread, Memory::Register));
+  EXPECT_TRUE(M.canAccess(Processor::Warpgroup, Memory::Register));
+  EXPECT_FALSE(M.canAccess(Processor::Block, Memory::Register));
+  EXPECT_FALSE(M.canAccess(Processor::Host, Memory::Register));
+  // None is never addressable.
+  EXPECT_FALSE(M.canAccess(Processor::Thread, Memory::None));
+}
+
+TEST(Machine, Capacities) {
+  const MachineModel &M = MachineModel::h100();
+  EXPECT_EQ(M.memory(Memory::Shared).CapacityBytes,
+            H100Constants::SharedMemoryBytes);
+  EXPECT_EQ(M.memory(Memory::Register).CapacityBytes, 255 * 4);
+  EXPECT_EQ(M.memory(Memory::Global).CapacityBytes, 0); // Unbounded.
+}
+
+TEST(Machine, CustomMachineDescription) {
+  // The model is data-driven (Section 3.1's Blackwell note): a two-level
+  // machine with one scratchpad validates without code changes.
+  MachineModel Tiny("tiny",
+                    {{Processor::Host, 0, 0}, {Processor::Block, 0, 64}},
+                    {{Memory::Global, Processor::Host, 0},
+                     {Memory::Shared, Processor::Block, 1024}});
+  EXPECT_TRUE(Tiny.hasLevel(Processor::Block));
+  EXPECT_FALSE(Tiny.hasLevel(Processor::Warp));
+  EXPECT_TRUE(Tiny.canAccess(Processor::Block, Memory::Shared));
+  EXPECT_EQ(Tiny.memory(Memory::Shared).CapacityBytes, 1024);
+}
+
+TEST(Machine, Names) {
+  EXPECT_STREQ(processorName(Processor::Warpgroup), "WARPGROUP");
+  EXPECT_STREQ(memoryName(Memory::Register), "REGISTER");
+  EXPECT_STREQ(memoryName(Memory::None), "NONE");
+}

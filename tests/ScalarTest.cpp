@@ -1,0 +1,90 @@
+//===- ScalarTest.cpp - Symbolic scalar expressions --------------------------===//
+//
+// Part of the Cypress reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Scalar.h"
+
+#include <gtest/gtest.h>
+
+using namespace cypress;
+
+TEST(Scalar, ConstantFolding) {
+  ScalarExpr E = (ScalarExpr(3) + ScalarExpr(4)) * ScalarExpr(2);
+  ASSERT_TRUE(E.isConstant());
+  EXPECT_EQ(E.constantValue(), 14);
+  EXPECT_EQ((ScalarExpr(7).floorDiv(ScalarExpr(2))).constantValue(), 3);
+  EXPECT_EQ((ScalarExpr(7).mod(ScalarExpr(2))).constantValue(), 1);
+  EXPECT_EQ((ScalarExpr(5) - ScalarExpr(9)).constantValue(), -4);
+}
+
+TEST(Scalar, IdentitySimplification) {
+  ScalarExpr K = ScalarExpr::loopVar(1, "k");
+  EXPECT_TRUE((K + ScalarExpr(0)).equals(K));
+  EXPECT_TRUE((ScalarExpr(0) + K).equals(K));
+  EXPECT_TRUE((K * ScalarExpr(1)).equals(K));
+  EXPECT_TRUE((ScalarExpr(1) * K).equals(K));
+  EXPECT_TRUE((K * ScalarExpr(0)).isConstant());
+  EXPECT_EQ((K * ScalarExpr(0)).constantValue(), 0);
+  EXPECT_TRUE(K.floorDiv(ScalarExpr(1)).equals(K));
+}
+
+TEST(Scalar, Evaluation) {
+  ScalarExpr K = ScalarExpr::loopVar(5, "k");
+  ScalarExpr Wg = ScalarExpr::procIndex(Processor::Warpgroup);
+  ScalarExpr E = (K * ScalarExpr(4) + Wg).mod(ScalarExpr(3));
+  ScalarEnv Env;
+  Env.LoopVars[5] = 7;
+  Env.ProcIndices[Processor::Warpgroup] = 1;
+  EXPECT_EQ(E.evaluate(Env), (7 * 4 + 1) % 3);
+}
+
+TEST(Scalar, SubstituteLoopVar) {
+  ScalarExpr K = ScalarExpr::loopVar(2, "k");
+  ScalarExpr E = K + K * ScalarExpr(3);
+  ScalarExpr Sub = E.substituteLoopVar(2, ScalarExpr(5));
+  ASSERT_TRUE(Sub.isConstant());
+  EXPECT_EQ(Sub.constantValue(), 5 + 15);
+
+  // Substitution with a processor index (vectorization's rewrite).
+  ScalarExpr Vec =
+      E.substituteLoopVar(2, ScalarExpr::procIndex(Processor::Thread));
+  EXPECT_FALSE(Vec.isConstant());
+  EXPECT_TRUE(Vec.usesProcIndex());
+  ScalarEnv Env;
+  Env.ProcIndices[Processor::Thread] = 2;
+  EXPECT_EQ(Vec.evaluate(Env), 8);
+}
+
+TEST(Scalar, UsesQueries) {
+  ScalarExpr K = ScalarExpr::loopVar(9, "k");
+  ScalarExpr J = ScalarExpr::loopVar(10, "j");
+  ScalarExpr E = K * ScalarExpr(2) + ScalarExpr(1);
+  EXPECT_TRUE(E.usesLoopVar(9));
+  EXPECT_FALSE(E.usesLoopVar(10));
+  EXPECT_FALSE(E.usesProcIndex());
+  EXPECT_TRUE((E + J).usesLoopVar(10));
+}
+
+TEST(Scalar, ToStringStable) {
+  ScalarExpr K = ScalarExpr::loopVar(1, "k1");
+  EXPECT_EQ((K.mod(ScalarExpr(3))).toString(), "(k1 % 3)");
+  EXPECT_EQ(ScalarExpr::procIndex(Processor::Warpgroup).toString(),
+            "warpgroup_id()");
+  EXPECT_EQ(ScalarExpr(42).toString(), "42");
+}
+
+TEST(Scalar, StructuralEquality) {
+  ScalarExpr A = ScalarExpr::loopVar(1, "k") + ScalarExpr(2);
+  ScalarExpr B = ScalarExpr::loopVar(1, "other_name") + ScalarExpr(2);
+  ScalarExpr C = ScalarExpr::loopVar(2, "k") + ScalarExpr(2);
+  EXPECT_TRUE(A.equals(B)); // Names are cosmetic; ids are identity.
+  EXPECT_FALSE(A.equals(C));
+}
+
+TEST(Scalar, CdivMatchesCeilDiv) {
+  // The frontend helper used throughout the kernels.
+  ScalarExpr E = (ScalarExpr(100) + ScalarExpr(63)).floorDiv(ScalarExpr(64));
+  EXPECT_EQ(E.constantValue(), 2);
+}

@@ -1,0 +1,185 @@
+//===- SupportTest.cpp - Unit tests for the support library -----------------===//
+//
+// Part of the Cypress reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Error.h"
+#include "support/Format.h"
+#include "support/Fp16.h"
+#include "support/MathUtil.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+using namespace cypress;
+
+//===----------------------------------------------------------------------===//
+// FP16 emulation
+//===----------------------------------------------------------------------===//
+
+TEST(Fp16, ExactSmallIntegersRoundTrip) {
+  for (int I = -2048; I <= 2048; ++I) {
+    float Value = static_cast<float>(I);
+    EXPECT_EQ(quantizeFp16(Value), Value) << "integer " << I;
+  }
+}
+
+TEST(Fp16, PowersOfTwoRoundTrip) {
+  for (int E = -14; E <= 15; ++E) {
+    float Value = std::ldexp(1.0f, E);
+    EXPECT_EQ(quantizeFp16(Value), Value) << "exponent " << E;
+  }
+}
+
+TEST(Fp16, KnownBitPatterns) {
+  EXPECT_EQ(fp32ToFp16Bits(0.0f), 0x0000u);
+  EXPECT_EQ(fp32ToFp16Bits(-0.0f), 0x8000u);
+  EXPECT_EQ(fp32ToFp16Bits(1.0f), 0x3c00u);
+  EXPECT_EQ(fp32ToFp16Bits(-2.0f), 0xc000u);
+  EXPECT_EQ(fp32ToFp16Bits(65504.0f), 0x7bffu); // Max finite half.
+  EXPECT_EQ(fp32ToFp16Bits(0.5f), 0x3800u);
+}
+
+TEST(Fp16, OverflowBecomesInfinity) {
+  EXPECT_EQ(fp32ToFp16Bits(1.0e6f), 0x7c00u);
+  EXPECT_EQ(fp32ToFp16Bits(-1.0e6f), 0xfc00u);
+  EXPECT_TRUE(std::isinf(quantizeFp16(70000.0f)));
+}
+
+TEST(Fp16, NanPropagates) {
+  float Nan = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_TRUE(std::isnan(quantizeFp16(Nan)));
+}
+
+TEST(Fp16, SubnormalsRepresentable) {
+  // Smallest positive half subnormal = 2^-24.
+  float Tiny = std::ldexp(1.0f, -24);
+  EXPECT_EQ(quantizeFp16(Tiny), Tiny);
+  // Below half of it rounds to zero.
+  EXPECT_EQ(quantizeFp16(std::ldexp(1.0f, -26)), 0.0f);
+}
+
+TEST(Fp16, RoundToNearestEven) {
+  // 1 + 2^-11 is exactly between 1.0 and 1+2^-10; ties to even -> 1.0.
+  float Halfway = 1.0f + std::ldexp(1.0f, -11);
+  EXPECT_EQ(quantizeFp16(Halfway), 1.0f);
+  // Slightly above the tie rounds up.
+  float Above = 1.0f + std::ldexp(1.5f, -11);
+  EXPECT_EQ(quantizeFp16(Above), 1.0f + std::ldexp(1.0f, -10));
+}
+
+TEST(Fp16, QuantizationErrorBounded) {
+  SplitMix64 Rng(7);
+  for (int I = 0; I < 10000; ++I) {
+    float Value = static_cast<float>(Rng.nextIn(-100.0, 100.0));
+    float Quantized = quantizeFp16(Value);
+    // Relative error bounded by 2^-11 for normal halves.
+    EXPECT_LE(std::fabs(Quantized - Value),
+              std::fabs(Value) * 0x1p-10f + 1e-6f);
+    // Idempotence: re-quantizing changes nothing.
+    EXPECT_EQ(quantizeFp16(Quantized), Quantized);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Random
+//===----------------------------------------------------------------------===//
+
+TEST(Random, Deterministic) {
+  SplitMix64 A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Random, UnitRangeAndSpread) {
+  SplitMix64 Rng(1);
+  double Sum = 0;
+  for (int I = 0; I < 10000; ++I) {
+    double V = Rng.nextUnit();
+    ASSERT_GE(V, 0.0);
+    ASSERT_LT(V, 1.0);
+    Sum += V;
+  }
+  EXPECT_NEAR(Sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Random, FillIsFp16Quantized) {
+  std::vector<float> Buffer(256);
+  fillRandomFp16(Buffer, 3);
+  for (float V : Buffer) {
+    EXPECT_GE(V, -1.0f);
+    EXPECT_LE(V, 1.0f);
+    EXPECT_EQ(quantizeFp16(V), V);
+  }
+}
+
+TEST(Random, SeedChangesSequence) {
+  std::vector<float> A(64), B(64);
+  fillRandomFp16(A, 1);
+  fillRandomFp16(B, 2);
+  EXPECT_NE(A, B);
+}
+
+//===----------------------------------------------------------------------===//
+// Math utilities
+//===----------------------------------------------------------------------===//
+
+TEST(MathUtil, CeilDiv) {
+  EXPECT_EQ(ceilDiv(0, 4), 0);
+  EXPECT_EQ(ceilDiv(1, 4), 1);
+  EXPECT_EQ(ceilDiv(4, 4), 1);
+  EXPECT_EQ(ceilDiv(5, 4), 2);
+  EXPECT_EQ(ceilDiv(4096, 128), 32);
+}
+
+TEST(MathUtil, AlignUp) {
+  EXPECT_EQ(alignUp(0, 128), 0);
+  EXPECT_EQ(alignUp(1, 128), 128);
+  EXPECT_EQ(alignUp(128, 128), 128);
+  EXPECT_EQ(alignUp(129, 128), 256);
+}
+
+TEST(MathUtil, IsPowerOfTwo) {
+  EXPECT_FALSE(isPowerOfTwo(0));
+  EXPECT_TRUE(isPowerOfTwo(1));
+  EXPECT_TRUE(isPowerOfTwo(64));
+  EXPECT_FALSE(isPowerOfTwo(3));
+  EXPECT_FALSE(isPowerOfTwo(-4));
+}
+
+//===----------------------------------------------------------------------===//
+// Error handling / formatting
+//===----------------------------------------------------------------------===//
+
+TEST(Error, ValueAndDiagnostic) {
+  ErrorOr<int> Ok(7);
+  ASSERT_TRUE(Ok);
+  EXPECT_EQ(*Ok, 7);
+
+  ErrorOr<int> Bad = Diagnostic("things went sideways");
+  ASSERT_FALSE(Bad);
+  EXPECT_EQ(Bad.diagnostic().message(), "things went sideways");
+}
+
+TEST(Error, VoidResult) {
+  ErrorOrVoid Ok = ErrorOrVoid::success();
+  EXPECT_TRUE(Ok);
+  ErrorOrVoid Bad = Diagnostic("nope");
+  EXPECT_FALSE(Bad);
+  EXPECT_EQ(Bad.diagnostic().message(), "nope");
+}
+
+TEST(Format, FormatString) {
+  EXPECT_EQ(formatString("x=%d y=%s", 3, "abc"), "x=3 y=abc");
+  EXPECT_EQ(formatString("empty"), "empty");
+}
+
+TEST(Format, JoinAndIndent) {
+  EXPECT_EQ(joinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(joinStrings({}, ", "), "");
+  EXPECT_EQ(indentLines("x\ny", 2), "  x\n  y\n");
+}
