@@ -9,7 +9,7 @@
 /// with owned registries/mappings, and the table printer that emits the
 /// rows the paper's plots are drawn from. Every bench binary prints a
 /// table named after the paper figure it regenerates, with one row per
-/// x-axis point and one column per system; EXPERIMENTS.md records these
+/// x-axis point and one column per system; docs/BENCHMARKS.md records these
 /// against the published numbers.
 ///
 //===----------------------------------------------------------------------===//
@@ -21,9 +21,13 @@
 #include "kernels/Kernels.h"
 #include "runtime/Runtime.h"
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace cypress::bench {
@@ -93,14 +97,64 @@ public:
     for (double Value : TFlops)
       std::printf("%14.1f", Value);
     std::printf("\n");
+    Rows.emplace_back(X, TFlops);
   }
 
-  ~Table() { std::printf("\n"); }
+  ~Table() {
+    std::printf("\n");
+    maybeWriteJson();
+  }
 
 private:
+  /// When CYPRESS_BENCH_JSON is set, dump the table as
+  /// `<dir>/BENCH_<slug>.json` (dir is the variable's value; "1" means the
+  /// current directory) so plots can be regenerated without scraping stdout.
+  static std::string jsonEscape(const std::string &S) {
+    std::string Out;
+    for (char C : S) {
+      if (C == '"' || C == '\\')
+        Out += '\\';
+      Out += C;
+    }
+    return Out;
+  }
+
+  void maybeWriteJson() const {
+    const char *Dir = std::getenv("CYPRESS_BENCH_JSON");
+    if (!Dir || !*Dir)
+      return;
+    std::string Slug;
+    for (char C : Title)
+      Slug += std::isalnum(static_cast<unsigned char>(C)) ? C : '_';
+    std::string Path = std::string(std::strcmp(Dir, "1") == 0 ? "." : Dir) +
+                       "/BENCH_" + Slug + ".json";
+    std::FILE *Out = std::fopen(Path.c_str(), "w");
+    if (!Out) {
+      std::fprintf(stderr, "warning: cannot write %s\n", Path.c_str());
+      return;
+    }
+    std::fprintf(Out, "{\n  \"title\": \"%s\",\n  \"xlabel\": \"%s\",\n",
+                 jsonEscape(Title).c_str(), jsonEscape(XLabel).c_str());
+    std::fprintf(Out, "  \"systems\": [");
+    for (size_t I = 0; I < Systems.size(); ++I)
+      std::fprintf(Out, "%s\"%s\"", I ? ", " : "",
+                   jsonEscape(Systems[I]).c_str());
+    std::fprintf(Out, "],\n  \"rows\": [\n");
+    for (size_t I = 0; I < Rows.size(); ++I) {
+      std::fprintf(Out, "    {\"x\": \"%s\", \"tflops\": [",
+                   jsonEscape(Rows[I].first).c_str());
+      for (size_t J = 0; J < Rows[I].second.size(); ++J)
+        std::fprintf(Out, "%s%.6g", J ? ", " : "", Rows[I].second[J]);
+      std::fprintf(Out, "]}%s\n", I + 1 < Rows.size() ? "," : "");
+    }
+    std::fprintf(Out, "  ]\n}\n");
+    std::fclose(Out);
+  }
+
   std::string Title;
   std::string XLabel;
   std::vector<std::string> Systems;
+  std::vector<std::pair<std::string, std::vector<double>>> Rows;
 };
 
 } // namespace cypress::bench

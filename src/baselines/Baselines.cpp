@@ -10,8 +10,8 @@
 /// TMA or SIMT copy cycles, barrier costs) according to the loop structure
 /// the system generates; the documented behavioural differences — TMA
 /// usage, intra-loop overlap, accumulator placement, persistent kernels —
-/// are the only degrees of freedom. See DESIGN.md for the calibration
-/// argument and EXPERIMENTS.md for measured-vs-paper ratios.
+/// are the only degrees of freedom. See docs/DESIGN.md for the calibration
+/// argument and docs/BENCHMARKS.md for measured-vs-paper ratios.
 ///
 //===----------------------------------------------------------------------===//
 

@@ -7,7 +7,7 @@
 /// \file
 /// The comparison systems of Section 5, simulated on the same machine
 /// constants as the Cypress backend (see the substitution table in
-/// DESIGN.md):
+/// docs/DESIGN.md):
 ///
 ///  * Triton: a tile-level compiler model that reproduces Triton's
 ///    documented Hopper behaviours — software-pipelined loads issued by

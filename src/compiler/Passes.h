@@ -119,7 +119,7 @@ ErrorOr<IRModule> compileToIR(const CompileInput &Input,
 
 /// Stage 6a: prints warp-specialized CUDA C++ matching the structure of
 /// Figure 1b (mbarriers, TMA intrinsics, wgmma, named barriers). The text
-/// is golden-tested; it is not compiled in this environment (see DESIGN.md
+/// is golden-tested; it is not compiled in this environment (see docs/DESIGN.md
 /// substitutions).
 std::string emitCudaSource(const IRModule &Module,
                            const SharedAllocation &Alloc,

@@ -74,7 +74,7 @@ std::vector<TensorType> dualGemmArgTypes(const GemmConfig &Config);
 /// reduction is computed per block-column into Y[N/V, M]; row 0 is the
 /// kernel's logical y (other rows are identical replicas — the reduction
 /// runs redundantly per column block so the SIMT units overlap the Tensor
-/// Core everywhere, see DESIGN.md). Entry args: C, A, B, Y.
+/// Core everywhere, see docs/DESIGN.md). Entry args: C, A, B, Y.
 void registerGemmRedTasks(TaskRegistry &Registry);
 MappingSpec gemmRedMapping(const GemmConfig &Config);
 std::vector<TensorType> gemmRedArgTypes(const GemmConfig &Config);

@@ -47,8 +47,10 @@ MachineModel::MachineModel(std::string Name, std::vector<ProcessorLevel> Levels,
     : Name(std::move(Name)), Levels(std::move(Levels)),
       Memories(std::move(Memories)) {
   assert(!this->Levels.empty() && "machine needs at least one level");
-  for (const MemoryLevel &Mem : this->Memories)
+  for (const MemoryLevel &Mem : this->Memories) {
+    (void)Mem; // Only inspected by the assert below.
     assert(hasLevel(Mem.Scope) && "memory scope names an unknown level");
+  }
 }
 
 bool MachineModel::hasLevel(Processor Proc) const {

@@ -5,7 +5,7 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The simulated H100 substrate (see DESIGN.md, substitution table). The
+/// The simulated H100 substrate (see docs/DESIGN.md, substitution table). The
 /// simulator consumes the compiler's final IR and executes it two ways:
 ///
 ///  * Timing: a discrete-event model of one SM's block schedule — a DMA
@@ -41,7 +41,7 @@ namespace cypress {
 
 /// Timing constants of the simulated H100. Defaults are derived from the
 /// Hopper whitepaper/datasheet ratios; only relative magnitudes matter for
-/// reproducing the paper's figures (see DESIGN.md).
+/// reproducing the paper's figures (see docs/DESIGN.md).
 struct SimConfig {
   double ClockGHz = 1.755;
   /// Dense FP16 Tensor Core throughput per SM (FLOP per cycle):

@@ -5,7 +5,7 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Sanity checks on the baseline performance models (DESIGN.md's
+/// Sanity checks on the baseline performance models (docs/DESIGN.md's
 /// substitution table): physical plausibility, the documented behavioural
 /// orderings (expert > Triton, persistent kernels help at small sizes),
 /// and the end-to-end headline ratios of the paper's abstract, asserted as

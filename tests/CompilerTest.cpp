@@ -211,8 +211,9 @@ TEST(Vectorization, FlattensImplicitLoopsAndPromotesEvents) {
   // Only the grid pfor remains (Figure 9c: warp and thread loops gone).
   EXPECT_EQ(countOps(*Module, OpKind::PFor), 1);
   walkOps(Module->root(), [&](const Operation &Op) {
-    if (Op.Kind == OpKind::PFor)
+    if (Op.Kind == OpKind::PFor) {
       EXPECT_EQ(Op.PForProc, Processor::Block);
+    }
   });
 
   // The leaf's event now carries both flattened dimensions, and some op
@@ -446,11 +447,13 @@ TEST(WarpSpecialization, TmaCopiesOnDmaAgent) {
   ErrorOr<IRModule> Module = compileToIR(Input);
   ASSERT_TRUE(Module);
   walkOps(Module->root(), [&](const Operation &Op) {
-    if (Op.Kind == OpKind::Copy)
+    if (Op.Kind == OpKind::Copy) {
       EXPECT_EQ(Op.DmaAgent, Op.Unit == ExecUnit::TMA)
           << "graph partition: TMA <-> DMA agent, rest <-> compute";
-    if (Op.Kind == OpKind::Call)
+    }
+    if (Op.Kind == OpKind::Call) {
       EXPECT_FALSE(Op.DmaAgent);
+    }
   });
 }
 
