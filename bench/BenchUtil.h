@@ -32,6 +32,22 @@
 
 namespace cypress::bench {
 
+/// Opens `<dir>/BENCH_<slug>.json` following the CYPRESS_BENCH_JSON
+/// convention (the variable's value is the directory, "1" means the
+/// current directory). Returns nullptr when the variable is unset or the
+/// path is unwritable (with a warning). Caller closes the file.
+inline std::FILE *benchJsonOpen(const std::string &Slug) {
+  const char *Dir = std::getenv("CYPRESS_BENCH_JSON");
+  if (!Dir || !*Dir)
+    return nullptr;
+  std::string Path = std::string(std::strcmp(Dir, "1") == 0 ? "." : Dir) +
+                     "/BENCH_" + Slug + ".json";
+  std::FILE *Out = std::fopen(Path.c_str(), "w");
+  if (!Out)
+    std::fprintf(stderr, "warning: cannot write %s\n", Path.c_str());
+  return Out;
+}
+
 /// A compiled kernel together with the registry/mapping that back it.
 struct OwnedKernel {
   std::unique_ptr<TaskRegistry> Registry;
@@ -120,19 +136,12 @@ private:
   }
 
   void maybeWriteJson() const {
-    const char *Dir = std::getenv("CYPRESS_BENCH_JSON");
-    if (!Dir || !*Dir)
-      return;
     std::string Slug;
     for (char C : Title)
       Slug += std::isalnum(static_cast<unsigned char>(C)) ? C : '_';
-    std::string Path = std::string(std::strcmp(Dir, "1") == 0 ? "." : Dir) +
-                       "/BENCH_" + Slug + ".json";
-    std::FILE *Out = std::fopen(Path.c_str(), "w");
-    if (!Out) {
-      std::fprintf(stderr, "warning: cannot write %s\n", Path.c_str());
+    std::FILE *Out = benchJsonOpen(Slug);
+    if (!Out)
       return;
-    }
     std::fprintf(Out, "{\n  \"title\": \"%s\",\n  \"xlabel\": \"%s\",\n",
                  jsonEscape(Title).c_str(), jsonEscape(XLabel).c_str());
     std::fprintf(Out, "  \"systems\": [");

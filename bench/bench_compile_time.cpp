@@ -5,16 +5,32 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// google-benchmark microbenchmarks of the compiler itself: full-pipeline
-/// lowering of the shipped kernels, plus the individual stages on the GEMM
-/// program. Compilation happens once per kernel instantiation, so these
-/// times bound the model's static-compilation overhead.
+/// Compiler-overhead measurements, two layers:
+///
+///  1. A per-pass breakdown of one full-pipeline compile of each shipped
+///     kernel, taken from the pass manager's PipelineStats: wall time,
+///     verification time, and IR size after every registered pass. Printed
+///     as a table on startup and, when CYPRESS_BENCH_JSON is set, written
+///     to `BENCH_compile_time.json` (schema in docs/BENCHMARKS.md).
+///
+///  2. google-benchmark microbenchmarks of `compileToIR` and individual
+///     stages, for statistically robust totals.
+///
+/// Compilation happens once per kernel instantiation, so these times bound
+/// the model's static-compilation overhead.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
+#include "compiler/PassManager.h"
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
 
 using namespace cypress;
 
@@ -30,6 +46,99 @@ CompileInput gemmInput(TaskRegistry &Registry, MappingSpec &Mapping,
   return {&Registry, &Mapping, &MachineModel::h100(), Args};
 }
 
+//===----------------------------------------------------------------------===//
+// Per-pass breakdown (PipelineStats)
+//===----------------------------------------------------------------------===//
+
+struct KernelBreakdown {
+  std::string Kernel;
+  PipelineStats Stats;
+};
+
+void printBreakdown(std::FILE *Out,
+                    const std::vector<KernelBreakdown> &Breakdowns) {
+  for (const KernelBreakdown &B : Breakdowns) {
+    std::fprintf(Out, "== per-pass breakdown: %s ==\n", B.Kernel.c_str());
+    std::fprintf(Out, "%-22s%12s%12s%8s%8s%9s\n", "pass", "time_us",
+                 "verify_us", "ops", "events", "tensors");
+    for (const PassStat &S : B.Stats.Passes)
+      std::fprintf(Out, "%-22s%12.1f%12.1f%8zu%8zu%9zu\n", S.Name.c_str(),
+                   S.Micros, S.VerifyMicros, S.OpsAfter, S.EventsAfter,
+                   S.TensorsAfter);
+    std::fprintf(Out, "%-22s%12.1f\n\n", "total", B.Stats.TotalMicros);
+  }
+}
+
+/// BENCH_compile_time.json via the same CYPRESS_BENCH_JSON convention as
+/// the Table drivers (value = directory, "1" = cwd).
+void maybeWriteJson(const std::vector<KernelBreakdown> &Breakdowns) {
+  std::FILE *Out = bench::benchJsonOpen("compile_time");
+  if (!Out)
+    return;
+  std::fprintf(Out, "{\n  \"kernels\": [\n");
+  for (size_t I = 0; I < Breakdowns.size(); ++I) {
+    const KernelBreakdown &B = Breakdowns[I];
+    std::fprintf(Out, "    {\"kernel\": \"%s\", \"total_us\": %.3f,\n",
+                 B.Kernel.c_str(), B.Stats.TotalMicros);
+    std::fprintf(Out, "     \"passes\": [\n");
+    for (size_t J = 0; J < B.Stats.Passes.size(); ++J) {
+      const PassStat &S = B.Stats.Passes[J];
+      std::fprintf(Out,
+                   "       {\"pass\": \"%s\", \"time_us\": %.3f, "
+                   "\"verify_us\": %.3f, \"ops\": %zu, \"events\": %zu, "
+                   "\"tensors\": %zu}%s\n",
+                   S.Name.c_str(), S.Micros, S.VerifyMicros, S.OpsAfter,
+                   S.EventsAfter, S.TensorsAfter,
+                   J + 1 < B.Stats.Passes.size() ? "," : "");
+    }
+    std::fprintf(Out, "     ]}%s\n", I + 1 < Breakdowns.size() ? "," : "");
+  }
+  std::fprintf(Out, "  ]\n}\n");
+  std::fclose(Out);
+}
+
+void reportPerPassBreakdown(std::FILE *Out) {
+  std::vector<KernelBreakdown> Breakdowns;
+
+  {
+    TaskRegistry Registry;
+    MappingSpec Mapping;
+    std::vector<TensorType> Args;
+    CompileInput Input = gemmInput(Registry, Mapping, Args);
+    PipelineStats Stats;
+    ErrorOr<IRModule> Module =
+        PassPipeline::defaultPipeline().run(Input, nullptr, &Stats);
+    if (Module)
+      Breakdowns.push_back({"gemm_4096", std::move(Stats)});
+    else
+      std::fprintf(stderr, "error: gemm_4096: %s\n",
+                   Module.diagnostic().str().c_str());
+  }
+  {
+    AttentionConfig Config = fa2Config(4096);
+    TaskRegistry Registry;
+    registerAttentionTasks(Registry);
+    MappingSpec Mapping = attentionMapping(Config);
+    std::vector<TensorType> Args = attentionArgTypes(Config);
+    CompileInput Input{&Registry, &Mapping, &MachineModel::h100(), Args};
+    PipelineStats Stats;
+    ErrorOr<IRModule> Module =
+        PassPipeline::defaultPipeline().run(Input, nullptr, &Stats);
+    if (Module)
+      Breakdowns.push_back({"attention_fa2_4096", std::move(Stats)});
+    else
+      std::fprintf(stderr, "error: attention_fa2_4096: %s\n",
+                   Module.diagnostic().str().c_str());
+  }
+
+  printBreakdown(Out, Breakdowns);
+  maybeWriteJson(Breakdowns);
+}
+
+//===----------------------------------------------------------------------===//
+// google-benchmark microbenchmarks
+//===----------------------------------------------------------------------===//
+
 void BM_CompileGemmFull(benchmark::State &State) {
   TaskRegistry Registry;
   MappingSpec Mapping;
@@ -41,6 +150,22 @@ void BM_CompileGemmFull(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_CompileGemmFull);
+
+/// The same compile without inter-stage verification: the serving
+/// configuration (SessionConfig::VerifyEachPass = false).
+void BM_CompileGemmFullNoVerify(benchmark::State &State) {
+  TaskRegistry Registry;
+  MappingSpec Mapping;
+  std::vector<TensorType> Args;
+  CompileInput Input = gemmInput(Registry, Mapping, Args);
+  PassPipeline Pipeline = PassPipeline::defaultPipeline();
+  Pipeline.setVerifyEachPass(false);
+  for (auto _ : State) {
+    ErrorOr<IRModule> Module = Pipeline.run(Input);
+    benchmark::DoNotOptimize(&Module);
+  }
+}
+BENCHMARK(BM_CompileGemmFullNoVerify);
 
 void BM_DependenceAnalysis(benchmark::State &State) {
   TaskRegistry Registry;
@@ -104,4 +229,19 @@ BENCHMARK(BM_SimulateGemmTiming);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  // Keep stdout machine-parsable when the user asked google-benchmark for
+  // a structured format: route the breakdown tables to stderr then.
+  bool StructuredStdout = false;
+  for (int I = 1; I < argc; ++I)
+    if (std::strncmp(argv[I], "--benchmark_format", 18) == 0 ||
+        std::strncmp(argv[I], "--benchmark_out", 15) == 0)
+      StructuredStdout = true;
+  reportPerPassBreakdown(StructuredStdout ? stderr : stdout);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -35,6 +35,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "compiler/PassManager.h"
 #include "compiler/Passes.h"
 #include "support/Format.h"
 
@@ -898,4 +899,26 @@ void cypress::repairEventScopes(IRModule &Module) {
   };
   Chain.clear();
   Fix(Module.root());
+}
+
+std::unique_ptr<Pass> cypress::createCopyEliminationPass() {
+  return std::make_unique<FunctionPass>(
+      "copy-elimination",
+      [](PipelineState &State) { return runCopyElimination(State.Module); });
+}
+
+std::unique_ptr<Pass> cypress::createAssignExecUnitsPass() {
+  return std::make_unique<FunctionPass>(
+      "assign-exec-units", [](PipelineState &State) {
+        assignExecUnits(State.Module);
+        return ErrorOrVoid::success();
+      });
+}
+
+std::unique_ptr<Pass> cypress::createRepairEventScopesPass() {
+  return std::make_unique<FunctionPass>(
+      "repair-event-scopes", [](PipelineState &State) {
+        repairEventScopes(State.Module);
+        return ErrorOrVoid::success();
+      });
 }

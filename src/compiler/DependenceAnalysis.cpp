@@ -22,6 +22,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "compiler/PassManager.h"
 #include "compiler/Passes.h"
 #include "support/Format.h"
 
@@ -724,4 +725,15 @@ ErrorOr<IRModule> cypress::runDependenceAnalysis(const CompileInput &Input) {
          "compile input missing components");
   Analysis A(Input);
   return A.run();
+}
+
+std::unique_ptr<Pass> cypress::createDependenceAnalysisPass() {
+  return std::make_unique<FunctionPass>(
+      "dependence-analysis", [](PipelineState &State) -> ErrorOrVoid {
+        ErrorOr<IRModule> Module = runDependenceAnalysis(*State.Input);
+        if (!Module)
+          return Module.diagnostic();
+        State.Module = std::move(*Module);
+        return ErrorOrVoid::success();
+      });
 }

@@ -1,0 +1,117 @@
+//===- PassManager.cpp - Instrumented compiler pass pipeline ---------------===//
+//
+// Part of the Cypress reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/PassManager.h"
+
+#include "support/Format.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+
+using namespace cypress;
+
+Pass::~Pass() = default;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double microsSince(Clock::time_point Start) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - Start)
+      .count();
+}
+
+} // namespace
+
+PassPipeline::PassPipeline() {
+  const char *Env = std::getenv("CYPRESS_PRINT_IR_AFTER_ALL");
+  PrintIRAfterAll = Env && *Env && std::string(Env) != "0";
+}
+
+ErrorOr<IRModule> PassPipeline::run(const CompileInput &Input,
+                                    SharedAllocation *AllocOut,
+                                    PipelineStats *StatsOut) const {
+  PipelineState State;
+  State.Input = &Input;
+
+  PipelineStats Stats;
+  Clock::time_point PipelineStart = Clock::now();
+  auto Finish = [&]() {
+    Stats.TotalMicros = microsSince(PipelineStart);
+    if (StatsOut)
+      *StatsOut = std::move(Stats);
+  };
+
+  for (const std::unique_ptr<Pass> &P : Passes) {
+    PassStat Stat;
+    Stat.Name = P->name();
+
+    Clock::time_point PassStart = Clock::now();
+    ErrorOrVoid Result = P->run(State);
+    Stat.Micros = microsSince(PassStart);
+    Stat.OpsAfter = countOps(State.Module);
+    Stat.EventsAfter = State.Module.numEvents();
+    Stat.TensorsAfter = State.Module.tensors().size();
+
+    if (!Result) {
+      Stats.Passes.push_back(std::move(Stat));
+      Finish();
+      Diagnostic Diag = Result.diagnostic();
+      if (Diag.passName().empty())
+        Diag.setPass(P->name());
+      return Diag;
+    }
+
+    if (PrintIRAfterAll) {
+      std::ostream &OS = PrintStream ? *PrintStream : std::cerr;
+      OS << "// --- IR after " << P->name() << " ---\n"
+         << printModule(State.Module) << '\n';
+    }
+
+    if (VerifyEachPass && P->verifyAfter()) {
+      Clock::time_point VerifyStart = Clock::now();
+      ErrorOrVoid Verified = verifyModule(State.Module);
+      Stat.VerifyMicros = microsSince(VerifyStart);
+      if (!Verified) {
+        Stats.Passes.push_back(std::move(Stat));
+        Finish();
+        Diagnostic Diag(formatString(
+            "verification failed after pass '%s': %s", P->name(),
+            Verified.diagnostic().message().c_str()));
+        Diag.setPass(P->name());
+        return Diag;
+      }
+    }
+    Stats.Passes.push_back(std::move(Stat));
+  }
+
+  if (AllocOut)
+    *AllocOut = std::move(State.Alloc);
+  Finish();
+  return std::move(State.Module);
+}
+
+PassPipeline PassPipeline::defaultPipeline() {
+  PassPipeline Pipeline;
+  Pipeline.addPass(createDependenceAnalysisPass());
+  Pipeline.addPass(createVectorizationPass());
+  Pipeline.addPass(createCopyEliminationPass());
+  Pipeline.addPass(createAssignExecUnitsPass());
+  Pipeline.addPass(createResourceAllocationPass());
+  Pipeline.addPass(createRepairEventScopesPass());
+  Pipeline.addPass(createWarpSpecializationPass());
+  return Pipeline;
+}
+
+//===----------------------------------------------------------------------===//
+// compileToIR: the legacy single-call driver, now a pipeline wrapper
+//===----------------------------------------------------------------------===//
+
+ErrorOr<IRModule> cypress::compileToIR(const CompileInput &Input,
+                                       SharedAllocation *AllocOut) {
+  return PassPipeline::defaultPipeline().run(Input, AllocOut);
+}

@@ -1,0 +1,166 @@
+//===- PassManager.h - Instrumented compiler pass pipeline -----------------===//
+//
+// Part of the Cypress reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// LLVM-style pass management for the six-stage pipeline of Section 4.2.
+/// Each lowering stage (and the two repair helpers) is a registered Pass
+/// over a shared PipelineState; PassPipeline runs them in order, verifies
+/// the IR between stages, collects per-pass wall-time and IR-size
+/// statistics into PipelineStats, and can dump the IR after every pass
+/// (set CYPRESS_PRINT_IR_AFTER_ALL, or call setPrintIRAfterAll).
+///
+/// `compileToIR` in Passes.h is a thin wrapper over
+/// `PassPipeline::defaultPipeline()`, so existing callers keep working;
+/// new infrastructure (sessions, autotuning search, alternate backends)
+/// should build pipelines explicitly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CYPRESS_COMPILER_PASSMANAGER_H
+#define CYPRESS_COMPILER_PASSMANAGER_H
+
+#include "compiler/Passes.h"
+#include "ir/IR.h"
+#include "support/Error.h"
+
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cypress {
+
+/// Everything a pass may read or rewrite. Dependence analysis creates
+/// Module from Input; resource allocation fills Alloc; every other pass
+/// transforms Module in place.
+struct PipelineState {
+  const CompileInput *Input = nullptr;
+  IRModule Module;
+  SharedAllocation Alloc;
+};
+
+/// Per-pass measurements taken by PassPipeline::run.
+struct PassStat {
+  std::string Name;
+  double Micros = 0.0;      ///< Wall time of the pass itself.
+  double VerifyMicros = 0.0;///< Wall time of the post-pass verification.
+  size_t OpsAfter = 0;      ///< Operations in the module after the pass.
+  size_t EventsAfter = 0;   ///< Events in the module after the pass.
+  size_t TensorsAfter = 0;  ///< Tensors in the module after the pass.
+};
+
+/// Statistics for one full pipeline run.
+struct PipelineStats {
+  std::vector<PassStat> Passes;
+  double TotalMicros = 0.0;
+
+  /// The stat row for \p Name, or nullptr if that pass did not run.
+  const PassStat *pass(const std::string &Name) const {
+    for (const PassStat &S : Passes)
+      if (S.Name == Name)
+        return &S;
+    return nullptr;
+  }
+};
+
+/// One registered pipeline stage.
+class Pass {
+public:
+  virtual ~Pass();
+
+  /// Stable kebab-case identifier used in stats, diagnostics, and dumps.
+  virtual const char *name() const = 0;
+
+  virtual ErrorOrVoid run(PipelineState &State) = 0;
+
+  /// False for passes whose output intentionally violates an IR invariant
+  /// that a later registered pass restores (resource allocation's WAR edges
+  /// may cross loop scopes until repair-event-scopes runs).
+  virtual bool verifyAfter() const { return true; }
+};
+
+/// A pass defined by a name and a callable; enough for every builtin stage
+/// and convenient for test-injected passes.
+class FunctionPass : public Pass {
+public:
+  using RunFn = std::function<ErrorOrVoid(PipelineState &)>;
+
+  FunctionPass(std::string Name, RunFn Fn, bool Verify = true)
+      : PassName(std::move(Name)), Fn(std::move(Fn)), Verify(Verify) {}
+
+  const char *name() const override { return PassName.c_str(); }
+  ErrorOrVoid run(PipelineState &State) override { return Fn(State); }
+  bool verifyAfter() const override { return Verify; }
+
+private:
+  std::string PassName;
+  RunFn Fn;
+  bool Verify;
+};
+
+/// An ordered sequence of passes plus the instrumentation around them.
+class PassPipeline {
+public:
+  /// Honors CYPRESS_PRINT_IR_AFTER_ALL at construction time.
+  PassPipeline();
+
+  PassPipeline(PassPipeline &&) = default;
+  PassPipeline &operator=(PassPipeline &&) = default;
+
+  void addPass(std::unique_ptr<Pass> P) { Passes.push_back(std::move(P)); }
+
+  size_t size() const { return Passes.size(); }
+  const Pass &pass(size_t I) const { return *Passes[I]; }
+
+  /// Run verifyModule after every pass (on by default; turn off for
+  /// release/serving builds where throughput matters).
+  void setVerifyEachPass(bool Enable) { VerifyEachPass = Enable; }
+  bool verifyEachPass() const { return VerifyEachPass; }
+
+  /// Dump the IR to the print stream after every pass. The environment
+  /// variable CYPRESS_PRINT_IR_AFTER_ALL enables this too.
+  void setPrintIRAfterAll(bool Enable) { PrintIRAfterAll = Enable; }
+  /// Where dumps go; defaults to stderr.
+  void setPrintStream(std::ostream &OS) { PrintStream = &OS; }
+
+  /// Runs every pass in order. On success returns the final module and
+  /// fills \p AllocOut / \p StatsOut when non-null; on failure returns the
+  /// failing pass's diagnostic, tagged with that pass's name (see
+  /// Diagnostic::passName). StatsOut is filled with the passes that did run
+  /// even on failure.
+  ErrorOr<IRModule> run(const CompileInput &Input,
+                        SharedAllocation *AllocOut = nullptr,
+                        PipelineStats *StatsOut = nullptr) const;
+
+  /// The Section 4.2 lowering pipeline: the five IR-to-IR stages with the
+  /// two repair helpers registered between them, in the order compileToIR
+  /// has always run them. Stage 6 (code generation) consumes the result
+  /// through emitCudaSource / the simulator and is not an IR pass.
+  static PassPipeline defaultPipeline();
+
+private:
+  std::vector<std::unique_ptr<Pass>> Passes;
+  bool VerifyEachPass = true;
+  bool PrintIRAfterAll = false;
+  std::ostream *PrintStream = nullptr; ///< nullptr = stderr.
+};
+
+//===----------------------------------------------------------------------===//
+// Builtin pass factories (defined next to each stage's implementation)
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<Pass> createDependenceAnalysisPass();
+std::unique_ptr<Pass> createVectorizationPass();
+std::unique_ptr<Pass> createCopyEliminationPass();
+std::unique_ptr<Pass> createAssignExecUnitsPass();
+std::unique_ptr<Pass> createResourceAllocationPass();
+std::unique_ptr<Pass> createRepairEventScopesPass();
+std::unique_ptr<Pass> createWarpSpecializationPass();
+
+} // namespace cypress
+
+#endif // CYPRESS_COMPILER_PASSMANAGER_H

@@ -27,6 +27,7 @@
 #include "support/Error.h"
 
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace cypress {
@@ -85,8 +86,26 @@ struct SharedAllocation {
   /// Pairs of tensors that ended up aliased (share addresses) and therefore
   /// required write-after-read synchronization edges.
   std::vector<std::pair<TensorId, TensorId>> AliasedPairs;
+  /// Tensor id -> Entries position, built by buildIndex(). The simulator
+  /// calls find() on every buffer access, so lookups must not scan.
+  std::unordered_map<TensorId, uint32_t> Index;
 
+  /// (Re)builds Index from Entries. The allocator calls this before
+  /// returning; call it again after mutating Entries by hand.
+  void buildIndex() {
+    Index.clear();
+    Index.reserve(Entries.size());
+    for (uint32_t I = 0; I < Entries.size(); ++I)
+      Index.emplace(Entries[I].Tensor, I);
+  }
+
+  /// O(1) when the index is current; falls back to a linear scan for
+  /// hand-assembled allocations that never called buildIndex().
   const Entry *find(TensorId Tensor) const {
+    if (Index.size() == Entries.size()) {
+      auto It = Index.find(Tensor);
+      return It == Index.end() ? nullptr : &Entries[It->second];
+    }
     for (const Entry &E : Entries)
       if (E.Tensor == Tensor)
         return &E;
@@ -113,7 +132,10 @@ ErrorOr<SharedAllocation> runResourceAllocation(IRModule &Module,
 ErrorOrVoid runWarpSpecialization(IRModule &Module);
 
 /// Full pipeline through stage 5. The returned module is what the emitters
-/// (CUDA text, simulator program) consume.
+/// (CUDA text, simulator program) consume. This is a thin wrapper over
+/// PassPipeline::defaultPipeline() (compiler/PassManager.h) — build a
+/// pipeline explicitly to control verification, collect PipelineStats, or
+/// register extra passes.
 ErrorOr<IRModule> compileToIR(const CompileInput &Input,
                               SharedAllocation *AllocOut = nullptr);
 

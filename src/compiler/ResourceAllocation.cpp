@@ -27,6 +27,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "compiler/PassManager.h"
 #include "compiler/Passes.h"
 #include "support/Format.h"
 #include "support/MathUtil.h"
@@ -139,6 +140,7 @@ public:
     }
 
     insertWarEdges(Result);
+    Result.buildIndex();
     return Result;
   }
 
@@ -349,4 +351,21 @@ private:
 ErrorOr<SharedAllocation>
 cypress::runResourceAllocation(IRModule &Module, const MachineModel &Machine) {
   return Allocator(Module, Machine).run();
+}
+
+std::unique_ptr<Pass> cypress::createResourceAllocationPass() {
+  // The allocator's WAR edges may reference loop-interior events from
+  // outside their scope until repair-event-scopes normalizes them, so
+  // inter-stage verification is deferred to that pass (verifyAfter=false).
+  return std::make_unique<FunctionPass>(
+      "resource-allocation",
+      [](PipelineState &State) -> ErrorOrVoid {
+        ErrorOr<SharedAllocation> Alloc =
+            runResourceAllocation(State.Module, *State.Input->Machine);
+        if (!Alloc)
+          return Alloc.diagnostic();
+        State.Alloc = std::move(*Alloc);
+        return ErrorOrVoid::success();
+      },
+      /*Verify=*/false);
 }

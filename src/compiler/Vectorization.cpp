@@ -22,6 +22,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "compiler/PassManager.h"
 #include "compiler/Passes.h"
 #include "support/Format.h"
 
@@ -298,4 +299,11 @@ private:
 ErrorOrVoid cypress::runVectorization(IRModule &Module,
                                       const MachineModel &Machine) {
   return Vectorizer(Module, Machine).run();
+}
+
+std::unique_ptr<Pass> cypress::createVectorizationPass() {
+  return std::make_unique<FunctionPass>(
+      "vectorization", [](PipelineState &State) {
+        return runVectorization(State.Module, *State.Input->Machine);
+      });
 }

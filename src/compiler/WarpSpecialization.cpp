@@ -25,6 +25,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "compiler/PassManager.h"
 #include "compiler/Passes.h"
 
 #include <set>
@@ -194,30 +195,8 @@ ErrorOrVoid cypress::runWarpSpecialization(IRModule &Module) {
   return WarpSpecializer(Module).run();
 }
 
-//===----------------------------------------------------------------------===//
-// Full pipeline driver
-//===----------------------------------------------------------------------===//
-
-ErrorOr<IRModule> cypress::compileToIR(const CompileInput &Input,
-                                       SharedAllocation *AllocOut) {
-  ErrorOr<IRModule> Module = runDependenceAnalysis(Input);
-  if (!Module)
-    return Module.diagnostic();
-
-  if (ErrorOrVoid Err = runVectorization(*Module, *Input.Machine); !Err)
-    return Err.diagnostic();
-  if (ErrorOrVoid Err = runCopyElimination(*Module); !Err)
-    return Err.diagnostic();
-  assignExecUnits(*Module);
-  ErrorOr<SharedAllocation> Alloc =
-      runResourceAllocation(*Module, *Input.Machine);
-  if (!Alloc)
-    return Alloc.diagnostic();
-  // The allocator's WAR edges may cross loop scopes; normalize them.
-  repairEventScopes(*Module);
-  if (ErrorOrVoid Err = runWarpSpecialization(*Module); !Err)
-    return Err.diagnostic();
-  if (AllocOut)
-    *AllocOut = std::move(*Alloc);
-  return Module;
+std::unique_ptr<Pass> cypress::createWarpSpecializationPass() {
+  return std::make_unique<FunctionPass>(
+      "warp-specialization",
+      [](PipelineState &State) { return runWarpSpecialization(State.Module); });
 }

@@ -6,6 +6,8 @@
 
 #include "frontend/Task.h"
 
+#include <atomic>
+
 using namespace cypress;
 
 const char *cypress::privilegeName(Privilege P) {
@@ -21,6 +23,11 @@ const char *cypress::privilegeName(Privilege P) {
 }
 
 InnerContext::~InnerContext() = default;
+
+uint64_t TaskRegistry::nextUid() {
+  static std::atomic<uint64_t> Counter{1};
+  return Counter.fetch_add(1, std::memory_order_relaxed);
+}
 
 void TaskRegistry::addInner(std::string Task, std::string Variant,
                             std::vector<TaskParam> Params, InnerBody Body) {

@@ -113,6 +113,19 @@ struct TaskVariant {
 /// Registry of all task variants of a program.
 class TaskRegistry {
 public:
+  TaskRegistry() : Uid(nextUid()) {}
+  /// Copies get a fresh uid: inner bodies are opaque callables, so a copy
+  /// cannot be proven behaviorally identical to its source.
+  TaskRegistry(const TaskRegistry &Other)
+      : Variants(Other.Variants), Uid(nextUid()) {}
+  TaskRegistry &operator=(const TaskRegistry &Other) {
+    Variants = Other.Variants;
+    Uid = nextUid();
+    return *this;
+  }
+  TaskRegistry(TaskRegistry &&) = default;
+  TaskRegistry &operator=(TaskRegistry &&) = default;
+
   /// Registers an inner variant; asserts the variant name is fresh.
   void addInner(std::string Task, std::string Variant,
                 std::vector<TaskParam> Params, InnerBody Body);
@@ -129,8 +142,23 @@ public:
   /// All variants implementing \p Task.
   std::vector<std::string> variantsOf(const std::string &Task) const;
 
+  /// Every registered variant, keyed by variant name. Used by the session
+  /// cache to fingerprint a registry's structure.
+  const std::map<std::string, TaskVariant> &variants() const {
+    return Variants;
+  }
+
+  /// Process-unique registry identity (assigned at construction, never
+  /// recycled). Inner bodies are opaque std::functions whose content
+  /// cannot be fingerprinted, so the session cache keys on this instead of
+  /// the object address, which the allocator may reuse.
+  uint64_t uid() const { return Uid; }
+
 private:
+  static uint64_t nextUid();
+
   std::map<std::string, TaskVariant> Variants;
+  uint64_t Uid;
 };
 
 /// The recording interface available to inner task bodies. Implemented by

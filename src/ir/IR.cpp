@@ -131,3 +131,9 @@ void cypress::walkOps(const IRBlock &Block,
       walkOps(static_cast<const IRBlock &>(Op->Body), Fn);
   }
 }
+
+size_t cypress::countOps(const IRModule &Module) {
+  size_t Count = 0;
+  walkOps(Module.root(), [&Count](const Operation &) { ++Count; });
+  return Count;
+}

@@ -376,6 +376,10 @@ void walkOps(IRBlock &Block, const std::function<void(Operation &)> &Fn);
 void walkOps(const IRBlock &Block,
              const std::function<void(const Operation &)> &Fn);
 
+/// Number of operations in the module, recursing into loop bodies. The
+/// pass manager records this after every stage as its IR-size statistic.
+size_t countOps(const IRModule &Module);
+
 /// Prints the module in the textual form used in the paper's Figure 8/9
 /// examples. Stable across runs; golden-tested.
 std::string printModule(const IRModule &Module);

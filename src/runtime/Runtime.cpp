@@ -11,9 +11,11 @@ using namespace cypress;
 ErrorOr<std::unique_ptr<CompiledKernel>>
 cypress::compileKernel(const CompileInput &Input, std::string Name) {
   SharedAllocation Alloc;
-  ErrorOr<IRModule> Module = compileToIR(Input, &Alloc);
+  PipelineStats Stats;
+  ErrorOr<IRModule> Module =
+      PassPipeline::defaultPipeline().run(Input, &Alloc, &Stats);
   if (!Module)
     return Module.diagnostic();
-  return std::make_unique<CompiledKernel>(std::move(*Module),
-                                          std::move(Alloc), std::move(Name));
+  return std::make_unique<CompiledKernel>(std::move(*Module), std::move(Alloc),
+                                          std::move(Name), std::move(Stats));
 }

@@ -27,6 +27,7 @@
 #ifndef CYPRESS_RUNTIME_RUNTIME_H
 #define CYPRESS_RUNTIME_RUNTIME_H
 
+#include "compiler/PassManager.h"
 #include "compiler/Passes.h"
 #include "sim/Simulator.h"
 
@@ -38,15 +39,22 @@ namespace cypress {
 /// A fully lowered kernel plus its execution entry points.
 class CompiledKernel {
 public:
-  CompiledKernel(IRModule Module, SharedAllocation Alloc, std::string Name)
+  CompiledKernel(IRModule Module, SharedAllocation Alloc, std::string Name,
+                 PipelineStats Stats = PipelineStats())
       : Module(std::move(Module)), Alloc(std::move(Alloc)),
-        Name(std::move(Name)), Leaves(LeafRegistry::builtins()) {}
+        Name(std::move(Name)), Stats(std::move(Stats)),
+        Leaves(&LeafRegistry::sharedBuiltins()) {}
 
   const IRModule &module() const { return Module; }
   const SharedAllocation &sharedPlan() const { return Alloc; }
   const std::string &name() const { return Name; }
 
-  /// Extra leaf implementations beyond the builtins.
+  /// Per-pass timing and IR-size statistics of the compile that produced
+  /// this kernel (empty for hand-assembled kernels).
+  const PipelineStats &stats() const { return Stats; }
+
+  /// Extra leaf implementations beyond the builtins. Only user leaves are
+  /// stored here; builtin resolution goes through the shared registry.
   void addLeaf(std::string LeafName, LeafFn Fn) {
     Leaves.add(std::move(LeafName), std::move(Fn));
   }
@@ -59,10 +67,9 @@ public:
   /// Timing plus functional execution into \p EntryBuffers (one per entry
   /// argument, shapes matching the compile-time types).
   ErrorOr<SimResult>
-  runFunctional(std::vector<TensorData *> EntryBuffers,
+  runFunctional(const std::vector<TensorData *> &EntryBuffers,
                 const SimConfig &Config = SimConfig()) const {
-    return simulate(Module, Alloc, Config, Leaves,
-                    std::move(EntryBuffers));
+    return simulate(Module, Alloc, Config, Leaves, EntryBuffers);
   }
 
   /// The generated warp-specialized CUDA C++ (structural artifact).
@@ -77,7 +84,8 @@ private:
   IRModule Module;
   SharedAllocation Alloc;
   std::string Name;
-  LeafRegistry Leaves;
+  PipelineStats Stats;
+  LeafRegistry Leaves; ///< User leaves; falls back to sharedBuiltins().
 };
 
 /// Runs the full compiler pipeline on \p Input.

@@ -1,0 +1,201 @@
+//===- Session.cpp - Caching, concurrent compilation sessions --------------===//
+//
+// Part of the Cypress reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Session.h"
+
+#include <algorithm>
+#include <atomic>
+#include <optional>
+#include <sstream>
+#include <thread>
+
+using namespace cypress;
+
+CompilerSession::CompilerSession(SessionConfig Config) : Config(Config) {}
+
+//===----------------------------------------------------------------------===//
+// Cache key
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void appendTensorType(std::ostringstream &OS, const TensorType &Type) {
+  OS << elementTypeName(Type.Element) << '[';
+  for (unsigned I = 0; I < Type.Dims.rank(); ++I)
+    OS << (I ? "x" : "") << Type.Dims.dim(I);
+  OS << ']';
+}
+
+void appendRegistry(std::ostringstream &OS, const TaskRegistry &Registry) {
+  // Inner bodies are opaque std::functions, so their content cannot be
+  // fingerprinted; the registry's never-recycled uid stands in for it
+  // (an address would suffer ABA when the allocator reuses storage for a
+  // registry with identical structure but different bodies). Structure
+  // (names, signatures, leaf bindings) is still serialized so the key
+  // stays readable.
+  OS << "registry#" << Registry.uid() << '{';
+  for (const auto &[Name, Variant] : Registry.variants()) {
+    OS << Variant.Task << '/' << Name << ':'
+       << (Variant.Kind == VariantKind::Leaf ? 'L' : 'I') << '(';
+    for (const TaskParam &Param : Variant.Params)
+      OS << Param.Name << ',' << Param.Rank << ','
+         << elementTypeName(Param.Element) << ','
+         << privilegeName(Param.Priv) << ';';
+    OS << ')';
+    if (Variant.Kind == VariantKind::Leaf)
+      OS << Variant.Leaf.Function << '#'
+         << execUnitName(Variant.Leaf.Unit);
+    OS << ' ';
+  }
+  OS << '}';
+}
+
+void appendMapping(std::ostringstream &OS, const MappingSpec &Mapping) {
+  OS << "mapping{";
+  for (const TaskMapping &Inst : Mapping.instances()) {
+    OS << Inst.Instance << '=' << Inst.Variant << '@'
+       << static_cast<int>(Inst.Proc) << '[';
+    for (Memory Mem : Inst.Mems)
+      OS << static_cast<int>(Mem) << ',';
+    OS << "]t{";
+    for (const auto &[Key, Value] : Inst.Tunables)
+      OS << Key << '=' << Value << ',';
+    for (const auto &[Key, Value] : Inst.ProcTunables)
+      OS << Key << '=' << 'p' << static_cast<int>(Value) << ',';
+    OS << "}m{";
+    for (const auto &[Key, Value] : Inst.TempMems)
+      OS << Key << '=' << static_cast<int>(Value) << ',';
+    OS << "}c{";
+    for (const std::string &Call : Inst.Calls)
+      OS << Call << ',';
+    OS << '}' << (Inst.Entrypoint ? 'E' : '-')
+       << (Inst.WarpSpecialize ? 'W' : '-') << 'p' << Inst.PipelineDepth
+       << 's' << Inst.SharedLimitBytes << ' ';
+  }
+  OS << '}';
+}
+
+void appendMachine(std::ostringstream &OS, const MachineModel &Machine) {
+  // Fully content-keyed (unlike the registry there are no opaque parts),
+  // so stack-allocated machine variants from autotuning sweeps can never
+  // alias through a recycled address.
+  OS << "machine{" << Machine.name() << ';';
+  for (const ProcessorLevel &Level : Machine.levels())
+    OS << static_cast<int>(Level.Kind) << ':' << Level.FanOut << ':'
+       << Level.ThreadsPerInstance << ',';
+  OS << '|';
+  for (const MemoryLevel &Mem : Machine.memories())
+    OS << static_cast<int>(Mem.Kind) << ':' << static_cast<int>(Mem.Scope)
+       << ':' << Mem.CapacityBytes << ',';
+  OS << '}';
+}
+
+} // namespace
+
+std::string CompilerSession::cacheKey(const CompileInput &Input) {
+  std::ostringstream OS;
+  appendRegistry(OS, *Input.Registry);
+  OS << '|';
+  appendMapping(OS, *Input.Mapping);
+  OS << '|';
+  appendMachine(OS, *Input.Machine);
+  OS << "|args{";
+  for (const TensorType &Type : Input.EntryArgTypes) {
+    appendTensorType(OS, Type);
+    OS << ',';
+  }
+  OS << '}';
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Compilation
+//===----------------------------------------------------------------------===//
+
+ErrorOr<std::shared_ptr<const CompiledKernel>>
+CompilerSession::compile(const CompileInput &Input, const std::string &Name) {
+  std::string Key = cacheKey(Input);
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    auto It = Cache.find(Key);
+    if (It != Cache.end()) {
+      ++Stats.Hits;
+      return It->second;
+    }
+    // Counted at lookup time so Hits + Misses always equals the number of
+    // compile() calls, even when the compile below fails.
+    ++Stats.Misses;
+  }
+
+  // Compile outside the lock so independent misses overlap. Concurrent
+  // misses on one key both compile; emplace keeps the first result and
+  // every caller shares it.
+  SharedAllocation Alloc;
+  PipelineStats PassStats;
+  PassPipeline Pipeline = PassPipeline::defaultPipeline();
+  Pipeline.setVerifyEachPass(Config.VerifyEachPass);
+  ErrorOr<IRModule> Module = Pipeline.run(Input, &Alloc, &PassStats);
+  if (!Module)
+    return Module.diagnostic(); // Failures are not cached.
+  auto Kernel = std::make_shared<const CompiledKernel>(
+      std::move(*Module), std::move(Alloc), Name, std::move(PassStats));
+
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto [It, Inserted] = Cache.emplace(std::move(Key), std::move(Kernel));
+  return It->second;
+}
+
+std::vector<ErrorOr<std::shared_ptr<const CompiledKernel>>>
+CompilerSession::compileAll(const std::vector<Request> &Requests) {
+  // ErrorOr has no default state, so results land in optionals first.
+  std::vector<std::optional<ErrorOr<std::shared_ptr<const CompiledKernel>>>>
+      Slots(Requests.size());
+
+  unsigned Workers = Config.Workers;
+  if (Workers == 0)
+    Workers = std::max(1u, std::min(4u, std::thread::hardware_concurrency()));
+  Workers = static_cast<unsigned>(
+      std::min<size_t>(Workers, Requests.size()));
+
+  std::atomic<size_t> NextRequest{0};
+  auto Work = [&]() {
+    for (size_t I = NextRequest.fetch_add(1); I < Requests.size();
+         I = NextRequest.fetch_add(1))
+      Slots[I].emplace(compile(Requests[I].Input, Requests[I].Name));
+  };
+
+  if (Workers <= 1) {
+    Work();
+  } else {
+    std::vector<std::thread> Pool;
+    Pool.reserve(Workers);
+    for (unsigned I = 0; I < Workers; ++I)
+      Pool.emplace_back(Work);
+    for (std::thread &Thread : Pool)
+      Thread.join();
+  }
+
+  std::vector<ErrorOr<std::shared_ptr<const CompiledKernel>>> Results;
+  Results.reserve(Slots.size());
+  for (auto &Slot : Slots)
+    Results.push_back(std::move(*Slot));
+  return Results;
+}
+
+SessionStats CompilerSession::stats() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Stats;
+}
+
+size_t CompilerSession::cachedKernels() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Cache.size();
+}
+
+void CompilerSession::clearCache() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Cache.clear();
+}

@@ -1,0 +1,111 @@
+//===- Session.h - Caching, concurrent compilation sessions ----------------===//
+//
+// Part of the Cypress reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serving-layer entry point: a thread-safe CompilerSession owning a
+/// keyed cache of compiled kernels. A kernel is identified by what actually
+/// determines its lowering — the task registry, the mapping, the machine
+/// model, and the entrypoint argument types — so a repeated compile of the
+/// same CompileInput is a key construction plus cache lookup (microseconds)
+/// rather than a pipeline run (milliseconds), and `compileAll` lowers
+/// independent kernels concurrently on a small worker pool.
+///
+/// Typical use:
+///
+/// \code
+///   CompilerSession Session;
+///   auto Kernel = Session.compile({&Registry, &Mapping,
+///                                  &MachineModel::h100(), ArgTypes},
+///                                 "gemm");
+///   if (Kernel)
+///     (*Kernel)->runTiming();
+///   // ... a later identical request returns the same kernel instantly.
+/// \endcode
+///
+/// Cached kernels are shared as pointers-to-const: they are immutable once
+/// compiled, so concurrent callers may run them freely. Kernels that need
+/// extra user leaves (addLeaf) should use compileKernel, which returns an
+/// owned, mutable kernel.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CYPRESS_RUNTIME_SESSION_H
+#define CYPRESS_RUNTIME_SESSION_H
+
+#include "runtime/Runtime.h"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cypress {
+
+/// Tuning knobs for a CompilerSession.
+struct SessionConfig {
+  /// Worker threads used by compileAll; 0 = min(hardware_concurrency, 4).
+  unsigned Workers = 0;
+  /// Run the IR verifier between pipeline stages (see PassPipeline). On by
+  /// default; serving deployments can turn it off for compile throughput.
+  bool VerifyEachPass = true;
+};
+
+/// Cache-effectiveness counters (monotonic over the session's lifetime).
+struct SessionStats {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+};
+
+/// A thread-safe compilation service with a keyed kernel cache.
+class CompilerSession {
+public:
+  explicit CompilerSession(SessionConfig Config = SessionConfig());
+
+  CompilerSession(const CompilerSession &) = delete;
+  CompilerSession &operator=(const CompilerSession &) = delete;
+
+  /// One compileAll work item.
+  struct Request {
+    CompileInput Input;
+    std::string Name;
+  };
+
+  /// Compiles \p Input, or returns the cached kernel compiled for an
+  /// identical input. Thread-safe; concurrent misses on the same key both
+  /// compile, and the first to finish populates the cache (the loser's
+  /// result is discarded, so callers always share one kernel per key).
+  ErrorOr<std::shared_ptr<const CompiledKernel>>
+  compile(const CompileInput &Input, const std::string &Name);
+
+  /// Compiles every request, scheduling cache misses across the worker
+  /// pool. Results are positional: Result[i] belongs to Requests[i].
+  /// Deterministic: the pipeline is pure, so concurrent compilation yields
+  /// bit-identical kernels regardless of scheduling.
+  std::vector<ErrorOr<std::shared_ptr<const CompiledKernel>>>
+  compileAll(const std::vector<Request> &Requests);
+
+  /// The cache key for \p Input: the registry's structural fingerprint and
+  /// identity (inner task bodies are opaque callables, so object identity
+  /// stands in for body content), the full mapping, the machine, and the
+  /// entry argument types. Exposed for tests and cache introspection.
+  static std::string cacheKey(const CompileInput &Input);
+
+  SessionStats stats() const;
+  size_t cachedKernels() const;
+  void clearCache();
+
+private:
+  SessionConfig Config;
+  mutable std::mutex Mutex;
+  std::map<std::string, std::shared_ptr<const CompiledKernel>> Cache;
+  SessionStats Stats;
+};
+
+} // namespace cypress
+
+#endif // CYPRESS_RUNTIME_SESSION_H

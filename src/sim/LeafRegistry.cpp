@@ -242,6 +242,11 @@ void wgmmaBTSet(std::vector<TensorView> &Args, const std::vector<int64_t> &) {
 
 } // namespace
 
+const LeafRegistry &LeafRegistry::sharedBuiltins() {
+  static const LeafRegistry Builtins = builtins();
+  return Builtins;
+}
+
 LeafRegistry LeafRegistry::builtins() {
   LeafRegistry R;
   R.add("wgmma_fp16", wgmmaAccumulate);

@@ -576,9 +576,8 @@ namespace {
 class FunctionalExec {
 public:
   FunctionalExec(const IRModule &Module, const LeafRegistry &Leaves,
-                 std::vector<TensorData *> EntryBuffers)
-      : Module(Module), Leaves(Leaves),
-        EntryBuffers(std::move(EntryBuffers)) {}
+                 const std::vector<TensorData *> &EntryBuffers)
+      : Module(Module), Leaves(Leaves), EntryBuffers(EntryBuffers) {}
 
   ErrorOrVoid run() {
     // Map alloc contexts (which processor dims key a tensor's storage).
@@ -767,7 +766,7 @@ private:
 
   const IRModule &Module;
   const LeafRegistry &Leaves;
-  std::vector<TensorData *> EntryBuffers;
+  const std::vector<TensorData *> &EntryBuffers;
   std::map<TensorId, std::vector<EventDim>> AllocContext;
   std::map<std::pair<TensorId, std::vector<int64_t>>,
            std::vector<TensorData>>
@@ -785,7 +784,7 @@ ErrorOr<SimResult> cypress::simulate(const IRModule &Module,
                                      const SharedAllocation &Alloc,
                                      const SimConfig &Config,
                                      const LeafRegistry &Leaves,
-                                     std::vector<TensorData *> EntryBuffers) {
+                                     const std::vector<TensorData *> &EntryBuffers) {
   SimResult Total;
   bool FoundGrid = false;
 
@@ -834,7 +833,7 @@ ErrorOr<SimResult> cypress::simulate(const IRModule &Module,
     Total.TFlops = Total.TotalFlops / Total.TotalSeconds / 1e12;
 
   if (!EntryBuffers.empty()) {
-    FunctionalExec Exec(Module, Leaves, std::move(EntryBuffers));
+    FunctionalExec Exec(Module, Leaves, EntryBuffers);
     if (ErrorOrVoid Err = Exec.run(); !Err)
       return Err.diagnostic();
     Total.FunctionalRan = true;

@@ -89,12 +89,13 @@ struct SimResult {
 
 /// Simulates \p Module. When \p EntryBuffers is non-empty (one TensorData
 /// per entry argument, matching shapes) the functional executor also runs,
-/// producing real results in those buffers. Timing always runs.
+/// producing real results in those buffers. Timing always runs. The buffer
+/// list is only read for the duration of the call.
 ErrorOr<SimResult> simulate(const IRModule &Module,
                             const SharedAllocation &Alloc,
                             const SimConfig &Config,
                             const LeafRegistry &Leaves,
-                            std::vector<TensorData *> EntryBuffers = {});
+                            const std::vector<TensorData *> &EntryBuffers = {});
 
 } // namespace cypress
 

@@ -30,11 +30,12 @@ namespace cypress {
   std::abort();
 }
 
-/// A recoverable diagnostic with a human-readable message.
+/// A recoverable diagnostic with a human-readable message and optional
+/// provenance: the compiler pass (and pipeline stage) that produced it.
 ///
 /// Diagnostics compare equal on their message text, which keeps tests simple
-/// and deterministic. Messages follow the "lowercase, no trailing period"
-/// convention.
+/// and deterministic — provenance is reporting metadata, not identity.
+/// Messages follow the "lowercase, no trailing period" convention.
 class Diagnostic {
 public:
   Diagnostic() = default;
@@ -42,12 +43,24 @@ public:
 
   const std::string &message() const { return Message; }
 
+  /// The pipeline pass the diagnostic was raised in (set by PassPipeline);
+  /// empty when the error did not come from a pass.
+  const std::string &passName() const { return Pass; }
+  void setPass(std::string Name) { Pass = std::move(Name); }
+
+  /// The message with provenance prefixed, e.g.
+  /// "[resource-allocation] shared memory allocation exceeds ...".
+  std::string str() const {
+    return Pass.empty() ? Message : "[" + Pass + "] " + Message;
+  }
+
   bool operator==(const Diagnostic &Other) const {
     return Message == Other.Message;
   }
 
 private:
   std::string Message;
+  std::string Pass;
 };
 
 /// Either a value of type T or a Diagnostic explaining why none is available.

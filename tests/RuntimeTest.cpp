@@ -16,10 +16,14 @@
 
 #include "kernels/Kernels.h"
 #include "runtime/Runtime.h"
+#include "runtime/Session.h"
 #include "support/Random.h"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
+#include <limits>
 #include <memory>
 
 using namespace cypress;
@@ -214,4 +218,156 @@ TEST(Runtime, TimingIsDeterministic) {
   double First = (*Kernel)->runTiming()->BlockCycles;
   double Second = (*Kernel)->runTiming()->BlockCycles;
   EXPECT_EQ(First, Second);
+}
+
+//===----------------------------------------------------------------------===//
+// CompilerSession: the caching, concurrent serving layer
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Owned gemm compile input for session tests.
+struct SessionGemm {
+  TaskRegistry Registry;
+  MappingSpec Mapping;
+  std::vector<TensorType> Args;
+
+  explicit SessionGemm(int64_t Size) {
+    GemmConfig Config;
+    Config.M = Config.N = Config.K = Size;
+    registerGemmTasks(Registry);
+    Mapping = gemmMapping(Config);
+    Args = gemmArgTypes(Config);
+  }
+
+  CompileInput input() const {
+    return {&Registry, &Mapping, &MachineModel::h100(), Args};
+  }
+};
+
+} // namespace
+
+TEST(Session, PipelineStatsSurfacedFromCompiledKernel) {
+  SessionGemm Gemm(512);
+  ErrorOr<std::unique_ptr<CompiledKernel>> Kernel =
+      compileKernel(Gemm.input(), "stats");
+  ASSERT_TRUE(Kernel);
+  const PipelineStats &Stats = (*Kernel)->stats();
+  ASSERT_EQ(Stats.Passes.size(), 7u);
+  EXPECT_GT(Stats.TotalMicros, 0.0);
+  EXPECT_NE(Stats.pass("warp-specialization"), nullptr);
+}
+
+TEST(Session, CacheHitReturnsIdenticalKernel) {
+  SessionGemm Gemm(512);
+  CompilerSession Session;
+
+  auto First = Session.compile(Gemm.input(), "gemm");
+  ASSERT_TRUE(First) << (First ? "" : First.diagnostic().message());
+  auto Second = Session.compile(Gemm.input(), "gemm");
+  ASSERT_TRUE(Second);
+
+  EXPECT_EQ(First->get(), Second->get()); // Same object, not a recompile.
+  EXPECT_EQ(Session.stats().Hits, 1u);
+  EXPECT_EQ(Session.stats().Misses, 1u);
+  EXPECT_EQ(Session.cachedKernels(), 1u);
+}
+
+TEST(Session, DifferentInputsMissTheCache) {
+  SessionGemm Small(512), Large(1024);
+  CompilerSession Session;
+
+  auto First = Session.compile(Small.input(), "gemm");
+  auto Second = Session.compile(Large.input(), "gemm");
+  ASSERT_TRUE(First);
+  ASSERT_TRUE(Second);
+  EXPECT_NE(First->get(), Second->get());
+  EXPECT_EQ(Session.stats().Hits, 0u);
+  EXPECT_EQ(Session.stats().Misses, 2u);
+  EXPECT_NE(CompilerSession::cacheKey(Small.input()),
+            CompilerSession::cacheKey(Large.input()));
+}
+
+TEST(Session, CacheHitIsAtLeastTenTimesFasterThanColdCompile) {
+  SessionGemm Gemm(4096);
+  CompilerSession Session;
+  using Clock = std::chrono::steady_clock;
+
+  Clock::time_point ColdStart = Clock::now();
+  auto Cold = Session.compile(Gemm.input(), "gemm");
+  double ColdMicros =
+      std::chrono::duration<double, std::micro>(Clock::now() - ColdStart)
+          .count();
+  ASSERT_TRUE(Cold);
+
+  // Best hit of a few trials, so one scheduler hiccup cannot fail the
+  // assertion; each trial still includes full key construction.
+  double HitMicros = std::numeric_limits<double>::infinity();
+  for (int Trial = 0; Trial < 5; ++Trial) {
+    Clock::time_point HitStart = Clock::now();
+    auto Hit = Session.compile(Gemm.input(), "gemm");
+    double Micros =
+        std::chrono::duration<double, std::micro>(Clock::now() - HitStart)
+            .count();
+    ASSERT_TRUE(Hit);
+    EXPECT_EQ(Hit->get(), Cold->get());
+    HitMicros = std::min(HitMicros, Micros);
+  }
+
+  EXPECT_GE(ColdMicros, 10.0 * HitMicros)
+      << "cold " << ColdMicros << "us vs hit " << HitMicros << "us";
+}
+
+TEST(Session, CompileAllIsConcurrentDeterministicAndDeduplicated) {
+  SessionGemm Small(512), Large(1024);
+  TaskRegistry AttnRegistry;
+  registerAttentionTasks(AttnRegistry);
+  AttentionConfig AttnConfig = fa2Config(2048);
+  MappingSpec AttnMapping = attentionMapping(AttnConfig);
+  std::vector<TensorType> AttnArgs = attentionArgTypes(AttnConfig);
+  CompileInput Attn{&AttnRegistry, &AttnMapping, &MachineModel::h100(),
+                    AttnArgs};
+
+  SessionConfig Config;
+  Config.Workers = 4;
+  CompilerSession Session(Config);
+  std::vector<CompilerSession::Request> Requests = {
+      {Small.input(), "gemm_small"}, {Large.input(), "gemm_large"},
+      {Attn, "attention"},           {Small.input(), "gemm_small_again"},
+      {Large.input(), "gemm_large_again"}, {Attn, "attention_again"}};
+
+  auto Results = Session.compileAll(Requests);
+  ASSERT_EQ(Results.size(), Requests.size());
+  for (size_t I = 0; I < Results.size(); ++I)
+    ASSERT_TRUE(Results[I]) << "request " << I << ": "
+                            << Results[I].diagnostic().message();
+
+  // Duplicate inputs share one kernel, whichever worker compiled it.
+  EXPECT_EQ(Results[0]->get(), Results[3]->get());
+  EXPECT_EQ(Results[1]->get(), Results[4]->get());
+  EXPECT_EQ(Results[2]->get(), Results[5]->get());
+  EXPECT_EQ(Session.cachedKernels(), 3u);
+
+  // Concurrent compilation is deterministic: bit-identical IR to a fresh
+  // serial compile of the same inputs.
+  ErrorOr<std::unique_ptr<CompiledKernel>> Serial =
+      compileKernel(Small.input(), "serial");
+  ASSERT_TRUE(Serial);
+  EXPECT_EQ((*Results[0])->irDump(), (*Serial)->irDump());
+}
+
+TEST(Session, CompileErrorsAreReportedNotCached) {
+  SessionGemm Gemm(512);
+  CompilerSession Session;
+  CompileInput Bad = Gemm.input();
+  Bad.EntryArgTypes.clear(); // Wrong entrypoint arity.
+  auto Result = Session.compile(Bad, "bad");
+  ASSERT_FALSE(Result);
+  EXPECT_NE(Result.diagnostic().message().find("entrypoint"),
+            std::string::npos);
+  EXPECT_EQ(Result.diagnostic().passName(), "dependence-analysis");
+  EXPECT_EQ(Session.cachedKernels(), 0u);
+  // Failed compiles still count as misses: Hits + Misses == compile calls.
+  EXPECT_EQ(Session.stats().Misses, 1u);
+  EXPECT_EQ(Session.stats().Hits, 0u);
 }
