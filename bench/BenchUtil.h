@@ -48,6 +48,17 @@ inline std::FILE *benchJsonOpen(const std::string &Slug) {
   return Out;
 }
 
+/// Escapes a string for embedding in the BENCH_*.json output.
+inline std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
+  return Out;
+}
+
 /// A compiled kernel together with the registry/mapping that back it.
 struct OwnedKernel {
   std::unique_ptr<TaskRegistry> Registry;
@@ -125,16 +136,6 @@ private:
   /// When CYPRESS_BENCH_JSON is set, dump the table as
   /// `<dir>/BENCH_<slug>.json` (dir is the variable's value; "1" means the
   /// current directory) so plots can be regenerated without scraping stdout.
-  static std::string jsonEscape(const std::string &S) {
-    std::string Out;
-    for (char C : S) {
-      if (C == '"' || C == '\\')
-        Out += '\\';
-      Out += C;
-    }
-    return Out;
-  }
-
   void maybeWriteJson() const {
     std::string Slug;
     for (char C : Title)

@@ -1,0 +1,104 @@
+//===- bench_autotune.cpp - Autotuner search-landscape driver ----------------===//
+//
+// Part of the Cypress reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs the autotuning subsystem over the Section 5.4 GEMM exploration
+/// grid and a small attention sweep, printing the ranked landscapes and
+/// the search-effort accounting (candidates vs pruned vs pipelines run).
+/// Under CYPRESS_BENCH_JSON the full result is dumped as
+/// BENCH_autotune.json (schema in docs/BENCHMARKS.md) so plots and CI
+/// artifacts can track both the landscape and the pruning efficiency.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "autotune/KernelSpaces.h"
+#include "autotune/Tuner.h"
+
+using namespace cypress;
+using namespace cypress::bench;
+
+namespace {
+
+void printSweep(const char *Title, const TuneResult &Result) {
+  std::printf("== %s ==\n", Title);
+  std::printf("%-34s %14s %10s %12s\n", "mapping", "status", "TFLOP/s",
+              "smem KB");
+  for (const CandidateResult &Row : Result.Landscape)
+    std::printf("%-34s %14s %10.1f %12lld\n", Row.Point.str().c_str(),
+                candidateStatusName(Row.Status), Row.TFlops,
+                (long long)(Row.SharedBytes / 1024));
+  const TuneStats &Stats = Result.Stats;
+  std::printf("-- %zu candidates, %zu pruned, %zu cost-cache hits, %zu "
+              "kernel-cache hits, %zu pipelines run\n\n",
+              Stats.Candidates, Stats.Pruned, Stats.CostCacheHits,
+              Stats.SessionHits, Stats.PipelinesRun);
+}
+
+void writeSweepJson(std::FILE *Out, const char *Kernel,
+                    const TuneResult &Result, bool Last) {
+  const TuneStats &Stats = Result.Stats;
+  std::fprintf(Out, "    {\n      \"kernel\": \"%s\",\n", Kernel);
+  std::fprintf(Out,
+               "      \"stats\": {\"candidates\": %zu, \"pruned\": %zu, "
+               "\"cost_cache_hits\": %zu, \"kernel_cache_hits\": %zu, "
+               "\"pipelines_run\": %zu, \"compile_errors\": %zu},\n",
+               Stats.Candidates, Stats.Pruned, Stats.CostCacheHits,
+               Stats.SessionHits, Stats.PipelinesRun, Stats.CompileErrors);
+  if (const CandidateResult *Best = Result.best())
+    std::fprintf(Out,
+                 "      \"best\": {\"mapping\": \"%s\", \"tflops\": %.6g},\n",
+                 jsonEscape(Best->Point.str()).c_str(), Best->TFlops);
+  else
+    std::fprintf(Out, "      \"best\": null,\n");
+  std::fprintf(Out, "      \"candidates\": [\n");
+  for (size_t I = 0; I < Result.Landscape.size(); ++I) {
+    const CandidateResult &Row = Result.Landscape[I];
+    std::fprintf(Out,
+                 "        {\"mapping\": \"%s\", \"status\": \"%s\", "
+                 "\"tflops\": %.6g, \"smem_bytes\": %lld, "
+                 "\"compile_us\": %.6g, \"detail\": \"%s\"}%s\n",
+                 jsonEscape(Row.Point.str()).c_str(),
+                 candidateStatusName(Row.Status), Row.TFlops,
+                 (long long)Row.SharedBytes, Row.CompileMicros,
+                 jsonEscape(Row.Detail).c_str(),
+                 I + 1 < Result.Landscape.size() ? "," : "");
+  }
+  std::fprintf(Out, "      ]\n    }%s\n", Last ? "" : ",");
+}
+
+} // namespace
+
+int main() {
+  SimConfig Sim;
+  CompilerSession Session;
+  Tuner Tuner(Session);
+
+  GemmConfig Gemm;
+  Gemm.M = Gemm.N = Gemm.K = 4096;
+  TuneResult GemmResult = Tuner.tune(gemmSearchSpec(Gemm, gemmSweepAxes()),
+                                     MachineModel::h100(), Sim);
+  printSweep("Autotune: GEMM 4096^3 mapping landscape", GemmResult);
+
+  AttentionConfig Attn = fa2Config(4096);
+  TuneResult AttnResult =
+      Tuner.tune(attentionSearchSpec(Attn, {{"WGS", {2, 3}},
+                                            {"BR", {128, 192, 256}},
+                                            {"BC", {64, 128}}}),
+                 MachineModel::h100(), Sim);
+  printSweep("Autotune: Attention 4096 mapping landscape", AttnResult);
+
+  if (std::FILE *Out = benchJsonOpen("autotune")) {
+    std::fprintf(Out, "{\n  \"machine\": \"%s\",\n  \"sweeps\": [\n",
+                 MachineModel::h100().name().c_str());
+    writeSweepJson(Out, "gemm", GemmResult, /*Last=*/false);
+    writeSweepJson(Out, "fa", AttnResult, /*Last=*/true);
+    std::fprintf(Out, "  ]\n}\n");
+    std::fclose(Out);
+  }
+  return 0;
+}

@@ -6,60 +6,53 @@
 ///
 /// \file
 /// Section 5.4's workflow: tuning a kernel in Cypress means editing the
-/// mapping specification, never the logical description. This example
-/// sweeps tile sizes, pipeline depths, and warpgroup counts for the
-/// 4096^3 GEMM and prints the landscape, flagging mappings the compiler
-/// rejects (shared-memory or register-file overflow) — decisions that in
-/// CUTLASS would require non-trivial code changes and in Triton are
-/// hard-coded heuristics.
+/// mapping specification, never the logical description. This example is a
+/// thin client of the autotuning subsystem (src/autotune/): it sweeps tile
+/// sizes, pipeline depths, and warpgroup counts for the 4096^3 GEMM and
+/// prints the ranked landscape. Infeasible mappings (broken WGMMA band
+/// splits, register-file or shared-memory overflow) are pruned statically
+/// from the MachineModel's capacities before the pass pipeline runs —
+/// decisions that in CUTLASS would require non-trivial code changes and in
+/// Triton are hard-coded heuristics. The summary line counts how many full
+/// pipeline runs the pruner and the session's kernel cache saved.
 ///
 //===----------------------------------------------------------------------===//
 
-#include "kernels/Kernels.h"
-#include "runtime/Runtime.h"
+#include "autotune/KernelSpaces.h"
+#include "autotune/Tuner.h"
 
 #include <cstdio>
 
 using namespace cypress;
 
 int main() {
-  SimConfig Sim;
+  GemmConfig Base;
+  Base.M = Base.N = Base.K = 4096;
+
+  CompilerSession Session;
+  Tuner Tuner(Session);
+  TuneResult Result =
+      Tuner.tune(gemmSearchSpec(Base, gemmSweepAxes()), MachineModel::h100());
+
   std::printf("%-28s %12s %10s\n", "mapping", "TFLOP/s", "smem KB");
-  for (int64_t U : {64, 128}) {
-    for (int64_t V : {128, 256}) {
-      for (int64_t Pipe : {2, 3, 4}) {
-        for (int64_t Wgs : {1, 2}) {
-          GemmConfig Config;
-          Config.M = Config.N = Config.K = 4096;
-          Config.U = U;
-          Config.V = V;
-          Config.Pipe = Pipe;
-          Config.WGS = Wgs;
-          // Row split must divide the tile height into 64-row WGMMA bands.
-          if (U / Wgs % 64 != 0)
-            continue;
-          TaskRegistry Registry;
-          registerGemmTasks(Registry);
-          MappingSpec Mapping = gemmMapping(Config);
-          CompileInput Input{&Registry, &Mapping, &MachineModel::h100(),
-                             gemmArgTypes(Config)};
-          char Name[64];
-          std::snprintf(Name, sizeof(Name), "U=%lld V=%lld PIPE=%lld WGS=%lld",
-                        (long long)U, (long long)V, (long long)Pipe,
-                        (long long)Wgs);
-          auto Kernel = compileKernel(Input, "gemm");
-          if (!Kernel) {
-            std::printf("%-28s %12s   (%s)\n", Name, "rejected",
-                        Kernel.diagnostic().message().substr(0, 48).c_str());
-            continue;
-          }
-          auto Result = (*Kernel)->runTiming(Sim);
-          std::printf("%-28s %12.1f %10lld\n", Name,
-                      Result ? Result->TFlops : 0.0,
-                      (long long)((*Kernel)->sharedPlan().TotalBytes / 1024));
-        }
-      }
+  for (const CandidateResult &Row : Result.Landscape) {
+    if (Row.Status == CandidateStatus::Evaluated) {
+      std::printf("%-28s %12.1f %10lld\n", Row.Point.str().c_str(),
+                  Row.TFlops, (long long)(Row.SharedBytes / 1024));
+    } else {
+      std::printf("%-28s %12s   (%s)\n", Row.Point.str().c_str(),
+                  candidateStatusName(Row.Status),
+                  Row.Detail.substr(0, 48).c_str());
     }
   }
+
+  const TuneStats &Stats = Result.Stats;
+  std::printf("\n%zu candidates: %zu pruned statically, %zu kernel-cache "
+              "hits, %zu pipelines run\n",
+              Stats.Candidates, Stats.Pruned, Stats.SessionHits,
+              Stats.PipelinesRun);
+  if (const CandidateResult *Best = Result.best())
+    std::printf("best mapping: %s (%.1f TFLOP/s)\n",
+                Best->Point.str().c_str(), Best->TFlops);
   return 0;
 }

@@ -1,0 +1,83 @@
+//===- KernelSpaces.cpp - Builtin kernel search spaces ---------------------===//
+//
+// Part of the Cypress reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "autotune/KernelSpaces.h"
+
+using namespace cypress;
+
+namespace {
+
+// An axis whose name the config rejects is a malformed search spec, not a
+// prunable candidate — fail loudly.
+template <typename ConfigT>
+ConfigT configAt(ConfigT Base, const TuningPoint &Point) {
+  for (const auto &[Axis, Value] : Point.values())
+    if (ErrorOrVoid Applied = applyTunable(Base, Axis, Value); !Applied)
+      cypressUnreachable(Applied.diagnostic().message().c_str());
+  return Base;
+}
+
+GemmConfig gemmConfigAt(GemmConfig Base, const TuningPoint &Point) {
+  return configAt(Base, Point);
+}
+
+AttentionConfig attentionConfigAt(AttentionConfig Base,
+                                  const TuningPoint &Point) {
+  return configAt(Base, Point);
+}
+
+} // namespace
+
+std::vector<TuningAxis> cypress::gemmSweepAxes() {
+  return {{"U", {64, 128}},
+          {"V", {128, 256}},
+          {"PIPE", {2, 3, 4}},
+          {"WGS", {1, 2}}};
+}
+
+KernelSearchSpec cypress::gemmSearchSpec(GemmConfig Base,
+                                         std::vector<TuningAxis> Axes) {
+  KernelSearchSpec Spec;
+  Spec.KernelName = "gemm";
+  Spec.Axes = std::move(Axes);
+  Spec.Register = [](TaskRegistry &Registry) { registerGemmTasks(Registry); };
+  Spec.BuildMapping = [Base](const TuningPoint &Point) {
+    return gemmMapping(gemmConfigAt(Base, Point));
+  };
+  Spec.BuildArgs = [Base](const TuningPoint &Point) {
+    return gemmArgTypes(gemmConfigAt(Base, Point));
+  };
+  Spec.Feasible = [Base](const TuningPoint &Point,
+                         const MachineModel &Machine) {
+    return gemmConfigAt(Base, Point).validate(Machine);
+  };
+  return Spec;
+}
+
+std::vector<TuningAxis> cypress::attentionSweepAxes() {
+  return {{"BR", {128, 192, 256}}, {"BC", {64, 128}}, {"PIPE", {2, 3}}};
+}
+
+KernelSearchSpec cypress::attentionSearchSpec(AttentionConfig Base,
+                                              std::vector<TuningAxis> Axes) {
+  KernelSearchSpec Spec;
+  Spec.KernelName = "fa";
+  Spec.Axes = std::move(Axes);
+  Spec.Register = [](TaskRegistry &Registry) {
+    registerAttentionTasks(Registry);
+  };
+  Spec.BuildMapping = [Base](const TuningPoint &Point) {
+    return attentionMapping(attentionConfigAt(Base, Point));
+  };
+  Spec.BuildArgs = [Base](const TuningPoint &Point) {
+    return attentionArgTypes(attentionConfigAt(Base, Point));
+  };
+  Spec.Feasible = [Base](const TuningPoint &Point,
+                         const MachineModel &Machine) {
+    return attentionConfigAt(Base, Point).validate(Machine);
+  };
+  return Spec;
+}

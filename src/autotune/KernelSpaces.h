@@ -1,0 +1,46 @@
+//===- KernelSpaces.h - Builtin kernel search spaces -----------------------===//
+//
+// Part of the Cypress reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// KernelSearchSpec factories for the kernel library: each binds a kernel
+/// family's parameterized mapping generator (gemmMapping / attentionMapping
+/// driven by a base config plus axis assignments applied via applyTunable)
+/// and its static validate() to the autotuner. The default axis sets
+/// reproduce the sweeps the paper's Section 5.4 workflow explores: tile
+/// sizes, software pipeline depth, and consumer warpgroup count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CYPRESS_AUTOTUNE_KERNELSPACES_H
+#define CYPRESS_AUTOTUNE_KERNELSPACES_H
+
+#include "autotune/MappingSpace.h"
+#include "kernels/Kernels.h"
+
+namespace cypress {
+
+/// The Section 5.4 exploration grid for the dense GEMM:
+/// U in {64, 128}, V in {128, 256}, PIPE in {2, 3, 4}, WGS in {1, 2}.
+std::vector<TuningAxis> gemmSweepAxes();
+
+/// A search over \p Axes around \p Base (fields not named by an axis keep
+/// the base value). Axis names are GemmConfig tunables: "M", "N", "K",
+/// "L", "U", "V", "W", "WGS", "PIPE", "WSPEC".
+KernelSearchSpec gemmSearchSpec(GemmConfig Base, std::vector<TuningAxis> Axes);
+
+/// Default attention sweep: BR in {128, 192, 256}, BC in {64, 128},
+/// PIPE in {2, 3}, with WGS slaved to the base config.
+std::vector<TuningAxis> attentionSweepAxes();
+
+/// A search over \p Axes around \p Base. Axis names are AttentionConfig
+/// tunables: "BATCH", "HEADS", "SEQ", "D", "BR", "BC", "WGS", "PIPE",
+/// "STAGE".
+KernelSearchSpec attentionSearchSpec(AttentionConfig Base,
+                                     std::vector<TuningAxis> Axes);
+
+} // namespace cypress
+
+#endif // CYPRESS_AUTOTUNE_KERNELSPACES_H

@@ -1,0 +1,85 @@
+//===- MappingSpace.cpp - Enumerable mapping search spaces -----------------===//
+//
+// Part of the Cypress reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "autotune/MappingSpace.h"
+
+#include "support/Format.h"
+
+#include <cassert>
+
+using namespace cypress;
+
+bool TuningPoint::has(const std::string &Name) const {
+  for (const auto &[Axis, Value] : Assignments) {
+    (void)Value;
+    if (Axis == Name)
+      return true;
+  }
+  return false;
+}
+
+int64_t TuningPoint::at(const std::string &Name) const {
+  for (const auto &[Axis, Value] : Assignments)
+    if (Axis == Name)
+      return Value;
+  assert(false && "tuning point has no such axis");
+  return 0;
+}
+
+int64_t TuningPoint::getOr(const std::string &Name, int64_t Fallback) const {
+  for (const auto &[Axis, Value] : Assignments)
+    if (Axis == Name)
+      return Value;
+  return Fallback;
+}
+
+std::string TuningPoint::str() const {
+  std::string Out;
+  for (const auto &[Axis, Value] : Assignments) {
+    if (!Out.empty())
+      Out += ' ';
+    Out += formatString("%s=%lld", Axis.c_str(),
+                        static_cast<long long>(Value));
+  }
+  return Out;
+}
+
+MappingSpace::MappingSpace(const KernelSearchSpec &Spec,
+                           const MachineModel &Machine) {
+  assert(!Spec.Axes.empty() && "search space needs at least one axis");
+  size_t Total = 1;
+  for (const TuningAxis &Axis : Spec.Axes) {
+    assert(!Axis.Values.empty() && "tuning axis needs at least one value");
+    Total *= Axis.Values.size();
+  }
+  Candidates.reserve(Total);
+
+  // Odometer enumeration: the last axis spins fastest, so the order is the
+  // nested sweep loop a user would have written by hand (and the order the
+  // pre-refactor examples/bench sweeps used).
+  std::vector<size_t> Digits(Spec.Axes.size(), 0);
+  for (size_t N = 0; N < Total; ++N) {
+    std::vector<std::pair<std::string, int64_t>> Values;
+    Values.reserve(Spec.Axes.size());
+    for (size_t I = 0; I < Spec.Axes.size(); ++I)
+      Values.emplace_back(Spec.Axes[I].Name, Spec.Axes[I].Values[Digits[I]]);
+
+    Candidate C;
+    C.Point = TuningPoint(std::move(Values));
+    if (Spec.Feasible) {
+      if (ErrorOrVoid Verdict = Spec.Feasible(C.Point, Machine); !Verdict)
+        C.Rejection = Verdict.diagnostic();
+    }
+    Feasible += C.feasible() ? 1 : 0;
+    Candidates.push_back(std::move(C));
+
+    for (size_t I = Spec.Axes.size(); I-- > 0;) {
+      if (++Digits[I] < Spec.Axes[I].Values.size())
+        break;
+      Digits[I] = 0;
+    }
+  }
+}

@@ -1,0 +1,210 @@
+//===- Tuner.cpp - Mapping autotuner over compiler sessions ----------------===//
+//
+// Part of the Cypress reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "autotune/Tuner.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <deque>
+
+using namespace cypress;
+
+const char *cypress::candidateStatusName(CandidateStatus Status) {
+  switch (Status) {
+  case CandidateStatus::Pruned:
+    return "pruned";
+  case CandidateStatus::CompileError:
+    return "compile-error";
+  case CandidateStatus::SimError:
+    return "sim-error";
+  case CandidateStatus::Evaluated:
+    return "ok";
+  }
+  cypressUnreachable("unknown candidate status");
+}
+
+Tuner::Tuner() : OwnedSession(std::make_unique<CompilerSession>()) {
+  Session = OwnedSession.get();
+}
+
+Tuner::Tuner(CompilerSession &Session) : Session(&Session) {}
+
+namespace {
+
+/// The simulator parameters participate in evaluation identity: the same
+/// kernel timed under a different machine calibration is a different cost.
+std::string simFingerprint(const SimConfig &Sim) {
+  return formatString(
+      "|sim{%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g}",
+      Sim.ClockGHz, Sim.TensorCoreFlopsPerCycle, Sim.TmaBytesPerCycle,
+      Sim.SimtGlobalBytesPerCycle, Sim.SimtLocalBytesPerCycle,
+      Sim.SimtFlopsPerCycle, Sim.GlobalLatency, Sim.TensorCoreLatency,
+      Sim.SimtLatency);
+}
+
+} // namespace
+
+size_t Tuner::costCacheSize() const {
+  std::lock_guard<std::mutex> Lock(CostMutex);
+  return CostCache.size();
+}
+
+void Tuner::clearCostCache() {
+  std::lock_guard<std::mutex> Lock(CostMutex);
+  CostCache.clear();
+}
+
+TaskRegistry &Tuner::registryFor(const KernelSearchSpec &Spec) {
+  std::lock_guard<std::mutex> Lock(CostMutex);
+  std::unique_ptr<TaskRegistry> &Slot = Registries[Spec.KernelName];
+  if (!Slot) {
+    Slot = std::make_unique<TaskRegistry>();
+    Spec.Register(*Slot);
+  }
+  return *Slot;
+}
+
+TuneResult Tuner::tune(const KernelSearchSpec &Spec,
+                       const MachineModel &Machine, const SimConfig &Sim) {
+  MappingSpace Space(Spec, Machine);
+
+  TuneResult Result;
+  Result.Stats.Candidates = Space.size();
+  Result.Stats.Pruned = Space.prunedCount();
+  Result.Landscape.reserve(Space.size());
+
+  // One registry per kernel family, shared across sweeps: tuning only
+  // edits the mapping, never the logical description (Section 5.4), and a
+  // stable registry identity is what makes candidate cache keys stable.
+  TaskRegistry &Registry = registryFor(Spec);
+
+  const std::string SimKey = simFingerprint(Sim);
+
+  // The deque keeps pending candidates' mappings at stable addresses for
+  // the CompileInput pointers handed to the session (argument types are
+  // held by value in CompileInput).
+  std::deque<MappingSpec> Mappings;
+  struct PendingEval {
+    size_t Row;
+    std::string CostKey;
+  };
+  std::vector<PendingEval> Pending;
+  std::vector<CompilerSession::Request> Requests;
+
+  for (const MappingSpace::Candidate &Cand : Space.candidates()) {
+    CandidateResult Row;
+    Row.Point = Cand.Point;
+    if (!Cand.feasible()) {
+      Row.Status = CandidateStatus::Pruned;
+      Row.Detail = Cand.Rejection->message();
+      Result.Landscape.push_back(std::move(Row));
+      continue;
+    }
+
+    Mappings.push_back(Spec.BuildMapping(Cand.Point));
+    CompileInput Input{&Registry, &Mappings.back(), &Machine,
+                       Spec.BuildArgs(Cand.Point)};
+    // One serialization per candidate: the session key doubles as the
+    // cost-cache key's prefix and rides along in the request.
+    std::string SessionKey = CompilerSession::cacheKey(Input);
+    std::string CostKey = SessionKey + SimKey;
+
+    {
+      std::lock_guard<std::mutex> Lock(CostMutex);
+      auto It = CostCache.find(CostKey);
+      if (It != CostCache.end()) {
+        const CachedEval &Eval = It->second;
+        Row.Status = Eval.Status;
+        Row.Detail = Eval.Detail;
+        Row.TFlops = Eval.TFlops;
+        Row.SharedBytes = Eval.SharedBytes;
+        Row.Kernel = Eval.Kernel;
+        Row.CompileMicros =
+            Eval.Kernel ? Eval.Kernel->stats().TotalMicros : 0.0;
+        Row.CostCacheHit = true;
+        ++Result.Stats.CostCacheHits;
+        Result.Landscape.push_back(std::move(Row));
+        continue;
+      }
+    }
+
+    Pending.push_back({Result.Landscape.size(), std::move(CostKey)});
+    Requests.push_back(
+        {std::move(Input), Spec.KernelName, std::move(SessionKey)});
+    Result.Landscape.push_back(std::move(Row)); // Filled in below.
+  }
+
+  // Compile every fresh candidate concurrently. The per-request hit flags
+  // attribute kernel-cache effectiveness to this sweep exactly, immune to
+  // concurrent session clients and duplicate keys within the batch.
+  Result.Stats.Compiled = Requests.size();
+  std::vector<uint8_t> Hits;
+  auto Compiled = Session->compileAll(Requests, &Hits);
+  for (uint8_t Hit : Hits)
+    Result.Stats.SessionHits += Hit ? 1 : 0;
+  Result.Stats.PipelinesRun = Requests.size() - Result.Stats.SessionHits;
+
+  for (size_t I = 0; I < Pending.size(); ++I) {
+    CachedEval Eval;
+    if (!Compiled[I]) {
+      Eval.Status = CandidateStatus::CompileError;
+      Eval.Detail = Compiled[I].diagnostic().str();
+    } else {
+      Eval.Kernel = *Compiled[I];
+      Eval.SharedBytes = Eval.Kernel->sharedPlan().TotalBytes;
+      ErrorOr<SimResult> Timing = Eval.Kernel->runTiming(Sim);
+      if (!Timing) {
+        Eval.Status = CandidateStatus::SimError;
+        Eval.Detail = Timing.diagnostic().str();
+      } else {
+        Eval.Status = CandidateStatus::Evaluated;
+        Eval.TFlops = Timing->TFlops;
+      }
+    }
+
+    CandidateResult &Row = Result.Landscape[Pending[I].Row];
+    Row.Status = Eval.Status;
+    Row.Detail = Eval.Detail;
+    Row.TFlops = Eval.TFlops;
+    Row.SharedBytes = Eval.SharedBytes;
+    Row.Kernel = Eval.Kernel;
+    Row.CompileMicros = Eval.Kernel ? Eval.Kernel->stats().TotalMicros : 0.0;
+
+    std::lock_guard<std::mutex> Lock(CostMutex);
+    CostCache.emplace(std::move(Pending[I].CostKey), std::move(Eval));
+  }
+
+  for (const CandidateResult &Row : Result.Landscape)
+    Result.Stats.CompileErrors +=
+        Row.Status == CandidateStatus::CompileError ? 1 : 0;
+  Result.Stats.Session = Session->cacheStats();
+
+  // Rank: evaluated candidates by TFLOP/s descending, then errors, then
+  // pruned. stable_sort keeps enumeration order within ties and groups, so
+  // the reported best is deterministic and matches what a hand-written
+  // nested sweep taking the first strict maximum would pick.
+  auto ClassOf = [](const CandidateResult &Row) {
+    switch (Row.Status) {
+    case CandidateStatus::Evaluated:
+      return 0;
+    case CandidateStatus::CompileError:
+    case CandidateStatus::SimError:
+      return 1;
+    case CandidateStatus::Pruned:
+      return 2;
+    }
+    cypressUnreachable("unknown candidate status");
+  };
+  std::stable_sort(Result.Landscape.begin(), Result.Landscape.end(),
+                   [&](const CandidateResult &A, const CandidateResult &B) {
+                     int CA = ClassOf(A), CB = ClassOf(B);
+                     if (CA != CB)
+                       return CA < CB;
+                     return CA == 0 && A.TFlops > B.TFlops;
+                   });
+  return Result;
+}

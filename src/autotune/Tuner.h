@@ -1,0 +1,163 @@
+//===- Tuner.h - Mapping autotuner over compiler sessions ------------------===//
+//
+// Part of the Cypress reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The search engine of the autotuning subsystem. A Tuner takes a
+/// KernelSearchSpec, enumerates its MappingSpace, statically prunes
+/// infeasible candidates, compiles the survivors concurrently through a
+/// CompilerSession (so repeated or overlapping sweeps hit the kernel
+/// cache instead of re-running the pass pipeline), times each compiled
+/// kernel on the simulator, and returns the ranked performance landscape
+/// together with full observability: how many candidates were pruned, how
+/// many pipelines actually ran, and how many evaluations were served from
+/// the tuner's content-keyed cost cache.
+///
+/// Typical use (see examples/mapping_explorer.cpp):
+///
+/// \code
+///   CompilerSession Session;
+///   Tuner Tuner(Session);
+///   TuneResult Result = Tuner.tune(gemmSearchSpec(Config, gemmSweepAxes()),
+///                                  MachineModel::h100());
+///   if (const CandidateResult *Best = Result.best())
+///     std::printf("best: %s at %.1f TFLOP/s\n",
+///                 Best->Point.str().c_str(), Best->TFlops);
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CYPRESS_AUTOTUNE_TUNER_H
+#define CYPRESS_AUTOTUNE_TUNER_H
+
+#include "autotune/MappingSpace.h"
+#include "runtime/Session.h"
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cypress {
+
+/// What happened to one candidate.
+enum class CandidateStatus : uint8_t {
+  Pruned,       ///< Statically rejected; the pass pipeline never ran.
+  CompileError, ///< Passed pruning but the pipeline rejected it.
+  SimError,     ///< Compiled but the simulator failed.
+  Evaluated,    ///< Compiled and timed.
+};
+
+const char *candidateStatusName(CandidateStatus Status);
+
+/// One row of the tuning landscape.
+struct CandidateResult {
+  TuningPoint Point;
+  CandidateStatus Status = CandidateStatus::Pruned;
+  /// Rejection or error diagnostic (with pass provenance when the pipeline
+  /// produced it); empty for evaluated candidates.
+  std::string Detail;
+  double TFlops = 0.0;
+  /// Shared-memory plan size of the compiled kernel.
+  int64_t SharedBytes = 0;
+  /// Wall time of the pipeline run that produced the kernel — the original
+  /// compile's when the kernel was served from a cache (0 if nothing
+  /// compiled).
+  double CompileMicros = 0.0;
+  /// True when the whole evaluation was replayed from the cost cache.
+  bool CostCacheHit = false;
+  /// The compiled kernel (null unless the candidate compiled).
+  std::shared_ptr<const CompiledKernel> Kernel;
+};
+
+/// Search-effort accounting for one tune() call. PipelinesRun is the
+/// number the acceptance bar cares about: full pass-pipeline executions,
+/// i.e. candidates minus pruned minus every flavor of cache hit.
+struct TuneStats {
+  size_t Candidates = 0;    ///< Full cartesian-product size.
+  size_t Pruned = 0;        ///< Rejected before compilation.
+  size_t CostCacheHits = 0; ///< Evaluations replayed from the cost cache.
+  size_t Compiled = 0;      ///< Candidates handed to the session.
+  size_t SessionHits = 0;   ///< Of those, served from the kernel cache.
+  size_t PipelinesRun = 0;  ///< Full pass-pipeline executions.
+  size_t CompileErrors = 0;
+  /// Session-wide cache snapshot after the run (monotonic counters).
+  CacheStats Session;
+};
+
+/// The ranked landscape: evaluated candidates first, best TFLOP/s leading
+/// (ties keep enumeration order), then compile/sim errors, then pruned
+/// candidates, each group in enumeration order.
+struct TuneResult {
+  std::vector<CandidateResult> Landscape;
+  TuneStats Stats;
+
+  /// The best evaluated candidate, or nullptr if nothing compiled.
+  const CandidateResult *best() const {
+    return !Landscape.empty() &&
+                   Landscape.front().Status == CandidateStatus::Evaluated
+               ? &Landscape.front()
+               : nullptr;
+  }
+};
+
+/// The mapping-exploration engine. Thread-compatible: one Tuner may be
+/// shared across threads (the cost cache is locked), and the underlying
+/// CompilerSession is thread-safe by construction.
+class Tuner {
+public:
+  /// A tuner over its own private session.
+  Tuner();
+  /// A tuner sharing \p Session (and therefore its kernel cache) with
+  /// other clients — the serving-layer configuration.
+  explicit Tuner(CompilerSession &Session);
+
+  Tuner(const Tuner &) = delete;
+  Tuner &operator=(const Tuner &) = delete;
+
+  /// Enumerates, prunes, compiles (concurrently, through the session),
+  /// and times every candidate of \p Spec on \p Machine.
+  ///
+  /// The tuner owns one TaskRegistry per Spec.KernelName, created by the
+  /// first tune() of that kernel and reused afterwards — the registry's
+  /// identity is part of every cache key, so this is what lets repeated or
+  /// overlapping sweeps hit the kernel cache and the cost cache instead of
+  /// recompiling. Specs sharing a KernelName must therefore register the
+  /// same task tree (true by construction for the KernelSpaces factories).
+  TuneResult tune(const KernelSearchSpec &Spec, const MachineModel &Machine,
+                  const SimConfig &Sim = SimConfig());
+
+  CompilerSession &session() { return *Session; }
+
+  /// Entries in the content-keyed cost cache (kernel identity + simulator
+  /// parameters -> evaluation outcome).
+  size_t costCacheSize() const;
+  void clearCostCache();
+
+private:
+  /// Memoized outcome of evaluating one (compile input, sim config) key.
+  struct CachedEval {
+    CandidateStatus Status = CandidateStatus::Evaluated;
+    std::string Detail;
+    double TFlops = 0.0;
+    int64_t SharedBytes = 0;
+    std::shared_ptr<const CompiledKernel> Kernel;
+  };
+
+  /// The shared registry for \p Spec's kernel family (created on first
+  /// use).
+  TaskRegistry &registryFor(const KernelSearchSpec &Spec);
+
+  std::unique_ptr<CompilerSession> OwnedSession; ///< Only for Tuner().
+  CompilerSession *Session = nullptr;
+  mutable std::mutex CostMutex;
+  std::map<std::string, CachedEval> CostCache;
+  std::map<std::string, std::unique_ptr<TaskRegistry>> Registries;
+};
+
+} // namespace cypress
+
+#endif // CYPRESS_AUTOTUNE_TUNER_H

@@ -24,6 +24,10 @@
 
 #include "kernels/Kernels.h"
 
+#include "support/Format.h"
+#include "support/MathUtil.h"
+
+#include <algorithm>
 #include <cmath>
 
 using namespace cypress;
@@ -119,6 +123,94 @@ AttentionConfig cypress::fa3Config(int64_t SeqLen) {
   AttentionConfig Config = fa2Config(SeqLen);
   Config.StageScores = true;
   return Config;
+}
+
+ErrorOrVoid AttentionConfig::validate(const MachineModel &Machine) const {
+  if (Batch <= 0 || Heads <= 0 || SeqLen <= 0 || HeadDim <= 0 || BR <= 0 ||
+      BC <= 0 || WGS <= 0 || Pipe <= 0)
+    return Diagnostic("attention problem sizes and tunables must be positive");
+  // The host task tiles the row-stacked [Batch*Heads*SeqLen, D] tensors by
+  // BR-row query blocks (blocks may straddle head boundaries — Heads is
+  // chosen so the panel indexing still lands on whole heads), and the main
+  // loop streams BC-row K/V tiles over one sequence.
+  if ((Batch * Heads * SeqLen) % BR != 0 || SeqLen % BC != 0)
+    return Diagnostic(formatString(
+        "query block %lld / key block %lld do not divide the %lld stacked "
+        "rows / sequence length %lld",
+        static_cast<long long>(BR), static_cast<long long>(BC),
+        static_cast<long long>(Batch * Heads * SeqLen),
+        static_cast<long long>(SeqLen)));
+  if (BR % WGS != 0 || (BR / WGS) % 64 != 0)
+    return Diagnostic(formatString(
+        "row split BR/WGS = %lld/%lld does not divide the query block into "
+        "64-row WGMMA bands",
+        static_cast<long long>(BR), static_cast<long long>(WGS)));
+
+  // Register lower bound: the output accumulator and the score tile(s) are
+  // concurrently live in every main-loop iteration, each split row-wise
+  // across the consumer warpgroups.
+  int64_t RegisterBytes = Machine.capacityBytes(Memory::Register);
+  int64_t Threads = Machine.threadsPerInstance(Processor::Warpgroup);
+  if (RegisterBytes > 0 && Threads > 0) {
+    int64_t Rows = BR / WGS;
+    int64_t ScoreTiles = StageScores ? 2 : 1;
+    int64_t PerThread = ceilDiv(Rows * HeadDim * 4, Threads) +
+                        ScoreTiles * ceilDiv(Rows * BC * 4, Threads);
+    if (PerThread > RegisterBytes)
+      return Diagnostic(formatString(
+          "accumulator and score tiles need %lld bytes of registers per "
+          "thread but the machine provides %lld; split across more "
+          "warpgroups or shrink BC",
+          static_cast<long long>(PerThread),
+          static_cast<long long>(RegisterBytes)));
+  }
+
+  // Shared lower bound: the Q tile is live across the whole main loop and
+  // truly interferes with the K/V pipeline buffers. K and V may alias
+  // *each other* (the allocator serializes them with write-after-read
+  // edges when space is tight), and the output staging tile may alias any
+  // of the loop buffers, so only the larger of K/V counts and staging only
+  // matters if it exceeds everything else.
+  int64_t SharedBytes = Machine.capacityBytes(Memory::Shared);
+  if (SharedBytes > 0) {
+    int64_t QBytes = alignUp(BR * HeadDim * 2, 128);
+    int64_t LoopBytes = alignUp(BC * HeadDim * 2, 128) * Pipe;
+    int64_t StagingBytes = WGS * alignUp((BR / WGS) * HeadDim * 2, 128);
+    int64_t Need = std::max(QBytes + LoopBytes, StagingBytes);
+    if (Need > SharedBytes)
+      return Diagnostic(formatString(
+          "shared memory needs at least %lld bytes (Q tile plus a "
+          "%lld-deep K/V pipeline) but the machine provides %lld per block",
+          static_cast<long long>(Need), static_cast<long long>(Pipe),
+          static_cast<long long>(SharedBytes)));
+  }
+  return ErrorOrVoid::success();
+}
+
+ErrorOrVoid cypress::applyTunable(AttentionConfig &Config,
+                                  const std::string &Name, int64_t Value) {
+  if (Name == "BATCH")
+    Config.Batch = Value;
+  else if (Name == "HEADS")
+    Config.Heads = Value;
+  else if (Name == "SEQ")
+    Config.SeqLen = Value;
+  else if (Name == "D")
+    Config.HeadDim = Value;
+  else if (Name == "BR")
+    Config.BR = Value;
+  else if (Name == "BC")
+    Config.BC = Value;
+  else if (Name == "WGS")
+    Config.WGS = Value;
+  else if (Name == "PIPE")
+    Config.Pipe = Value;
+  else if (Name == "STAGE")
+    Config.StageScores = Value != 0;
+  else
+    return Diagnostic(formatString("attention has no tunable named %s",
+                                   Name.c_str()));
+  return ErrorOrVoid::success();
 }
 
 void cypress::registerAttentionTasks(TaskRegistry &Registry) {

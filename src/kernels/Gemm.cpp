@@ -22,6 +22,10 @@
 
 #include "kernels/Kernels.h"
 
+#include "support/Format.h"
+#include "support/MathUtil.h"
+
+#include <algorithm>
 #include <cmath>
 
 using namespace cypress;
@@ -214,6 +218,91 @@ void cypress::registerGemmTasks(TaskRegistry &Registry) {
                     {"A", 2, ElementType::F16, Privilege::Read},
                     {"B", 2, ElementType::F16, Privilege::Read}},
                    {"wgmma_fp16", ExecUnit::TensorCore, flops2MNK});
+}
+
+ErrorOrVoid GemmConfig::validate(const MachineModel &Machine) const {
+  if (M <= 0 || N <= 0 || K <= 0 || L <= 0 || U <= 0 || V <= 0 || W <= 0 ||
+      WGS <= 0 || Pipe <= 0)
+    return Diagnostic("gemm problem sizes and tunables must be positive");
+  if (M % U != 0 || N % V != 0 || K % W != 0)
+    return Diagnostic(formatString(
+        "tile %lldx%lld (K-tile %lld) does not divide the %lldx%lldx%lld "
+        "problem",
+        static_cast<long long>(U), static_cast<long long>(V),
+        static_cast<long long>(W), static_cast<long long>(M),
+        static_cast<long long>(N), static_cast<long long>(K)));
+  // The 64-row band rule: each consumer warpgroup's row split must be a
+  // whole number of WGMMA bands.
+  if (U % WGS != 0 || (U / WGS) % 64 != 0)
+    return Diagnostic(formatString(
+        "row split U/WGS = %lld/%lld does not divide the tile height into "
+        "64-row WGMMA bands",
+        static_cast<long long>(U), static_cast<long long>(WGS)));
+
+  // Per-thread register budget for the FP32 accumulator tile, using the
+  // resource allocator's own formula: the warpgroup's (U/WGS) x V slice is
+  // distributed across the group's threads.
+  int64_t RegisterBytes = Machine.capacityBytes(Memory::Register);
+  int64_t Threads = Machine.threadsPerInstance(Processor::Warpgroup);
+  if (RegisterBytes > 0 && Threads > 0) {
+    int64_t PerThread = ceilDiv((U / WGS) * V * 4, Threads);
+    if (PerThread > RegisterBytes)
+      return Diagnostic(formatString(
+          "accumulator tile needs %lld bytes of registers per thread but "
+          "the machine provides %lld; split it across more warpgroups",
+          static_cast<long long>(PerThread),
+          static_cast<long long>(RegisterBytes)));
+  }
+
+  // Shared-memory lower bound. The A/B pipeline buffers are concurrently
+  // live across the whole K-loop, so they can never alias each other; the
+  // output staging tile may alias them (its live range starts after the
+  // loop), so the bound is the max of the two groups, not their sum.
+  int64_t SharedBytes = Machine.capacityBytes(Memory::Shared);
+  if (SharedBytes > 0) {
+    int64_t LoopBytes =
+        (alignUp(U * W * 2, 128) + alignUp(W * V * 2, 128)) * Pipe;
+    int64_t StagingBytes = WGS * alignUp((U / WGS) * V * 2, 128);
+    int64_t Need = std::max(LoopBytes, StagingBytes);
+    if (Need > SharedBytes)
+      return Diagnostic(formatString(
+          "shared memory needs at least %lld bytes (%lld-deep pipeline of "
+          "%lldx%lld and %lldx%lld tiles) but the machine provides %lld per "
+          "block",
+          static_cast<long long>(Need), static_cast<long long>(Pipe),
+          static_cast<long long>(U), static_cast<long long>(W),
+          static_cast<long long>(W), static_cast<long long>(V),
+          static_cast<long long>(SharedBytes)));
+  }
+  return ErrorOrVoid::success();
+}
+
+ErrorOrVoid cypress::applyTunable(GemmConfig &Config, const std::string &Name,
+                                  int64_t Value) {
+  if (Name == "M")
+    Config.M = Value;
+  else if (Name == "N")
+    Config.N = Value;
+  else if (Name == "K")
+    Config.K = Value;
+  else if (Name == "L")
+    Config.L = Value;
+  else if (Name == "U")
+    Config.U = Value;
+  else if (Name == "V")
+    Config.V = Value;
+  else if (Name == "W")
+    Config.W = Value;
+  else if (Name == "WGS")
+    Config.WGS = Value;
+  else if (Name == "PIPE")
+    Config.Pipe = Value;
+  else if (Name == "WSPEC")
+    Config.WarpSpecialize = Value != 0;
+  else
+    return Diagnostic(formatString("gemm has no tunable named %s",
+                                   Name.c_str()));
+  return ErrorOrVoid::success();
 }
 
 MappingSpec cypress::gemmMapping(const GemmConfig &Config) {

@@ -49,7 +49,31 @@ struct GemmConfig {
   int64_t WGS = 2; ///< Consumer warpgroups per block.
   int64_t Pipe = 3;
   bool WarpSpecialize = true;
+
+  /// Static mapping feasibility against \p Machine, checked before any
+  /// compilation. Rejects (with a diagnostic naming the violated
+  /// constraint):
+  ///  * tile sizes that do not divide the problem,
+  ///  * row splits that break the 64-row WGMMA band rule (U/WGS % 64) — a
+  ///    real-hardware legality constraint the permissive simulator does not
+  ///    enforce, so this is policy rather than a mirror of a compiler
+  ///    check,
+  ///  * accumulator tiles that overflow the per-thread register file
+  ///    (mirrors the resource allocator's formula exactly),
+  ///  * tile/pipeline combinations whose concurrently-live shared-memory
+  ///    footprint exceeds the machine's per-block capacity even before
+  ///    aliasing (a lower bound, so a pass here may still fail allocation,
+  ///    but a rejection here is definitive).
+  /// This is the single home of the validity logic previously copy-pasted
+  /// into the sweep loops of examples/ and bench/.
+  ErrorOrVoid validate(const MachineModel &Machine) const;
 };
+
+/// Assigns the tunable named \p Name ("M", "N", "K", "L", "U", "V", "W",
+/// "WGS", "PIPE", "WSPEC") on \p Config; errors on unknown names. The
+/// autotuner applies search-space axis values through this.
+ErrorOrVoid applyTunable(GemmConfig &Config, const std::string &Name,
+                         int64_t Value);
 
 /// Registers the GEMM task tree of Figure 5a (host / block / tile /
 /// warpgroup variants plus the clear and store trees).
@@ -98,7 +122,19 @@ struct AttentionConfig {
   /// FA3 restructuring: stage the score tile so the next Q.K^T overlaps
   /// the current softmax (Section 5.3).
   bool StageScores = false;
+
+  /// Static mapping feasibility against \p Machine (see
+  /// GemmConfig::validate): block divisibility, the WGMMA band rule on
+  /// BR/WGS, a per-thread register lower bound for the output accumulator
+  /// and score tiles, and a shared-memory lower bound for the Q tile plus
+  /// the K/V pipeline buffers.
+  ErrorOrVoid validate(const MachineModel &Machine) const;
 };
+
+/// Assigns the tunable named \p Name ("BATCH", "HEADS", "SEQ", "D", "BR",
+/// "BC", "WGS", "PIPE", "STAGE") on \p Config; errors on unknown names.
+ErrorOrVoid applyTunable(AttentionConfig &Config, const std::string &Name,
+                         int64_t Value);
 
 /// The tuned configurations of Section 5.3: Cypress FA2 uses three
 /// consumer warpgroups over 192-row query blocks; Cypress FA3 uses two

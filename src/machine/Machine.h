@@ -107,6 +107,20 @@ public:
   /// The description of \p Mem; asserts that the memory exists.
   const MemoryLevel &memory(Memory Mem) const;
 
+  /// Capacity in bytes of one instance of \p Mem (0 = effectively
+  /// unbounded, e.g. global memory). The query the autotuner's static
+  /// pruner runs before deciding whether a mapping can possibly allocate.
+  int64_t capacityBytes(Memory Mem) const { return memory(Mem).CapacityBytes; }
+
+  /// Threads contained in one instance of \p Proc (0 when the level's
+  /// thread count is dynamic, i.e. host and block). Register-file tensors
+  /// homed at \p Proc are distributed across exactly these threads, so the
+  /// per-thread register budget of a candidate mapping is
+  /// `ceilDiv(bytes, threadsPerInstance(Proc))`.
+  int64_t threadsPerInstance(Processor Proc) const {
+    return level(Proc).ThreadsPerInstance;
+  }
+
   /// Number of parallel instances of \p Proc within one instance of its
   /// parent level (1 for host).
   int64_t fanOut(Processor Proc) const;

@@ -8,6 +8,8 @@
 
 #include "support/Format.h"
 
+#include <sstream>
+
 using namespace cypress;
 
 MappingSpec::MappingSpec(std::vector<TaskMapping> Instances)
@@ -30,6 +32,33 @@ const TaskMapping &MappingSpec::entrypoint() const {
     if (TM.Entrypoint)
       return TM;
   cypressUnreachable("mapping has no entrypoint instance");
+}
+
+std::string MappingSpec::fingerprint() const {
+  std::ostringstream OS;
+  OS << "mapping{";
+  for (const TaskMapping &Inst : Instances) {
+    OS << Inst.Instance << '=' << Inst.Variant << '@'
+       << static_cast<int>(Inst.Proc) << '[';
+    for (Memory Mem : Inst.Mems)
+      OS << static_cast<int>(Mem) << ',';
+    OS << "]t{";
+    for (const auto &[Key, Value] : Inst.Tunables)
+      OS << Key << '=' << Value << ',';
+    for (const auto &[Key, Value] : Inst.ProcTunables)
+      OS << Key << '=' << 'p' << static_cast<int>(Value) << ',';
+    OS << "}m{";
+    for (const auto &[Key, Value] : Inst.TempMems)
+      OS << Key << '=' << static_cast<int>(Value) << ',';
+    OS << "}c{";
+    for (const std::string &Call : Inst.Calls)
+      OS << Call << ',';
+    OS << '}' << (Inst.Entrypoint ? 'E' : '-')
+       << (Inst.WarpSpecialize ? 'W' : '-') << 'p' << Inst.PipelineDepth
+       << 's' << Inst.SharedLimitBytes << ' ';
+  }
+  OS << '}';
+  return OS.str();
 }
 
 ErrorOr<std::string> MappingSpec::dispatch(const TaskRegistry &Registry,

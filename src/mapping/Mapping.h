@@ -84,6 +84,21 @@ public:
                                 const TaskMapping &Parent,
                                 const std::string &Task) const;
 
+  /// Canonical content serialization: every instance in declaration order
+  /// with its variant, processor, memory placements, tunables, calls, and
+  /// pipeline/warp-specialization knobs. Two specs with equal fingerprints
+  /// lower identically, so mappings are comparable and hashable as values —
+  /// the CompilerSession kernel-cache key and the autotuner's cost cache
+  /// are both built on this.
+  std::string fingerprint() const;
+
+  /// Content equality (fingerprint comparison). Enumerated candidate specs
+  /// from the autotuner compare by what they say, never by address.
+  bool operator==(const MappingSpec &Other) const {
+    return fingerprint() == Other.fingerprint();
+  }
+  bool operator!=(const MappingSpec &Other) const { return !(*this == Other); }
+
   /// Static validation against the registry and machine model:
   ///  * every referenced variant exists and arities match,
   ///  * exactly one entrypoint,

@@ -53,31 +53,6 @@ void appendRegistry(std::ostringstream &OS, const TaskRegistry &Registry) {
   OS << '}';
 }
 
-void appendMapping(std::ostringstream &OS, const MappingSpec &Mapping) {
-  OS << "mapping{";
-  for (const TaskMapping &Inst : Mapping.instances()) {
-    OS << Inst.Instance << '=' << Inst.Variant << '@'
-       << static_cast<int>(Inst.Proc) << '[';
-    for (Memory Mem : Inst.Mems)
-      OS << static_cast<int>(Mem) << ',';
-    OS << "]t{";
-    for (const auto &[Key, Value] : Inst.Tunables)
-      OS << Key << '=' << Value << ',';
-    for (const auto &[Key, Value] : Inst.ProcTunables)
-      OS << Key << '=' << 'p' << static_cast<int>(Value) << ',';
-    OS << "}m{";
-    for (const auto &[Key, Value] : Inst.TempMems)
-      OS << Key << '=' << static_cast<int>(Value) << ',';
-    OS << "}c{";
-    for (const std::string &Call : Inst.Calls)
-      OS << Call << ',';
-    OS << '}' << (Inst.Entrypoint ? 'E' : '-')
-       << (Inst.WarpSpecialize ? 'W' : '-') << 'p' << Inst.PipelineDepth
-       << 's' << Inst.SharedLimitBytes << ' ';
-  }
-  OS << '}';
-}
-
 void appendMachine(std::ostringstream &OS, const MachineModel &Machine) {
   // Fully content-keyed (unlike the registry there are no opaque parts),
   // so stack-allocated machine variants from autotuning sweeps can never
@@ -98,9 +73,10 @@ void appendMachine(std::ostringstream &OS, const MachineModel &Machine) {
 std::string CompilerSession::cacheKey(const CompileInput &Input) {
   std::ostringstream OS;
   appendRegistry(OS, *Input.Registry);
-  OS << '|';
-  appendMapping(OS, *Input.Mapping);
-  OS << '|';
+  // The mapping serializes itself: specs are content-keyed values (see
+  // MappingSpec::fingerprint), which is what lets the autotuner's cost
+  // cache and this kernel cache agree on candidate identity.
+  OS << '|' << Input.Mapping->fingerprint() << '|';
   appendMachine(OS, *Input.Machine);
   OS << "|args{";
   for (const TensorType &Type : Input.EntryArgTypes) {
@@ -117,17 +93,25 @@ std::string CompilerSession::cacheKey(const CompileInput &Input) {
 
 ErrorOr<std::shared_ptr<const CompiledKernel>>
 CompilerSession::compile(const CompileInput &Input, const std::string &Name) {
-  std::string Key = cacheKey(Input);
+  bool WasHit = false;
+  return compileKeyed(cacheKey(Input), Input, Name, WasHit);
+}
+
+ErrorOr<std::shared_ptr<const CompiledKernel>>
+CompilerSession::compileKeyed(std::string Key, const CompileInput &Input,
+                              const std::string &Name, bool &WasHit) {
   {
     std::lock_guard<std::mutex> Lock(Mutex);
     auto It = Cache.find(Key);
     if (It != Cache.end()) {
       ++Stats.Hits;
+      WasHit = true;
       return It->second;
     }
     // Counted at lookup time so Hits + Misses always equals the number of
     // compile() calls, even when the compile below fails.
     ++Stats.Misses;
+    WasHit = false;
   }
 
   // Compile outside the lock so independent misses overlap. Concurrent
@@ -149,10 +133,13 @@ CompilerSession::compile(const CompileInput &Input, const std::string &Name) {
 }
 
 std::vector<ErrorOr<std::shared_ptr<const CompiledKernel>>>
-CompilerSession::compileAll(const std::vector<Request> &Requests) {
+CompilerSession::compileAll(const std::vector<Request> &Requests,
+                            std::vector<uint8_t> *HitsOut) {
   // ErrorOr has no default state, so results land in optionals first.
   std::vector<std::optional<ErrorOr<std::shared_ptr<const CompiledKernel>>>>
       Slots(Requests.size());
+  if (HitsOut)
+    HitsOut->assign(Requests.size(), 0);
 
   unsigned Workers = Config.Workers;
   if (Workers == 0)
@@ -163,8 +150,15 @@ CompilerSession::compileAll(const std::vector<Request> &Requests) {
   std::atomic<size_t> NextRequest{0};
   auto Work = [&]() {
     for (size_t I = NextRequest.fetch_add(1); I < Requests.size();
-         I = NextRequest.fetch_add(1))
-      Slots[I].emplace(compile(Requests[I].Input, Requests[I].Name));
+         I = NextRequest.fetch_add(1)) {
+      const Request &R = Requests[I];
+      bool WasHit = false;
+      Slots[I].emplace(compileKeyed(
+          R.Key.empty() ? cacheKey(R.Input) : R.Key, R.Input, R.Name,
+          WasHit));
+      if (HitsOut)
+        (*HitsOut)[I] = WasHit ? 1 : 0;
+    }
   };
 
   if (Workers <= 1) {
@@ -188,6 +182,17 @@ CompilerSession::compileAll(const std::vector<Request> &Requests) {
 SessionStats CompilerSession::stats() const {
   std::lock_guard<std::mutex> Lock(Mutex);
   return Stats;
+}
+
+CacheStats CompilerSession::cacheStats() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return {Stats.Hits, Stats.Misses, Cache.size()};
+}
+
+bool CompilerSession::isCached(const CompileInput &Input) const {
+  std::string Key = cacheKey(Input);
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Cache.count(Key) != 0;
 }
 
 size_t CompilerSession::cachedKernels() const {

@@ -61,6 +61,16 @@ struct SessionStats {
   uint64_t Misses = 0;
 };
 
+/// One consistent snapshot of the kernel cache: the hit/miss counters plus
+/// the number of resident kernels, taken under a single lock. This is the
+/// observability surface the autotuner reports after a sweep (hits tell it
+/// how many candidate evaluations skipped the pass pipeline entirely).
+struct CacheStats {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  size_t Entries = 0;
+};
+
 /// A thread-safe compilation service with a keyed kernel cache.
 class CompilerSession {
 public:
@@ -69,10 +79,14 @@ public:
   CompilerSession(const CompilerSession &) = delete;
   CompilerSession &operator=(const CompilerSession &) = delete;
 
-  /// One compileAll work item.
+  /// One compileAll work item. Key may carry a precomputed cacheKey(Input)
+  /// so callers that already serialized the input (the autotuner's cost
+  /// cache) don't pay for it twice; leave it empty to have compileAll
+  /// compute it.
   struct Request {
     CompileInput Input;
     std::string Name;
+    std::string Key;
   };
 
   /// Compiles \p Input, or returns the cached kernel compiled for an
@@ -85,9 +99,13 @@ public:
   /// Compiles every request, scheduling cache misses across the worker
   /// pool. Results are positional: Result[i] belongs to Requests[i].
   /// Deterministic: the pipeline is pure, so concurrent compilation yields
-  /// bit-identical kernels regardless of scheduling.
+  /// bit-identical kernels regardless of scheduling. When \p HitsOut is
+  /// non-null it is filled positionally with whether each request was
+  /// served from the cache — the exact attribution (unlike diffing the
+  /// global counters, which absorb concurrent clients' traffic).
   std::vector<ErrorOr<std::shared_ptr<const CompiledKernel>>>
-  compileAll(const std::vector<Request> &Requests);
+  compileAll(const std::vector<Request> &Requests,
+             std::vector<uint8_t> *HitsOut = nullptr);
 
   /// The cache key for \p Input: the registry's structural fingerprint and
   /// identity (inner task bodies are opaque callables, so object identity
@@ -96,10 +114,23 @@ public:
   static std::string cacheKey(const CompileInput &Input);
 
   SessionStats stats() const;
+  /// Hits, misses, and resident-kernel count in one locked snapshot.
+  CacheStats cacheStats() const;
+  /// True if a compile of \p Input would be served from the cache right
+  /// now. Does not count as a hit or miss. Lets callers (the autotuner)
+  /// attribute cache effectiveness to their own requests instead of
+  /// diffing the global counters, which other threads may be advancing.
+  bool isCached(const CompileInput &Input) const;
   size_t cachedKernels() const;
   void clearCache();
 
 private:
+  /// The shared implementation: \p Key is cacheKey(Input); \p WasHit
+  /// reports whether the cache served the request.
+  ErrorOr<std::shared_ptr<const CompiledKernel>>
+  compileKeyed(std::string Key, const CompileInput &Input,
+               const std::string &Name, bool &WasHit);
+
   SessionConfig Config;
   mutable std::mutex Mutex;
   std::map<std::string, std::shared_ptr<const CompiledKernel>> Cache;

@@ -1,0 +1,381 @@
+//===- AutotuneTest.cpp - Autotuning subsystem tests -------------------------===//
+//
+// Part of the Cypress reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Covers src/autotune/: MappingSpace enumeration order and static
+/// pruning (smem overflow, WGMMA band splits, register budget — rejected
+/// without ever invoking the pass pipeline), the Tuner's agreement with a
+/// brute-force exhaustive sweep, its search-effort accounting, and the
+/// content-keyed cost cache.
+///
+//===----------------------------------------------------------------------===//
+
+#include "autotune/KernelSpaces.h"
+#include "autotune/Tuner.h"
+#include "runtime/Runtime.h"
+
+#include <gtest/gtest.h>
+
+using namespace cypress;
+
+namespace {
+
+GemmConfig smallGemm() {
+  GemmConfig Config;
+  Config.M = Config.N = Config.K = 512;
+  return Config;
+}
+
+/// The explorer grid of Section 5.4 around a small problem.
+std::vector<TuningAxis> smallAxes() {
+  return {{"U", {64, 128}}, {"V", {128, 256}}, {"PIPE", {1, 2}},
+          {"WGS", {1, 2}}};
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// MappingSpace: enumeration and static pruning
+//===----------------------------------------------------------------------===//
+
+TEST(MappingSpace, EnumeratesCartesianProductInSweepOrder) {
+  KernelSearchSpec Spec = gemmSearchSpec(smallGemm(), smallAxes());
+  MappingSpace Space(Spec, MachineModel::h100());
+
+  EXPECT_EQ(Space.size(), 16u);
+  EXPECT_EQ(Space.feasibleCount() + Space.prunedCount(), Space.size());
+
+  // Last axis spins fastest: the first two points differ only in WGS.
+  const TuningPoint &First = Space.candidates()[0].Point;
+  const TuningPoint &Second = Space.candidates()[1].Point;
+  EXPECT_EQ(First.str(), "U=64 V=128 PIPE=1 WGS=1");
+  EXPECT_EQ(Second.str(), "U=64 V=128 PIPE=1 WGS=2");
+  EXPECT_EQ(First.at("U"), 64);
+  EXPECT_EQ(First.getOr("PIPE", -1), 1);
+  EXPECT_EQ(First.getOr("ABSENT", -1), -1);
+  EXPECT_FALSE(First.has("ABSENT"));
+  EXPECT_NE(First, Second);
+}
+
+TEST(MappingSpace, PrunesBadBandSplitWithDiagnostic) {
+  // U=64 with WGS=2 leaves 32-row splits: not a whole WGMMA band.
+  KernelSearchSpec Spec =
+      gemmSearchSpec(smallGemm(), {{"U", {64}}, {"WGS", {2}}});
+  MappingSpace Space(Spec, MachineModel::h100());
+  ASSERT_EQ(Space.size(), 1u);
+  ASSERT_FALSE(Space.candidates()[0].feasible());
+  EXPECT_NE(Space.candidates()[0].Rejection->message().find("WGMMA"),
+            std::string::npos);
+}
+
+TEST(MappingSpace, PrunesSharedMemoryOverflow) {
+  // (U*W + W*V)*2 bytes * PIPE = (16 + 32) KB * 5 = 240 KB > 227 KB, and
+  // the A/B pipeline buffers are concurrently live so nothing can alias.
+  KernelSearchSpec Spec =
+      gemmSearchSpec(smallGemm(),
+                     {{"U", {128}}, {"V", {256}}, {"PIPE", {5}},
+                      {"WGS", {2}}});
+  MappingSpace Space(Spec, MachineModel::h100());
+  ASSERT_EQ(Space.prunedCount(), 1u);
+  EXPECT_NE(Space.candidates()[0].Rejection->message().find("shared memory"),
+            std::string::npos);
+}
+
+TEST(MappingSpace, PrunesRegisterOverflow) {
+  // One warpgroup's 128x256 FP32 accumulator needs 1024 bytes per thread;
+  // the H100 register file provides 255 * 4 = 1020.
+  KernelSearchSpec Spec =
+      gemmSearchSpec(smallGemm(),
+                     {{"U", {128}}, {"V", {256}}, {"WGS", {1}}});
+  MappingSpace Space(Spec, MachineModel::h100());
+  ASSERT_EQ(Space.prunedCount(), 1u);
+  EXPECT_NE(Space.candidates()[0].Rejection->message().find("register"),
+            std::string::npos);
+}
+
+TEST(MappingSpace, CapacityPrunesAgreeWithTheCompiler) {
+  // Soundness: every candidate pruned for a machine-capacity reason (not
+  // the band rule, which is real-hardware policy the permissive simulator
+  // does not model) must also be rejected by the actual pass pipeline, and
+  // every feasible candidate must compile.
+  GemmConfig Base = smallGemm();
+  KernelSearchSpec Spec = gemmSearchSpec(
+      Base, {{"U", {64, 128}}, {"V", {128, 256}}, {"PIPE", {2, 5}},
+             {"WGS", {1, 2}}});
+  MappingSpace Space(Spec, MachineModel::h100());
+  ASSERT_GT(Space.prunedCount(), 0u);
+  for (const MappingSpace::Candidate &Cand : Space.candidates()) {
+    TaskRegistry Registry;
+    Spec.Register(Registry);
+    MappingSpec Mapping = Spec.BuildMapping(Cand.Point);
+    std::vector<TensorType> Args = Spec.BuildArgs(Cand.Point);
+    CompileInput Input{&Registry, &Mapping, &MachineModel::h100(), Args};
+    ErrorOr<std::unique_ptr<CompiledKernel>> Kernel =
+        compileKernel(Input, "gemm");
+    if (Cand.feasible()) {
+      EXPECT_TRUE(Kernel) << Cand.Point.str() << ": "
+                          << Kernel.diagnostic().message();
+    } else if (Cand.Rejection->message().find("WGMMA") == std::string::npos) {
+      EXPECT_FALSE(Kernel) << Cand.Point.str()
+                           << " pruned for a capacity reason ("
+                           << Cand.Rejection->message()
+                           << ") but the pipeline accepted it";
+    }
+  }
+}
+
+TEST(MappingSpace, AttentionCapacityPrunesAgreeWithTheCompiler) {
+  // Same soundness bar as the GEMM test above, for attention: the
+  // validate() lower bounds encode aliasing assumptions about the
+  // allocator (K/V pipeline buffers may alias each other, staging may
+  // alias the loop), so pin them to the real pipeline: every
+  // capacity-pruned candidate must fail compilation, every feasible one
+  // must compile.
+  KernelSearchSpec Spec = attentionSearchSpec(
+      fa2Config(2048),
+      {{"WGS", {2, 3}}, {"BR", {128, 192}}, {"BC", {64, 128}},
+       {"PIPE", {2, 6}}});
+  MappingSpace Space(Spec, MachineModel::h100());
+  ASSERT_GT(Space.prunedCount(), 0u);
+  for (const MappingSpace::Candidate &Cand : Space.candidates()) {
+    TaskRegistry Registry;
+    Spec.Register(Registry);
+    MappingSpec Mapping = Spec.BuildMapping(Cand.Point);
+    std::vector<TensorType> Args = Spec.BuildArgs(Cand.Point);
+    CompileInput Input{&Registry, &Mapping, &MachineModel::h100(), Args};
+    ErrorOr<std::unique_ptr<CompiledKernel>> Kernel =
+        compileKernel(Input, "fa");
+    if (Cand.feasible()) {
+      EXPECT_TRUE(Kernel) << Cand.Point.str() << ": "
+                          << Kernel.diagnostic().message();
+    } else if (Cand.Rejection->message().find("WGMMA") == std::string::npos) {
+      EXPECT_FALSE(Kernel) << Cand.Point.str()
+                           << " pruned for a capacity reason ("
+                           << Cand.Rejection->message()
+                           << ") but the pipeline accepted it";
+    }
+  }
+}
+
+TEST(MappingSpace, AttentionPrunesBadConfigs) {
+  // fa2Config's BR=192 split over 2 warpgroups is 96 rows: no band fit.
+  AttentionConfig Base = fa2Config(2048);
+  KernelSearchSpec Spec =
+      attentionSearchSpec(Base, {{"WGS", {2, 3}}, {"PIPE", {2, 6}}});
+  MappingSpace Space(Spec, MachineModel::h100());
+  ASSERT_EQ(Space.size(), 4u);
+  // WGS=2 both pruned (band); WGS=3 PIPE=6 pruned (smem: 48 KB Q + 6 * 32
+  // KB K/V = 240 KB > 227 KB); WGS=3 PIPE=2 feasible.
+  EXPECT_EQ(Space.prunedCount(), 3u);
+  EXPECT_TRUE(Space.candidates()[2].feasible());
+  EXPECT_NE(
+      Space.candidates()[3].Rejection->message().find("shared memory"),
+      std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Tuner: pruning short-circuits the pipeline
+//===----------------------------------------------------------------------===//
+
+TEST(Tuner, PrunedCandidatesNeverReachThePipeline) {
+  CompilerSession Session;
+  Tuner Tuner(Session);
+  KernelSearchSpec Spec = gemmSearchSpec(smallGemm(), smallAxes());
+  MappingSpace Space(Spec, MachineModel::h100());
+
+  TuneResult Result = Tuner.tune(Spec, MachineModel::h100());
+
+  ASSERT_EQ(Result.Stats.Candidates, 16u);
+  EXPECT_EQ(Result.Stats.Pruned, Space.prunedCount());
+  EXPECT_GT(Result.Stats.Pruned, 0u);
+  // Every pipeline run the session saw came from a feasible candidate:
+  // pruned ones were rejected before compilation.
+  EXPECT_EQ(Session.stats().Misses, Space.feasibleCount());
+  EXPECT_EQ(Result.Stats.PipelinesRun, Space.feasibleCount());
+  EXPECT_EQ(Result.Stats.Compiled, Space.feasibleCount());
+  for (const CandidateResult &Row : Result.Landscape) {
+    if (Row.Status == CandidateStatus::Pruned) {
+      EXPECT_EQ(Row.Kernel, nullptr);
+      EXPECT_FALSE(Row.Detail.empty());
+      EXPECT_EQ(Row.CompileMicros, 0.0);
+    } else {
+      EXPECT_EQ(Row.Status, CandidateStatus::Evaluated);
+      EXPECT_NE(Row.Kernel, nullptr);
+      EXPECT_GT(Row.TFlops, 0.0);
+    }
+  }
+}
+
+TEST(Tuner, RankedLandscapeMatchesBruteForceExhaustiveSweep) {
+  // The pre-refactor sweep: nested loops, the inline band check, a cold
+  // compile per candidate, first strict maximum wins.
+  GemmConfig Base = smallGemm();
+  SimConfig Sim;
+  double BestTFlops = -1.0;
+  std::string BestName;
+  size_t BruteForcePipelines = 0;
+  for (int64_t U : {64, 128}) {
+    for (int64_t V : {128, 256}) {
+      for (int64_t Pipe : {1, 2}) {
+        for (int64_t Wgs : {1, 2}) {
+          GemmConfig Config = Base;
+          Config.U = U;
+          Config.V = V;
+          Config.Pipe = Pipe;
+          Config.WGS = Wgs;
+          if (U / Wgs % 64 != 0)
+            continue;
+          TaskRegistry Registry;
+          registerGemmTasks(Registry);
+          MappingSpec Mapping = gemmMapping(Config);
+          std::vector<TensorType> Args = gemmArgTypes(Config);
+          CompileInput Input{&Registry, &Mapping, &MachineModel::h100(),
+                             Args};
+          auto Kernel = compileKernel(Input, "gemm");
+          ++BruteForcePipelines;
+          if (!Kernel)
+            continue;
+          ErrorOr<SimResult> Timing = (*Kernel)->runTiming(Sim);
+          ASSERT_TRUE(Timing);
+          if (Timing->TFlops > BestTFlops) {
+            BestTFlops = Timing->TFlops;
+            BestName = "U=" + std::to_string(U) + " V=" + std::to_string(V) +
+                       " PIPE=" + std::to_string(Pipe) +
+                       " WGS=" + std::to_string(Wgs);
+          }
+        }
+      }
+    }
+  }
+
+  CompilerSession Session;
+  Tuner Tuner(Session);
+  TuneResult Result =
+      Tuner.tune(gemmSearchSpec(Base, smallAxes()), MachineModel::h100(), Sim);
+
+  const CandidateResult *Best = Result.best();
+  ASSERT_NE(Best, nullptr);
+  EXPECT_EQ(Best->Point.str(), BestName);
+  EXPECT_DOUBLE_EQ(Best->TFlops, BestTFlops);
+  // The acceptance bar: same best mapping, strictly fewer pipeline runs
+  // (static pruning catches what the brute-force sweep only discovers by
+  // compiling).
+  EXPECT_LT(Result.Stats.PipelinesRun, BruteForcePipelines);
+}
+
+//===----------------------------------------------------------------------===//
+// Tuner: caches
+//===----------------------------------------------------------------------===//
+
+TEST(Tuner, CostCacheReplaysRepeatedSweepsWithoutCompiling) {
+  CompilerSession Session;
+  Tuner Tuner(Session);
+  KernelSearchSpec Spec = gemmSearchSpec(smallGemm(), smallAxes());
+
+  TuneResult First = Tuner.tune(Spec, MachineModel::h100());
+  uint64_t MissesAfterFirst = Session.stats().Misses;
+  ASSERT_GT(Tuner.costCacheSize(), 0u);
+
+  TuneResult Second = Tuner.tune(Spec, MachineModel::h100());
+  EXPECT_EQ(Second.Stats.CostCacheHits,
+            Second.Stats.Candidates - Second.Stats.Pruned);
+  EXPECT_EQ(Second.Stats.PipelinesRun, 0u);
+  EXPECT_EQ(Second.Stats.Compiled, 0u);
+  EXPECT_EQ(Session.stats().Misses, MissesAfterFirst);
+
+  ASSERT_NE(Second.best(), nullptr);
+  EXPECT_EQ(Second.best()->Point, First.best()->Point);
+  EXPECT_DOUBLE_EQ(Second.best()->TFlops, First.best()->TFlops);
+  EXPECT_TRUE(Second.best()->CostCacheHit);
+  // The replay shares the cached kernel object, not a recompile.
+  EXPECT_EQ(Second.best()->Kernel.get(), First.best()->Kernel.get());
+}
+
+TEST(Tuner, DifferentSimConfigsDoNotShareCostEntries) {
+  CompilerSession Session;
+  Tuner Tuner(Session);
+  KernelSearchSpec Spec =
+      gemmSearchSpec(smallGemm(), {{"PIPE", {2}}});
+
+  SimConfig Fast;
+  TuneResult First = Tuner.tune(Spec, MachineModel::h100(), Fast);
+  SimConfig Slow;
+  Slow.TensorCoreFlopsPerCycle /= 2.0;
+  TuneResult Second = Tuner.tune(Spec, MachineModel::h100(), Slow);
+
+  // The kernel compile is shared through the session, but the evaluation
+  // is not: a different machine calibration is a different cost.
+  EXPECT_EQ(Second.Stats.CostCacheHits, 0u);
+  EXPECT_EQ(Second.Stats.SessionHits, 1u);
+  ASSERT_NE(First.best(), nullptr);
+  ASSERT_NE(Second.best(), nullptr);
+  EXPECT_GT(First.best()->TFlops, Second.best()->TFlops);
+}
+
+TEST(Tuner, OverlappingSweepsShareTheSessionKernelCache) {
+  CompilerSession Session;
+  Tuner Tuner(Session);
+  GemmConfig Base = smallGemm();
+
+  // PIPE=2 appears in both sweeps with identical full configs; the second
+  // sweep's evaluation replays from the cost cache (same kernel, same sim).
+  TuneResult First =
+      Tuner.tune(gemmSearchSpec(Base, {{"PIPE", {1, 2}}}),
+                 MachineModel::h100());
+  TuneResult Second =
+      Tuner.tune(gemmSearchSpec(Base, {{"PIPE", {2, 3}}}),
+                 MachineModel::h100());
+  EXPECT_EQ(Second.Stats.CostCacheHits, 1u);
+  EXPECT_EQ(Second.Stats.PipelinesRun, 1u);
+
+  Tuner.clearCostCache();
+  EXPECT_EQ(Tuner.costCacheSize(), 0u);
+  // With the cost cache cleared, the session's kernel cache still spares
+  // the pipeline: all three depths are resident.
+  TuneResult Third =
+      Tuner.tune(gemmSearchSpec(Base, {{"PIPE", {1, 2, 3}}}),
+                 MachineModel::h100());
+  EXPECT_EQ(Third.Stats.PipelinesRun, 0u);
+  EXPECT_EQ(Third.Stats.SessionHits, 3u);
+}
+
+TEST(Tuner, CompileErrorsAreReportedWithPassProvenance) {
+  // Disable pruning so a register-infeasible candidate reaches the pass
+  // pipeline: the tuner must surface the allocator's diagnostic, tagged
+  // with the failing pass, instead of caching or mis-ranking it.
+  GemmConfig Bad;
+  Bad.M = Bad.N = Bad.K = 512;
+  Bad.U = 128;
+  Bad.V = 256;
+  Bad.WGS = 1; // 1024 bytes/thread of accumulator: register overflow.
+  KernelSearchSpec Spec = gemmSearchSpec(Bad, {{"PIPE", {2}}});
+  Spec.Feasible = nullptr; // Disable pruning: the pipeline must catch it.
+
+  CompilerSession Session;
+  Tuner Tuner(Session);
+  TuneResult Result = Tuner.tune(Spec, MachineModel::h100());
+  ASSERT_EQ(Result.Landscape.size(), 1u);
+  EXPECT_EQ(Result.Landscape[0].Status, CandidateStatus::CompileError);
+  EXPECT_NE(Result.Landscape[0].Detail.find("resource-allocation"),
+            std::string::npos);
+  EXPECT_EQ(Result.best(), nullptr);
+  EXPECT_EQ(Result.Stats.CompileErrors, 1u);
+}
+
+TEST(Tuner, AttentionSweepFindsThePaperTuning) {
+  // On the default attention axes the paper's FA2 tuning (three consumer
+  // warpgroups over 192-row query blocks) must at least compile and land
+  // in the evaluated part of the landscape.
+  CompilerSession Session;
+  Tuner Tuner(Session);
+  TuneResult Result = Tuner.tune(
+      attentionSearchSpec(fa2Config(2048),
+                          {{"WGS", {3}}, {"BR", {192}}, {"BC", {64, 128}}}),
+      MachineModel::h100());
+  ASSERT_NE(Result.best(), nullptr);
+  EXPECT_EQ(Result.best()->Point.at("BR"), 192);
+  EXPECT_GT(Result.best()->TFlops, 0.0);
+}

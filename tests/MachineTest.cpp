@@ -66,6 +66,22 @@ TEST(Machine, Capacities) {
   EXPECT_EQ(M.memory(Memory::Global).CapacityBytes, 0); // Unbounded.
 }
 
+TEST(Machine, CapacityQueriesForThePruner) {
+  // The autotuner's static feasibility checks read capacities through
+  // these helpers instead of digging through the level/memory lists.
+  const MachineModel &M = MachineModel::h100();
+  EXPECT_EQ(M.capacityBytes(Memory::Shared),
+            H100Constants::SharedMemoryBytes);
+  EXPECT_EQ(M.capacityBytes(Memory::Register), 255 * 4);
+  EXPECT_EQ(M.capacityBytes(Memory::Global), 0);
+  EXPECT_EQ(M.threadsPerInstance(Processor::Warpgroup),
+            H100Constants::ThreadsPerWarp * H100Constants::WarpsPerWarpgroup);
+  EXPECT_EQ(M.threadsPerInstance(Processor::Warp),
+            H100Constants::ThreadsPerWarp);
+  EXPECT_EQ(M.threadsPerInstance(Processor::Thread), 1);
+  EXPECT_EQ(M.threadsPerInstance(Processor::Block), 0); // Dynamic.
+}
+
 TEST(Machine, CustomMachineDescription) {
   // The model is data-driven (Section 3.1's Blackwell note): a two-level
   // machine with one scratchpad validates without code changes.

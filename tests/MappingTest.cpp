@@ -148,6 +148,26 @@ TEST(Mapping, RejectsZeroPipelineDepth) {
   ASSERT_FALSE(Result);
 }
 
+TEST(Mapping, FingerprintIsContentKeyed) {
+  // Equal specs built independently fingerprint identically; any knob the
+  // lowering can see (tunables, pipeline depth, placements) changes it.
+  GemmConfig Config;
+  MappingSpec A = gemmMapping(Config);
+  MappingSpec B = gemmMapping(Config);
+  EXPECT_EQ(A.fingerprint(), B.fingerprint());
+  EXPECT_TRUE(A == B);
+
+  GemmConfig Deeper = Config;
+  Deeper.Pipe += 1;
+  MappingSpec C = gemmMapping(Deeper);
+  EXPECT_NE(A.fingerprint(), C.fingerprint());
+  EXPECT_TRUE(A != C);
+
+  std::vector<TaskMapping> Instances = A.instances();
+  Instances[0].Tunables["U"] += 64;
+  EXPECT_NE(A.fingerprint(), MappingSpec(Instances).fingerprint());
+}
+
 TEST(Mapping, ShippedKernelMappingsValidate) {
   // Every shipped kernel's tuned mapping must pass validation.
   {

@@ -332,12 +332,24 @@ TEST(Session, CompileAllIsConcurrentDeterministicAndDeduplicated) {
   Config.Workers = 4;
   CompilerSession Session(Config);
   std::vector<CompilerSession::Request> Requests = {
-      {Small.input(), "gemm_small"}, {Large.input(), "gemm_large"},
-      {Attn, "attention"},           {Small.input(), "gemm_small_again"},
-      {Large.input(), "gemm_large_again"}, {Attn, "attention_again"}};
+      {Small.input(), "gemm_small", {}},
+      {Large.input(), "gemm_large", {}},
+      {Attn, "attention", {}},
+      {Small.input(), "gemm_small_again", {}},
+      {Large.input(), "gemm_large_again", {}},
+      {Attn, "attention_again", {}}};
 
-  auto Results = Session.compileAll(Requests);
+  std::vector<uint8_t> Hits;
+  auto Results = Session.compileAll(Requests, &Hits);
   ASSERT_EQ(Results.size(), Requests.size());
+  // The per-request hit flags are positional and agree exactly with the
+  // session counters (this session saw no other traffic).
+  ASSERT_EQ(Hits.size(), Requests.size());
+  uint64_t FlaggedHits = 0;
+  for (uint8_t Hit : Hits)
+    FlaggedHits += Hit ? 1 : 0;
+  EXPECT_EQ(FlaggedHits, Session.stats().Hits);
+  EXPECT_EQ(Hits.size() - FlaggedHits, Session.stats().Misses);
   for (size_t I = 0; I < Results.size(); ++I)
     ASSERT_TRUE(Results[I]) << "request " << I << ": "
                             << Results[I].diagnostic().message();
@@ -354,6 +366,41 @@ TEST(Session, CompileAllIsConcurrentDeterministicAndDeduplicated) {
       compileKernel(Small.input(), "serial");
   ASSERT_TRUE(Serial);
   EXPECT_EQ((*Results[0])->irDump(), (*Serial)->irDump());
+}
+
+TEST(Session, CacheStatsSnapshotsHitsMissesAndEntries) {
+  SessionGemm Small(512), Large(1024);
+  CompilerSession Session;
+
+  CacheStats Empty = Session.cacheStats();
+  EXPECT_EQ(Empty.Hits, 0u);
+  EXPECT_EQ(Empty.Misses, 0u);
+  EXPECT_EQ(Empty.Entries, 0u);
+  EXPECT_FALSE(Session.isCached(Small.input()));
+
+  ASSERT_TRUE(Session.compile(Small.input(), "gemm"));
+  EXPECT_TRUE(Session.isCached(Small.input()));
+  EXPECT_FALSE(Session.isCached(Large.input()));
+  ASSERT_TRUE(Session.compile(Small.input(), "gemm"));
+  ASSERT_TRUE(Session.compile(Large.input(), "gemm"));
+
+  CacheStats Stats = Session.cacheStats();
+  EXPECT_EQ(Stats.Hits, 1u);
+  EXPECT_EQ(Stats.Misses, 2u);
+  EXPECT_EQ(Stats.Entries, 2u);
+  // One consistent snapshot: the counters match the legacy accessors.
+  EXPECT_EQ(Stats.Hits, Session.stats().Hits);
+  EXPECT_EQ(Stats.Misses, Session.stats().Misses);
+  EXPECT_EQ(Stats.Entries, Session.cachedKernels());
+
+  // Clearing drops the kernels but keeps the monotonic counters; probing
+  // never counts as a hit or miss.
+  Session.clearCache();
+  EXPECT_FALSE(Session.isCached(Small.input()));
+  CacheStats Cleared = Session.cacheStats();
+  EXPECT_EQ(Cleared.Entries, 0u);
+  EXPECT_EQ(Cleared.Hits, 1u);
+  EXPECT_EQ(Cleared.Misses, 2u);
 }
 
 TEST(Session, CompileErrorsAreReportedNotCached) {
