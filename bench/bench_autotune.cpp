@@ -42,13 +42,18 @@ void printSweep(const char *Title, const TuneResult &Result) {
 void writeSweepJson(std::FILE *Out, const char *Kernel,
                     const TuneResult &Result, bool Last) {
   const TuneStats &Stats = Result.Stats;
+  double SimMicros = 0.0;
+  for (const CandidateResult &Row : Result.Landscape)
+    SimMicros += Row.SimulateMicros;
   std::fprintf(Out, "    {\n      \"kernel\": \"%s\",\n", Kernel);
   std::fprintf(Out,
                "      \"stats\": {\"candidates\": %zu, \"pruned\": %zu, "
                "\"cost_cache_hits\": %zu, \"kernel_cache_hits\": %zu, "
-               "\"pipelines_run\": %zu, \"compile_errors\": %zu},\n",
+               "\"pipelines_run\": %zu, \"compile_errors\": %zu, "
+               "\"sim_us_total\": %.6g},\n",
                Stats.Candidates, Stats.Pruned, Stats.CostCacheHits,
-               Stats.SessionHits, Stats.PipelinesRun, Stats.CompileErrors);
+               Stats.SessionHits, Stats.PipelinesRun, Stats.CompileErrors,
+               SimMicros);
   if (const CandidateResult *Best = Result.best())
     std::fprintf(Out,
                  "      \"best\": {\"mapping\": \"%s\", \"tflops\": %.6g},\n",
@@ -61,11 +66,12 @@ void writeSweepJson(std::FILE *Out, const char *Kernel,
     std::fprintf(Out,
                  "        {\"mapping\": \"%s\", \"status\": \"%s\", "
                  "\"tflops\": %.6g, \"smem_bytes\": %lld, "
-                 "\"compile_us\": %.6g, \"detail\": \"%s\"}%s\n",
+                 "\"compile_us\": %.6g, \"sim_us\": %.6g, "
+                 "\"detail\": \"%s\"}%s\n",
                  jsonEscape(Row.Point.str()).c_str(),
                  candidateStatusName(Row.Status), Row.TFlops,
                  (long long)Row.SharedBytes, Row.CompileMicros,
-                 jsonEscape(Row.Detail).c_str(),
+                 Row.SimulateMicros, jsonEscape(Row.Detail).c_str(),
                  I + 1 < Result.Landscape.size() ? "," : "");
   }
   std::fprintf(Out, "      ]\n    }%s\n", Last ? "" : ",");

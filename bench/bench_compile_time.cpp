@@ -29,6 +29,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -97,6 +98,28 @@ void maybeWriteJson(const std::vector<KernelBreakdown> &Breakdowns) {
   std::fclose(Out);
 }
 
+/// Runs the pipeline \p Repeats times and keeps the fastest run's stats:
+/// one cold compile is dominated by first-touch page faults, and the CI
+/// regression gate needs stable numbers.
+void compileBestOf(const char *Name, const CompileInput &Input,
+                   std::vector<KernelBreakdown> &Breakdowns,
+                   int Repeats = 5) {
+  std::optional<PipelineStats> Best;
+  for (int I = 0; I < Repeats; ++I) {
+    PipelineStats Stats;
+    ErrorOr<IRModule> Module =
+        PassPipeline::defaultPipeline().run(Input, nullptr, &Stats);
+    if (!Module) {
+      std::fprintf(stderr, "error: %s: %s\n", Name,
+                   Module.diagnostic().str().c_str());
+      return;
+    }
+    if (!Best || Stats.TotalMicros < Best->TotalMicros)
+      Best = std::move(Stats);
+  }
+  Breakdowns.push_back({Name, std::move(*Best)});
+}
+
 void reportPerPassBreakdown(std::FILE *Out) {
   std::vector<KernelBreakdown> Breakdowns;
 
@@ -105,14 +128,7 @@ void reportPerPassBreakdown(std::FILE *Out) {
     MappingSpec Mapping;
     std::vector<TensorType> Args;
     CompileInput Input = gemmInput(Registry, Mapping, Args);
-    PipelineStats Stats;
-    ErrorOr<IRModule> Module =
-        PassPipeline::defaultPipeline().run(Input, nullptr, &Stats);
-    if (Module)
-      Breakdowns.push_back({"gemm_4096", std::move(Stats)});
-    else
-      std::fprintf(stderr, "error: gemm_4096: %s\n",
-                   Module.diagnostic().str().c_str());
+    compileBestOf("gemm_4096", Input, Breakdowns);
   }
   {
     AttentionConfig Config = fa2Config(4096);
@@ -121,14 +137,7 @@ void reportPerPassBreakdown(std::FILE *Out) {
     MappingSpec Mapping = attentionMapping(Config);
     std::vector<TensorType> Args = attentionArgTypes(Config);
     CompileInput Input{&Registry, &Mapping, &MachineModel::h100(), Args};
-    PipelineStats Stats;
-    ErrorOr<IRModule> Module =
-        PassPipeline::defaultPipeline().run(Input, nullptr, &Stats);
-    if (Module)
-      Breakdowns.push_back({"attention_fa2_4096", std::move(Stats)});
-    else
-      std::fprintf(stderr, "error: attention_fa2_4096: %s\n",
-                   Module.diagnostic().str().c_str());
+    compileBestOf("attention_fa2_4096", Input, Breakdowns);
   }
 
   printBreakdown(Out, Breakdowns);

@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Gate benchmark wall times against the committed bench/baselines snapshot.
+
+Usage: check_bench_regression.py <baseline_dir> <fresh_dir> [tolerance]
+
+Loads each BENCH_*.json that exists in both directories, extracts its
+wall-time metrics, and fails (exit 1) when any fresh value exceeds the
+baseline by more than `tolerance` (default 0.25 = +25%, overridable by the
+third argument or the CYPRESS_BENCH_TOLERANCE environment variable).
+
+The baselines were recorded on one machine and CI lands on another, so raw
+ratios mix code regressions with hardware speed. To factor the hardware
+out, every ratio is normalized by the smallest ratio observed across all
+gated metrics (clamped to >= 1): a slower runner slows compile passes and
+simulator runs roughly uniformly, while a code regression moves some
+metrics and not others. The gated set spans two independent subsystems
+(simulator us_per_run and compiler pipeline totals), so the blind spot —
+one change slowing both subsystems by the same factor — is far rarer than
+runner drift. Getting *faster* never fails; refresh the snapshot (re-run the
+benches with CYPRESS_BENCH_JSON=bench/baselines and commit) when an
+intentional change moves the numbers, in either direction, so the gate
+keeps teeth.
+"""
+
+import json
+import os
+import sys
+
+
+def metrics_sim_hotpath(doc):
+    # us_per_run values sit below the noise floor numerically, but each is
+    # an average over batches of 200 runs (10+ ms measured, best of 5
+    # batches) — the most stable metrics in the suite and the ones guarding
+    # the simulator hot path. Gate them explicitly.
+    for kernel in doc.get("kernels", []):
+        yield f"kernel {kernel['kernel']} us_per_run", (
+            kernel["us_per_run"], True)
+    sweep = doc.get("sweep")
+    if sweep:
+        # A single ~3ms end-to-end sweep sits below gateable stability on
+        # shared machines (scheduler hiccups swamp a 25% band); the
+        # simulator's regression signal is the us_per_run metrics above.
+        yield "sweep wall_ms", (sweep["wall_ms"], False)
+
+
+def metrics_compile_time(doc):
+    for kernel in doc.get("kernels", []):
+        yield f"kernel {kernel['kernel']} total_us", kernel["total_us"]
+
+
+def metrics_autotune(doc):
+    # Summed per-candidate times are measured under worker-pool concurrency
+    # and inflate with contention as core count grows, independent of code
+    # changes — report them for the log, never gate on them.
+    for sweep in doc.get("sweeps", []):
+        stats = sweep.get("stats", {})
+        if "sim_us_total" in stats:
+            yield (f"sweep {sweep['kernel']} sim_us_total",
+                   (stats["sim_us_total"], False))
+        compile_us = sum(
+            row.get("compile_us", 0.0) for row in sweep.get("candidates", [])
+        )
+        if compile_us:
+            yield f"sweep {sweep['kernel']} compile_us", (compile_us, False)
+
+
+EXTRACTORS = {
+    "BENCH_sim_hotpath.json": metrics_sim_hotpath,
+    "BENCH_compile_time.json": metrics_compile_time,
+    "BENCH_autotune.json": metrics_autotune,
+}
+
+# Sub-100us single-shot metrics are dominated by timer and scheduler
+# noise; a relative gate on them would flake, so metrics without an
+# explicit gate flag are only gated above this floor. Extractors that know
+# a metric integrates many runs tag it (value, True) to gate regardless.
+NOISE_FLOOR_US = 100.0
+
+
+def main():
+    if len(sys.argv) < 3:
+        print(__doc__)
+        return 2
+    baseline_dir, fresh_dir = sys.argv[1], sys.argv[2]
+    tolerance = float(
+        sys.argv[3]
+        if len(sys.argv) > 3
+        else os.environ.get("CYPRESS_BENCH_TOLERANCE", "0.25")
+    )
+
+    rows = []  # (file, key, baseline, fresh, ratio, gated)
+    failures = []
+    for name, extract in EXTRACTORS.items():
+        baseline_path = os.path.join(baseline_dir, name)
+        fresh_path = os.path.join(fresh_dir, name)
+        if not os.path.exists(baseline_path) or not os.path.exists(fresh_path):
+            print(f"-- {name}: skipped (missing on one side)")
+            continue
+        with open(baseline_path) as f:
+            baseline = dict(extract(json.load(f)))
+        with open(fresh_path) as f:
+            fresh = dict(extract(json.load(f)))
+        for key, entry in baseline.items():
+            base_value, forced = (
+                entry if isinstance(entry, tuple) else (entry, None)
+            )
+            if key not in fresh:
+                failures.append(f"{name}: {key} missing from fresh run")
+                continue
+            value = fresh[key]
+            if isinstance(value, tuple):
+                value = value[0]
+            ratio = value / base_value if base_value else float("inf")
+            if forced is None:
+                # wall_ms metrics are milliseconds; normalize for the floor.
+                in_us = base_value * (1000.0 if key.endswith("_ms") else 1.0)
+                gated = in_us >= NOISE_FLOOR_US
+            else:
+                gated = forced
+            rows.append((name, key, base_value, value, ratio, gated))
+
+    if not rows:
+        print("error: no benchmark metrics compared")
+        return 2
+
+    # Machine-drift estimate: the least-regressed gated metric. A uniformly
+    # slower runner lifts this along with everything else; a code change
+    # does not.
+    gated_ratios = [r[4] for r in rows if r[5]]
+    drift = max(1.0, min(gated_ratios)) if gated_ratios else 1.0
+    if drift > 1.0:
+        print(f"-- machine-drift normalization: dividing ratios by "
+              f"{drift:.2f} (slowest-common factor across metrics)")
+
+    for name, key, base_value, value, ratio, gated in rows:
+        adjusted = ratio / drift
+        verdict = "ok"
+        if adjusted > 1.0 + tolerance:
+            if gated:
+                verdict = "REGRESSION"
+                failures.append(
+                    f"{name}: {key} regressed {base_value:.3g} -> "
+                    f"{value:.3g} ({ratio:.2f}x raw, {adjusted:.2f}x "
+                    f"drift-adjusted, limit {1.0 + tolerance:.2f}x)"
+                )
+            else:
+                verdict = "informational (not gated)"
+        print(
+            f"   {name}: {key}: {base_value:.4g} -> {value:.4g} "
+            f"({ratio:.2f}x raw, {adjusted:.2f}x adjusted) {verdict}"
+        )
+
+    compared = len(rows)
+    if failures:
+        print(f"\n{len(failures)} wall-time regression(s) beyond "
+              f"+{tolerance * 100:.0f}%:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(f"\nall {compared} metrics within +{tolerance * 100:.0f}% "
+          "of bench/baselines")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,7 @@
 #include "support/Format.h"
 
 #include <algorithm>
+#include <chrono>
 #include <deque>
 
 using namespace cypress;
@@ -125,6 +126,7 @@ TuneResult Tuner::tune(const KernelSearchSpec &Spec,
         Row.Kernel = Eval.Kernel;
         Row.CompileMicros =
             Eval.Kernel ? Eval.Kernel->stats().TotalMicros : 0.0;
+        Row.SimulateMicros = Eval.SimulateMicros;
         Row.CostCacheHit = true;
         ++Result.Stats.CostCacheHits;
         Result.Landscape.push_back(std::move(Row));
@@ -138,34 +140,49 @@ TuneResult Tuner::tune(const KernelSearchSpec &Spec,
     Result.Landscape.push_back(std::move(Row)); // Filled in below.
   }
 
-  // Compile every fresh candidate concurrently. The per-request hit flags
-  // attribute kernel-cache effectiveness to this sweep exactly, immune to
-  // concurrent session clients and duplicate keys within the batch.
+  // Compile and evaluate every fresh candidate through the session's
+  // worker pool: the post-compile hook times each kernel on the simulator
+  // right on the worker that compiled it, so candidate A's simulation
+  // overlaps candidate B's pass pipeline. Evaluations land in positional
+  // slots and are merged (and cost-cached) sequentially below, so the
+  // resulting landscape is identical to a sequential sweep. The per-request
+  // hit flags attribute kernel-cache effectiveness to this sweep exactly,
+  // immune to concurrent session clients and duplicate keys within the
+  // batch.
   Result.Stats.Compiled = Requests.size();
+  std::vector<CachedEval> Evals(Requests.size());
+  auto Evaluate =
+      [&](size_t I,
+          const ErrorOr<std::shared_ptr<const CompiledKernel>> &Compiled) {
+        CachedEval &Eval = Evals[I];
+        if (!Compiled) {
+          Eval.Status = CandidateStatus::CompileError;
+          Eval.Detail = Compiled.diagnostic().str();
+          return;
+        }
+        Eval.Kernel = *Compiled;
+        Eval.SharedBytes = Eval.Kernel->sharedPlan().TotalBytes;
+        auto SimStart = std::chrono::steady_clock::now();
+        ErrorOr<SimResult> Timing = Eval.Kernel->runTiming(Sim);
+        Eval.SimulateMicros = std::chrono::duration<double, std::micro>(
+                                  std::chrono::steady_clock::now() - SimStart)
+                                  .count();
+        if (!Timing) {
+          Eval.Status = CandidateStatus::SimError;
+          Eval.Detail = Timing.diagnostic().str();
+        } else {
+          Eval.Status = CandidateStatus::Evaluated;
+          Eval.TFlops = Timing->TFlops;
+        }
+      };
   std::vector<uint8_t> Hits;
-  auto Compiled = Session->compileAll(Requests, &Hits);
+  Session->compileAll(Requests, &Hits, Evaluate);
   for (uint8_t Hit : Hits)
     Result.Stats.SessionHits += Hit ? 1 : 0;
   Result.Stats.PipelinesRun = Requests.size() - Result.Stats.SessionHits;
 
   for (size_t I = 0; I < Pending.size(); ++I) {
-    CachedEval Eval;
-    if (!Compiled[I]) {
-      Eval.Status = CandidateStatus::CompileError;
-      Eval.Detail = Compiled[I].diagnostic().str();
-    } else {
-      Eval.Kernel = *Compiled[I];
-      Eval.SharedBytes = Eval.Kernel->sharedPlan().TotalBytes;
-      ErrorOr<SimResult> Timing = Eval.Kernel->runTiming(Sim);
-      if (!Timing) {
-        Eval.Status = CandidateStatus::SimError;
-        Eval.Detail = Timing.diagnostic().str();
-      } else {
-        Eval.Status = CandidateStatus::Evaluated;
-        Eval.TFlops = Timing->TFlops;
-      }
-    }
-
+    CachedEval &Eval = Evals[I];
     CandidateResult &Row = Result.Landscape[Pending[I].Row];
     Row.Status = Eval.Status;
     Row.Detail = Eval.Detail;
@@ -173,6 +190,7 @@ TuneResult Tuner::tune(const KernelSearchSpec &Spec,
     Row.SharedBytes = Eval.SharedBytes;
     Row.Kernel = Eval.Kernel;
     Row.CompileMicros = Eval.Kernel ? Eval.Kernel->stats().TotalMicros : 0.0;
+    Row.SimulateMicros = Eval.SimulateMicros;
 
     std::lock_guard<std::mutex> Lock(CostMutex);
     CostCache.emplace(std::move(Pending[I].CostKey), std::move(Eval));

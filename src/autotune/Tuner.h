@@ -7,13 +7,16 @@
 /// \file
 /// The search engine of the autotuning subsystem. A Tuner takes a
 /// KernelSearchSpec, enumerates its MappingSpace, statically prunes
-/// infeasible candidates, compiles the survivors concurrently through a
-/// CompilerSession (so repeated or overlapping sweeps hit the kernel
-/// cache instead of re-running the pass pipeline), times each compiled
-/// kernel on the simulator, and returns the ranked performance landscape
-/// together with full observability: how many candidates were pruned, how
-/// many pipelines actually ran, and how many evaluations were served from
-/// the tuner's content-keyed cost cache.
+/// infeasible candidates, compiles and times the survivors in one batched
+/// pass over the CompilerSession's worker pool — each worker runs the
+/// simulator on the kernel it just compiled (or cache-fetched), so
+/// compilation and timing overlap across candidates — and returns the
+/// ranked performance landscape together with full observability: how many
+/// candidates were pruned, how many pipelines actually ran, how many
+/// evaluations were served from the tuner's content-keyed cost cache, and
+/// per-candidate compile and simulate wall times. Evaluation results merge
+/// into the landscape positionally, so a batched sweep is bit-identical to
+/// a sequential one.
 ///
 /// Typical use (see examples/mapping_explorer.cpp):
 ///
@@ -67,6 +70,10 @@ struct CandidateResult {
   /// compile's when the kernel was served from a cache (0 if nothing
   /// compiled).
   double CompileMicros = 0.0;
+  /// Wall time of the simulator timing run that evaluated the kernel —
+  /// like CompileMicros, the original evaluation's when the row was
+  /// replayed from the cost cache (0 if the candidate never simulated).
+  double SimulateMicros = 0.0;
   /// True when the whole evaluation was replayed from the cost cache.
   bool CostCacheHit = false;
   /// The compiled kernel (null unless the candidate compiled).
@@ -144,6 +151,7 @@ private:
     std::string Detail;
     double TFlops = 0.0;
     int64_t SharedBytes = 0;
+    double SimulateMicros = 0.0;
     std::shared_ptr<const CompiledKernel> Kernel;
   };
 

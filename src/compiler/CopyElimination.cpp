@@ -185,6 +185,16 @@ public:
 private:
   static constexpr unsigned MaxRounds = 64;
 
+  /// Rebuilds the flat op index into a reused buffer. Each pattern rescans
+  /// the module from scratch after every rewrite (correct by construction),
+  /// so the index buffer is the pass's hottest allocation; pooling it keeps
+  /// the fixpoint loop allocation-free.
+  std::vector<FlatOp> &flatIndex() {
+    FlatScratch.clear();
+    flatten(Module.root(), 0, FlatScratch);
+    return FlatScratch;
+  }
+
   //===--- Event rewiring helpers ----------------------------------------===//
 
   /// Renames event \p From to \p To in every reference (indices preserved).
@@ -329,8 +339,7 @@ private:
   /// copy(X -> P) ... copy(P -> Y) with equivalent P slices and no
   /// intervening write to P's root: the consumer reads X directly.
   bool copyPropagation() {
-    std::vector<FlatOp> Ops;
-    flatten(Module.root(), 0, Ops);
+    std::vector<FlatOp> &Ops = flatIndex();
     for (size_t I = 0; I < Ops.size(); ++I) {
       Operation &Producer = *Ops[I].Op;
       if (Producer.Kind != OpKind::Copy)
@@ -380,8 +389,7 @@ private:
   /// no third party touches the slice while the callee runs, so the
   /// substitution is always legal for launch-boundary pairs.
   bool launchPairForwarding() {
-    std::vector<FlatOp> Ops;
-    flatten(Module.root(), 0, Ops);
+    std::vector<FlatOp> &Ops = flatIndex();
 
     // Collect copy-in/copy-out per fresh tensor.
     struct PairInfo {
@@ -461,8 +469,7 @@ private:
   //===--- Pattern: self-copy elimination (Figure 10d) ---------------------===//
 
   bool selfCopyElimination() {
-    std::vector<FlatOp> Ops;
-    flatten(Module.root(), 0, Ops);
+    std::vector<FlatOp> &Ops = flatIndex();
     for (FlatOp &F : Ops) {
       Operation &Op = *F.Op;
       if (Op.Kind != OpKind::Copy)
@@ -478,8 +485,7 @@ private:
   //===--- Pattern: duplicate elimination (Figure 10c) ---------------------===//
 
   bool duplicateElimination() {
-    std::vector<FlatOp> Ops;
-    flatten(Module.root(), 0, Ops);
+    std::vector<FlatOp> &Ops = flatIndex();
     for (size_t I = 0; I < Ops.size(); ++I) {
       Operation &First = *Ops[I].Op;
       if (First.Kind != OpKind::Copy)
@@ -515,8 +521,7 @@ private:
   /// launches in one loop iteration both copy their accumulator fragment
   /// back to the same unmaterialized parent piece.
   bool redundantStoreElimination() {
-    std::vector<FlatOp> Ops;
-    flatten(Module.root(), 0, Ops);
+    std::vector<FlatOp> &Ops = flatIndex();
     for (size_t I = 0; I < Ops.size(); ++I) {
       Operation &First = *Ops[I].Op;
       if (First.Kind != OpKind::Copy)
@@ -554,8 +559,7 @@ private:
   /// body hoist the allocation and both copies out of the loop, keeping the
   /// accumulator resident across iterations.
   bool spillHoisting() {
-    std::vector<FlatOp> Ops;
-    flatten(Module.root(), 0, Ops);
+    std::vector<FlatOp> &Ops = flatIndex();
     for (FlatOp &F : Ops) {
       Operation &Loop = *F.Op;
       if (Loop.Kind != OpKind::For)
@@ -694,8 +698,7 @@ private:
         for (const TensorSlice &Slice : Op.Args)
           ReadRoots.insert(Slice.Tensor);
     });
-    std::vector<FlatOp> Ops;
-    flatten(Module.root(), 0, Ops);
+    std::vector<FlatOp> &Ops = flatIndex();
     for (FlatOp &F : Ops) {
       Operation &Op = *F.Op;
       if (Op.Kind != OpKind::Copy)
@@ -784,6 +787,7 @@ private:
   }
 
   IRModule &Module;
+  std::vector<FlatOp> FlatScratch;
   std::optional<Diagnostic> Failure;
 };
 

@@ -26,10 +26,12 @@
 #include "compiler/Passes.h"
 #include "support/Format.h"
 
-#include <map>
+#include <algorithm>
 #include <memory>
 #include <optional>
-#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
 
 using namespace cypress;
 
@@ -50,11 +52,14 @@ struct ExternalUse {
 };
 
 /// One dependence-tracking scope. The root scope covers the entrypoint
-/// body; every for/pfor body pushes a child scope.
+/// body; every for/pfor body pushes a child scope. The tables are hashed —
+/// version lookups are the traversal's innermost operation — and every
+/// place whose output depends on iteration order (finishLoop's dependence
+/// wiring) re-sorts by tensor id first.
 struct Scope {
-  std::map<TensorId, Version> Versions;
-  std::map<TensorId, ExternalUse> External;
-  std::set<TensorId> Local; ///< Tensors allocated in this scope.
+  std::unordered_map<TensorId, Version> Versions;
+  std::unordered_map<TensorId, ExternalUse> External;
+  std::unordered_set<TensorId> Local; ///< Tensors allocated in this scope.
 };
 
 class Analysis;
@@ -201,13 +206,21 @@ public:
 
   /// Runs \p Body inside a fresh scope whose ops are emitted into \p Into;
   /// returns the external-use summary for the loop op's dependence wiring.
-  std::map<TensorId, ExternalUse>
+  std::unordered_map<TensorId, ExternalUse>
   withLoopScope(IRBlock &Into, const std::function<void()> &Body) {
     Scopes.emplace_back();
+    // Seed the version tables from the emission point's op count: tensors
+    // versioned in a scope come from the ops emitted around it, so this
+    // keeps the tables from rehashing mid-traversal.
+    size_t Hint = block().Ops.size() + 8;
+    Scope &Inner = Scopes.back();
+    Inner.Versions.reserve(Hint);
+    Inner.External.reserve(Hint);
+    Inner.Local.reserve(Hint);
     Blocks.push_back(&Into);
     Body();
     Blocks.pop_back();
-    std::map<TensorId, ExternalUse> External =
+    std::unordered_map<TensorId, ExternalUse> External =
         std::move(Scopes.back().External);
     Scopes.pop_back();
     return External;
@@ -215,11 +228,21 @@ public:
 
   /// Wires a finished loop op into the enclosing scope: collects entry
   /// dependencies for every external tensor the body touched and updates
-  /// outer versions with the loop's completion event.
+  /// outer versions with the loop's completion event. Iterates in tensor-id
+  /// order (the hashed table has none) so the loop's precondition list —
+  /// which prints in the IR and feeds the verifier's diagnostics — stays
+  /// deterministic.
   void finishLoop(Operation &Loop,
-                  const std::map<TensorId, ExternalUse> &External,
+                  const std::unordered_map<TensorId, ExternalUse> &External,
                   EventRef LoopDone) {
-    for (const auto &[Tensor, Use] : External) {
+    std::vector<std::pair<TensorId, ExternalUse>> Ordered(External.begin(),
+                                                          External.end());
+    std::sort(Ordered.begin(), Ordered.end(),
+              [](const std::pair<TensorId, ExternalUse> &A,
+                 const std::pair<TensorId, ExternalUse> &B) {
+                return A.first < B.first;
+              });
+    for (const auto &[Tensor, Use] : Ordered) {
       // readDeps/writeDeps also propagate the external use outward, so
       // grand-parent loops see it at their own exits.
       std::vector<EventRef> Deps =
@@ -419,7 +442,7 @@ void AnalysisContext::srange(ScalarExpr Extent,
   A.module().event(Loop.Result).Producer = Loop.Id;
 
   A.pushPipeline(Instance.PipelineDepth);
-  std::map<TensorId, ExternalUse> External = A.withLoopScope(
+  std::unordered_map<TensorId, ExternalUse> External = A.withLoopScope(
       Loop.Body,
       [&] { Body(ScalarExpr::loopVar(Var, Loop.LoopVarName)); });
   A.popPipeline();
@@ -483,7 +506,7 @@ void AnalysisContext::prange(
   bool SavedWarpSpec = A.PrangeChildWarpSpec;
   A.PrangeChildProc.reset();
   A.PrangeChildWarpSpec = false;
-  std::map<TensorId, ExternalUse> External =
+  std::unordered_map<TensorId, ExternalUse> External =
       A.withLoopScope(Loop.Body, [&] { Body(Indices); });
   if (!A.PrangeChildProc) {
     A.fail("prange body launched no tasks; cannot infer processor level");

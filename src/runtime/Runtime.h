@@ -59,9 +59,12 @@ public:
     Leaves.add(std::move(LeafName), std::move(Fn));
   }
 
-  /// Timing-only simulation (fast; used by the benchmarks).
+  /// Timing-only simulation (fast; used by the benchmarks and the
+  /// autotuner's candidate evaluation). Thread-safe on a shared kernel.
   ErrorOr<SimResult> runTiming(const SimConfig &Config = SimConfig()) const {
-    return simulate(Module, Alloc, Config, Leaves);
+    SimHints Hints = simHints();
+    return simulate(Module, Alloc, Config, Leaves, {},
+                    Hints.NumOps ? &Hints : nullptr);
   }
 
   /// Timing plus functional execution into \p EntryBuffers (one per entry
@@ -69,7 +72,9 @@ public:
   ErrorOr<SimResult>
   runFunctional(const std::vector<TensorData *> &EntryBuffers,
                 const SimConfig &Config = SimConfig()) const {
-    return simulate(Module, Alloc, Config, Leaves, EntryBuffers);
+    SimHints Hints = simHints();
+    return simulate(Module, Alloc, Config, Leaves, EntryBuffers,
+                    Hints.NumOps ? &Hints : nullptr);
   }
 
   /// The generated warp-specialized CUDA C++ (structural artifact).
@@ -81,6 +86,17 @@ public:
   std::string irDump() const { return printModule(Module); }
 
 private:
+  /// Simulator table pre-sizing from the final pass's IR statistics (zero
+  /// when this kernel was hand-assembled without pipeline stats).
+  SimHints simHints() const {
+    SimHints Hints;
+    if (!Stats.Passes.empty()) {
+      Hints.NumOps = Stats.Passes.back().OpsAfter;
+      Hints.NumEvents = Stats.Passes.back().EventsAfter;
+    }
+    return Hints;
+  }
+
   IRModule Module;
   SharedAllocation Alloc;
   std::string Name;

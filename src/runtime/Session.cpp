@@ -16,6 +16,92 @@ using namespace cypress;
 
 CompilerSession::CompilerSession(SessionConfig Config) : Config(Config) {}
 
+CompilerSession::~CompilerSession() {
+  {
+    std::lock_guard<std::mutex> Lock(PoolMutex);
+    ShuttingDown = true;
+  }
+  WorkCv.notify_all();
+  for (std::thread &Worker : Workers)
+    Worker.join();
+}
+
+//===----------------------------------------------------------------------===//
+// Worker pool
+//===----------------------------------------------------------------------===//
+
+void CompilerSession::ensureWorkers(unsigned Count) {
+  while (Workers.size() < Count)
+    Workers.emplace_back([this] { workerMain(); });
+}
+
+void CompilerSession::drainJob(JobState &Job) {
+  for (size_t I = Job.Next.fetch_add(1); I < Job.N;
+       I = Job.Next.fetch_add(1)) {
+    (*Job.Fn)(I);
+    if (Job.Done.fetch_add(1) + 1 == Job.N) {
+      std::lock_guard<std::mutex> Lock(PoolMutex);
+      DoneCv.notify_all();
+    }
+  }
+}
+
+void CompilerSession::workerMain() {
+  std::shared_ptr<JobState> Last;
+  while (true) {
+    std::shared_ptr<JobState> Job;
+    {
+      std::unique_lock<std::mutex> Lock(PoolMutex);
+      WorkCv.wait(Lock, [&] {
+        return ShuttingDown || (CurrentJob && CurrentJob != Last);
+      });
+      if (ShuttingDown)
+        return;
+      Job = Last = CurrentJob;
+    }
+    // A stale batch is harmless: its index counter is already exhausted,
+    // so drainJob immediately falls through.
+    drainJob(*Job);
+  }
+}
+
+void CompilerSession::runParallel(size_t Items,
+                                  const std::function<void(size_t)> &Fn) {
+  if (Items == 0)
+    return;
+  unsigned WorkerCount = Config.Workers;
+  if (WorkerCount == 0)
+    WorkerCount =
+        std::max(1u, std::min(4u, std::thread::hardware_concurrency()));
+  WorkerCount = static_cast<unsigned>(
+      std::min<size_t>(WorkerCount, Items));
+  if (WorkerCount <= 1) {
+    for (size_t I = 0; I < Items; ++I)
+      Fn(I);
+    return;
+  }
+
+  std::lock_guard<std::mutex> Submit(SubmitMutex);
+  ensureWorkers(WorkerCount - 1); // The caller is the remaining worker.
+  auto Job = std::make_shared<JobState>();
+  Job->Fn = &Fn;
+  Job->N = Items;
+  {
+    std::lock_guard<std::mutex> Lock(PoolMutex);
+    CurrentJob = Job;
+  }
+  WorkCv.notify_all();
+  drainJob(*Job);
+  std::unique_lock<std::mutex> Lock(PoolMutex);
+  DoneCv.wait(Lock, [&] { return Job->Done.load() == Job->N; });
+  // Drop the published job so no stale pointer to this frame's Fn survives
+  // the return (late-waking workers see a null CurrentJob and keep
+  // sleeping; ones already holding the shared state find its index counter
+  // exhausted).
+  if (CurrentJob == Job)
+    CurrentJob = nullptr;
+}
+
 //===----------------------------------------------------------------------===//
 // Cache key
 //===----------------------------------------------------------------------===//
@@ -134,43 +220,26 @@ CompilerSession::compileKeyed(std::string Key, const CompileInput &Input,
 
 std::vector<ErrorOr<std::shared_ptr<const CompiledKernel>>>
 CompilerSession::compileAll(const std::vector<Request> &Requests,
-                            std::vector<uint8_t> *HitsOut) {
+                            std::vector<uint8_t> *HitsOut,
+                            const PostCompileFn &PostCompile) {
   // ErrorOr has no default state, so results land in optionals first.
   std::vector<std::optional<ErrorOr<std::shared_ptr<const CompiledKernel>>>>
       Slots(Requests.size());
   if (HitsOut)
     HitsOut->assign(Requests.size(), 0);
 
-  unsigned Workers = Config.Workers;
-  if (Workers == 0)
-    Workers = std::max(1u, std::min(4u, std::thread::hardware_concurrency()));
-  Workers = static_cast<unsigned>(
-      std::min<size_t>(Workers, Requests.size()));
-
-  std::atomic<size_t> NextRequest{0};
-  auto Work = [&]() {
-    for (size_t I = NextRequest.fetch_add(1); I < Requests.size();
-         I = NextRequest.fetch_add(1)) {
-      const Request &R = Requests[I];
-      bool WasHit = false;
-      Slots[I].emplace(compileKeyed(
-          R.Key.empty() ? cacheKey(R.Input) : R.Key, R.Input, R.Name,
-          WasHit));
-      if (HitsOut)
-        (*HitsOut)[I] = WasHit ? 1 : 0;
-    }
+  auto Work = [&](size_t I) {
+    const Request &R = Requests[I];
+    bool WasHit = false;
+    Slots[I].emplace(compileKeyed(
+        R.Key.empty() ? cacheKey(R.Input) : R.Key, R.Input, R.Name,
+        WasHit));
+    if (HitsOut)
+      (*HitsOut)[I] = WasHit ? 1 : 0;
+    if (PostCompile)
+      PostCompile(I, *Slots[I]);
   };
-
-  if (Workers <= 1) {
-    Work();
-  } else {
-    std::vector<std::thread> Pool;
-    Pool.reserve(Workers);
-    for (unsigned I = 0; I < Workers; ++I)
-      Pool.emplace_back(Work);
-    for (std::thread &Thread : Pool)
-      Thread.join();
-  }
+  runParallel(Requests.size(), Work);
 
   std::vector<ErrorOr<std::shared_ptr<const CompiledKernel>>> Results;
   Results.reserve(Slots.size());

@@ -37,11 +37,15 @@
 
 #include "runtime/Runtime.h"
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace cypress {
@@ -71,10 +75,14 @@ struct CacheStats {
   size_t Entries = 0;
 };
 
-/// A thread-safe compilation service with a keyed kernel cache.
+/// A thread-safe compilation service with a keyed kernel cache and a
+/// persistent worker pool. The pool is created lazily on the first batched
+/// call and reused for the session's lifetime, so sweeping clients (the
+/// autotuner) never pay per-batch thread spawns.
 class CompilerSession {
 public:
   explicit CompilerSession(SessionConfig Config = SessionConfig());
+  ~CompilerSession();
 
   CompilerSession(const CompilerSession &) = delete;
   CompilerSession &operator=(const CompilerSession &) = delete;
@@ -96,16 +104,29 @@ public:
   ErrorOr<std::shared_ptr<const CompiledKernel>>
   compile(const CompileInput &Input, const std::string &Name);
 
-  /// Compiles every request, scheduling cache misses across the worker
+  /// Per-request continuation of compileAll, invoked on the worker thread
+  /// that finished (or cache-served) request \p Index, before the worker
+  /// picks up its next request. This is how batched clients overlap
+  /// post-compile work (the autotuner's simulator timing runs) with the
+  /// compilation of later requests. Must be safe to call concurrently for
+  /// distinct indices.
+  using PostCompileFn = std::function<void(
+      size_t Index,
+      const ErrorOr<std::shared_ptr<const CompiledKernel>> &Kernel)>;
+
+  /// Compiles every request, scheduling work across the session's worker
   /// pool. Results are positional: Result[i] belongs to Requests[i].
   /// Deterministic: the pipeline is pure, so concurrent compilation yields
   /// bit-identical kernels regardless of scheduling. When \p HitsOut is
   /// non-null it is filled positionally with whether each request was
   /// served from the cache — the exact attribution (unlike diffing the
-  /// global counters, which absorb concurrent clients' traffic).
+  /// global counters, which absorb concurrent clients' traffic). When
+  /// \p PostCompile is non-null it runs on the worker right after each
+  /// request resolves (see PostCompileFn).
   std::vector<ErrorOr<std::shared_ptr<const CompiledKernel>>>
   compileAll(const std::vector<Request> &Requests,
-             std::vector<uint8_t> *HitsOut = nullptr);
+             std::vector<uint8_t> *HitsOut = nullptr,
+             const PostCompileFn &PostCompile = nullptr);
 
   /// The cache key for \p Input: the registry's structural fingerprint and
   /// identity (inner task bodies are opaque callables, so object identity
@@ -131,10 +152,37 @@ private:
   compileKeyed(std::string Key, const CompileInput &Input,
                const std::string &Name, bool &WasHit);
 
+  /// One batched unit of work on the pool: items claim indices from a
+  /// shared atomic, so a job survives stale wakeups from earlier batches
+  /// (each batch is a fresh JobState; exhausted batches hand out indices
+  /// past N and do nothing).
+  struct JobState {
+    const std::function<void(size_t)> *Fn = nullptr;
+    size_t N = 0;
+    std::atomic<size_t> Next{0};
+    std::atomic<size_t> Done{0};
+  };
+
+  /// Runs Fn(0..Items) across the worker pool; the calling thread
+  /// participates. Batches from concurrent callers are serialized (items
+  /// within each batch still run concurrently).
+  void runParallel(size_t Items, const std::function<void(size_t)> &Fn);
+  void ensureWorkers(unsigned Count);
+  void drainJob(JobState &Job);
+  void workerMain();
+
   SessionConfig Config;
   mutable std::mutex Mutex;
   std::map<std::string, std::shared_ptr<const CompiledKernel>> Cache;
   SessionStats Stats;
+
+  // Worker pool (lazily started, joined on destruction).
+  std::mutex SubmitMutex; ///< Serializes runParallel callers.
+  std::mutex PoolMutex;   ///< Guards CurrentJob / ShuttingDown.
+  std::condition_variable WorkCv, DoneCv;
+  std::vector<std::thread> Workers;
+  std::shared_ptr<JobState> CurrentJob;
+  bool ShuttingDown = false;
 };
 
 } // namespace cypress

@@ -11,6 +11,18 @@
 /// the completion events the compiler wired — so schedules that overlap
 /// copies, matrix ops, and SIMT math are rewarded exactly as on Hopper.
 ///
+/// The timing hot path is built on dense, pre-sized tables rather than
+/// ordered maps: one expansion pass enumerates every operation instance
+/// into per-agent streams, interning iteration coordinates, loop-instance
+/// paths, precondition descriptors (with warpgroup indices already
+/// evaluated), shared-memory byte ranges, and per-op costs into flat
+/// arenas. Event completion times live in a single flat array indexed by a
+/// strided linear coordinate key computed from the loop extents observed
+/// during expansion, so the scheduler's readiness checks are array loads.
+/// All arenas are pooled in a thread-local scratch that survives across
+/// simulation runs, which makes repeated `runTiming` calls (the autotuner's
+/// candidate evaluation loop) allocation-free in steady state.
+///
 //===----------------------------------------------------------------------===//
 
 #include "sim/Simulator.h"
@@ -19,11 +31,11 @@
 #include "support/MathUtil.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
-#include <deque>
-#include <map>
-#include <set>
 #include <cstdio>
+#include <limits>
+#include <unordered_map>
 
 using namespace cypress;
 
@@ -52,24 +64,34 @@ bool hasWarpgroupDim(const Operation &Op) {
 // Timing simulation of one block
 //===----------------------------------------------------------------------===//
 
-/// One executable instance of an operation: a concrete warpgroup index plus
-/// concrete indices for the enclosing sequential loops.
-struct OpInstance {
-  const Operation *Op = nullptr;
-  int64_t Wg = -1;              ///< -1 when the op has no warpgroup dim.
-  std::vector<int64_t> Iters;   ///< Enclosing For indices, outermost first.
-  std::vector<LoopVarId> IterVars;
-  /// Enclosing For-loop op ids, outermost first (loop d encloses the
-  /// instance with iteration prefix Iters[0..d]).
-  std::vector<OpId> LoopChain;
+/// Per-op execution cost, computed once per op and cached.
+struct Cost {
+  double IssueCycles = 0;   ///< Time the issuing agent is occupied.
+  double UnitCycles = 0;    ///< Occupancy of the shared unit (TMA/TC).
+  double Latency = 0;       ///< Extra completion latency after transfer.
+  enum class UnitKind : uint8_t { None, Tma, TensorCore } Unit = UnitKind::None;
 };
 
-/// Per-event bookkeeping for completion lookup.
-struct EventRecord {
-  /// (wg, iters) -> completion cycle. wg = -1 for unreplicated events.
-  std::map<std::vector<int64_t>, double> Times;
-  unsigned Depth = 0;   ///< Number of enclosing loops of the producer.
-  bool WgReplicated = false;
+/// One precondition of one instance, with everything that is static for
+/// that instance resolved at expansion time (the warpgroup index expression
+/// evaluates under the instance's environment, so it never has to be
+/// re-evaluated in the scheduler's inner loop).
+struct PrecondDesc {
+  EventId Event = InvalidEventId;
+  int64_t IterLag = 0;
+  int32_t WantWg = -1; ///< Concrete warpgroup index; -1 when not indexed.
+  bool Broadcast = false;
+};
+
+/// Static half of a shared-memory access trace entry; Start/End are filled
+/// in when the instance executes.
+struct SmemPre {
+  TensorId Tensor = InvalidTensorId;
+  OpId Op = ~0u;
+  int64_t Lo = 0, Hi = 0; ///< Byte range.
+  size_t IterHash = 0;
+  int32_t Wg = -1;
+  bool Write = false;
 };
 
 /// Shared-memory access trace entry for the WAR race detector.
@@ -85,14 +107,141 @@ struct SmemAccess {
   size_t IterHash = 0;
 };
 
+/// Per-op record in the dense op table (indexed by a dense id assigned at
+/// the op's first visit during expansion).
+struct OpRec {
+  Cost C;
+  uint32_t Depth = 0;    ///< Number of enclosing sequential loops.
+  uint32_t ChainOff = 0; ///< Enclosing loop ops (dense ids), in ChainArena.
+  /// For `For` ops: the coordinate range this loop iterates over, across
+  /// all its instantiations (min Lo .. max Hi-1). Sizes the slabs of every
+  /// event produced under this loop.
+  int64_t MinCoord = std::numeric_limits<int64_t>::max();
+  int64_t MaxCoord = std::numeric_limits<int64_t>::min();
+  bool HasCost = false;
+};
+
+/// One executable instance of an operation. All variable-length payloads
+/// (iteration coordinates, loop-instance path, precondition descriptors,
+/// smem ranges) live in the scratch arenas; the instance stores offsets.
+struct InstRec {
+  const Operation *Op = nullptr;
+  int32_t Wg = -1;      ///< -1 when the op has no warpgroup dim.
+  uint32_t OpIdx = 0;   ///< Dense op table index.
+  uint32_t Depth = 0;   ///< Enclosing loop count == coordinate count.
+  uint32_t CoordOff = 0;
+  uint32_t LoopOff = 0;
+  uint32_t PrecondOff = 0, PrecondCount = 0;
+  uint32_t SmemOff = 0, SmemCount = 0;
+};
+
+/// Per-event completion table descriptor. Completion cycles for the event's
+/// (warpgroup, iteration-prefix) instances live in the shared Times arena
+/// at [TimesOff, TimesOff + WgSlots * CoordCount); NaN marks "not yet
+/// completed". Slot 0 holds the unreplicated (-1) warpgroup key, slots
+/// 1..Wgs the per-warpgroup keys of replicated events. The coordinate box
+/// is the producer's own enclosing-loop ranges (ChainOff into the chain
+/// arena), so a slab is exactly as large as the set of keys the producer
+/// can ever register — sibling loops with skewed extents don't inflate it.
+struct EventRec {
+  uint64_t TimesOff = 0;
+  uint64_t CoordCount = 1;
+  uint32_t WgSlots = 1;
+  uint32_t Depth = 0;    ///< Number of enclosing loops of the producer.
+  uint32_t ChainOff = 0; ///< Producer's enclosing loop ops (dense ids).
+  bool WgReplicated = false;
+  bool Known = false; ///< Produced inside the grid body.
+};
+
+/// Outstanding body-instance count per loop instance (one For op entered at
+/// one enclosing iteration prefix).
+struct LoopInst {
+  int64_t Remaining = 0;
+  double MaxTime = 0;
+  EventId Event = InvalidEventId;
+};
+
+/// All per-run state of the timing simulator, pooled across runs: clear()
+/// resets sizes but keeps capacity, so steady-state simulation performs no
+/// allocation. One scratch exists per thread (runTiming is const and may be
+/// called concurrently on shared kernels).
+struct TimerScratch {
+  std::vector<InstRec> Insts;
+  std::vector<std::vector<uint32_t>> Streams; ///< Instance indices per agent.
+  std::vector<int64_t> Coords;                ///< Iteration-coordinate arena.
+  std::vector<uint32_t> LoopPaths;            ///< Loop-instance-path arena.
+  std::vector<PrecondDesc> Preconds;
+  std::vector<SmemPre> SmemPres;
+  std::vector<OpRec> Ops;
+  std::vector<uint32_t> OpDense; ///< OpId -> dense op index (~0u absent).
+  std::vector<EventRec> Events;  ///< Indexed by EventId.
+  std::vector<std::pair<EventId, OpId>> KnownEvents;
+  std::vector<double> Times; ///< Shared completion-time arena (NaN = absent).
+  std::vector<LoopInst> Loops;
+  std::vector<SmemAccess> Accesses;
+  std::vector<uint32_t> ChainArena; ///< Enclosing-loop dense ids per op.
+  // Scheduler / race-detector scratch.
+  std::vector<size_t> Cursor;
+  std::vector<double> Ready;
+  std::vector<uint32_t> RaceOrder, RaceActive;
+
+  void reset(size_t NumAgents, size_t NumEvents, const SimHints *Hints) {
+    Insts.clear();
+    Coords.clear();
+    LoopPaths.clear();
+    Preconds.clear();
+    SmemPres.clear();
+    Ops.clear();
+    OpDense.clear();
+    KnownEvents.clear();
+    // Pooling keeps steady-state runs allocation-free, but one outsized
+    // simulation must not pin its completion-time arena to the thread for
+    // the process lifetime; release anything beyond a generous ceiling.
+    Times.clear();
+    if (Times.capacity() > (size_t(1) << 22))
+      Times.shrink_to_fit();
+    Loops.clear();
+    Accesses.clear();
+    ChainArena.clear();
+    Streams.resize(NumAgents);
+    for (std::vector<uint32_t> &Stream : Streams)
+      Stream.clear();
+    Events.assign(NumEvents, EventRec());
+    if (Hints) {
+      // IR statistics from the compile that produced the module (the pass
+      // manager's PipelineStats) pre-size the per-run tables.
+      Ops.reserve(Hints->NumOps);
+      OpDense.reserve(Hints->NumOps);
+      Insts.reserve(Hints->NumOps);
+      KnownEvents.reserve(Hints->NumEvents);
+    }
+  }
+};
+
+TimerScratch &timerScratch() {
+  static thread_local TimerScratch Scratch;
+  return Scratch;
+}
+
 class BlockTimer {
 public:
   BlockTimer(const IRModule &Module, const SharedAllocation &Alloc,
-             const SimConfig &Config, const Operation &Grid)
-      : Module(Module), Alloc(Alloc), Config(Config), Grid(Grid) {}
+             const SimConfig &Config, const Operation &Grid,
+             TimerScratch &S, const SimHints *Hints)
+      : Module(Module), Alloc(Alloc), Config(Config), Grid(Grid), S(S),
+        Hints(Hints) {
+    Env.ProcIndices[Processor::Block] = 0;
+    Env.ProcIndices[Processor::Warpgroup] = 0;
+    Env.ProcIndices[Processor::Warp] = 0;
+    Env.ProcIndices[Processor::Thread] = 0;
+    WgIndex = Env.ProcIndices.find(Processor::Warpgroup);
+  }
 
   ErrorOr<SimResult> run() {
     buildStreams();
+    if (Failure)
+      return *Failure;
+    buildEventTables();
     if (Failure)
       return *Failure;
     schedule();
@@ -124,24 +273,46 @@ private:
   void buildStreams() {
     int64_t Wgs = numWarpgroups();
     // Agent 0 = DMA warp; agents 1..Wgs = compute warpgroups.
-    Streams.resize(1 + static_cast<size_t>(Wgs));
-    std::vector<int64_t> Iters;
-    std::vector<LoopVarId> Vars;
-    std::vector<OpId> Loops;
-    expandBlock(Grid.Body, Iters, Vars, Loops);
+    NumAgents = 1 + static_cast<size_t>(Wgs);
+    S.reset(NumAgents, Module.numEvents(), Hints);
 
-    // Record per-event metadata.
+    // Events produced inside the grid body are the ones the timing model
+    // tracks; references to anything else (host-level events) are vacuously
+    // ready. Known-ness and replication are static, so they are recorded
+    // before expansion — expansion uses them to decide which warpgroup
+    // index expressions need evaluating.
     walkOps(Grid.Body, [&](const Operation &Op) {
       if (Op.Result == InvalidEventId)
         return;
-      EventRecord &Rec = Events[Op.Result];
+      EventRec &Rec = S.Events[Op.Result];
+      Rec.Known = true;
       Rec.WgReplicated = hasWarpgroupDim(Op);
-      Rec.Depth = DepthOf.count(Op.Id) ? DepthOf.at(Op.Id) : 0;
+      S.KnownEvents.emplace_back(Op.Result, Op.Id);
     });
+
+    expandBlock(Grid.Body);
   }
 
-  void expandBlock(const IRBlock &Block, std::vector<int64_t> &Iters,
-                   std::vector<LoopVarId> &Vars, std::vector<OpId> &Loops) {
+  /// Dense op-table slot for \p Op, assigned on first visit. Nesting is
+  /// static, so the op's depth and enclosing-loop chain are recorded once,
+  /// at slot creation.
+  uint32_t opIndex(const Operation &Op) {
+    if (Op.Id >= S.OpDense.size())
+      S.OpDense.resize(Op.Id + 1, ~0u);
+    uint32_t &Slot = S.OpDense[Op.Id];
+    if (Slot == ~0u) {
+      Slot = static_cast<uint32_t>(S.Ops.size());
+      S.Ops.emplace_back();
+      OpRec &Rec = S.Ops.back();
+      Rec.Depth = static_cast<uint32_t>(LoopOpStack.size());
+      Rec.ChainOff = static_cast<uint32_t>(S.ChainArena.size());
+      S.ChainArena.insert(S.ChainArena.end(), LoopOpStack.begin(),
+                          LoopOpStack.end());
+    }
+    return Slot;
+  }
+
+  void expandBlock(const IRBlock &Block) {
     for (const std::unique_ptr<Operation> &Op : Block.Ops) {
       if (Failure)
         return;
@@ -150,21 +321,30 @@ private:
       case OpKind::MakePart:
         break; // No runtime cost; addresses come from the allocator.
       case OpKind::For: {
-        DepthOf[Op->Id] = static_cast<unsigned>(Iters.size());
-        if (Op->Result != InvalidEventId)
-          LoopEventOf[Op->Id] = Op->Result;
-        ScalarEnv Env = makeEnv(Iters, Vars, /*Wg=*/0);
+        uint32_t OpIdx = opIndex(*Op);
+        WgIndex->second = 0;
         int64_t Lo = Op->LoopLo.evaluate(Env);
         int64_t Hi = Op->LoopHi.evaluate(Env);
-        Vars.push_back(Op->LoopVar);
-        Loops.push_back(Op->Id);
-        for (int64_t K = Lo; K < Hi; ++K) {
-          Iters.push_back(K);
-          expandBlock(Op->Body, Iters, Vars, Loops);
-          Iters.pop_back();
+        if (Lo < Hi) {
+          OpRec &Rec = S.Ops[OpIdx];
+          Rec.MinCoord = std::min(Rec.MinCoord, Lo);
+          Rec.MaxCoord = std::max(Rec.MaxCoord, Hi - 1);
         }
-        Loops.pop_back();
-        Vars.pop_back();
+        uint32_t LI = static_cast<uint32_t>(S.Loops.size());
+        S.Loops.push_back({0, 0.0, Op->Result});
+        LoopPath.push_back(LI);
+        LoopOpStack.push_back(OpIdx);
+        auto [VarIt, Inserted] = Env.LoopVars.emplace(Op->LoopVar, 0);
+        (void)Inserted;
+        for (int64_t K = Lo; K < Hi; ++K) {
+          VarIt->second = K;
+          CoordStack.push_back(K);
+          expandBlock(Op->Body);
+          CoordStack.pop_back();
+        }
+        Env.LoopVars.erase(VarIt);
+        LoopOpStack.pop_back();
+        LoopPath.pop_back();
         break;
       }
       case OpKind::PFor:
@@ -172,26 +352,14 @@ private:
         return;
       case OpKind::Copy:
       case OpKind::Call: {
-        DepthOf[Op->Id] = static_cast<unsigned>(Iters.size());
+        uint32_t OpIdx = opIndex(*Op);
         bool Dma = Grid.WarpSpecialize && Op->DmaAgent;
-        // Count every instance against every enclosing loop so the loop's
-        // completion event fires when all body instances have finished.
-        auto Push = [&](size_t Agent, OpInstance Inst) {
-          for (size_t D = 0; D < Loops.size(); ++D) {
-            std::vector<int64_t> Prefix(
-                Iters.begin(), Iters.begin() + static_cast<long>(D));
-            ++LoopRemaining[{Loops[D], Prefix}].Remaining;
-          }
-          Streams[Agent].push_back(std::move(Inst));
-        };
-        OpInstance Inst{Op.get(), -1, Iters, Vars, Loops};
         if (hasWarpgroupDim(*Op)) {
-          for (int64_t Wg = 0; Wg < warpgroupExtent(*Op); ++Wg) {
-            Inst.Wg = Wg;
-            Push(Dma ? 0 : 1 + static_cast<size_t>(Wg), Inst);
-          }
+          for (int64_t Wg = 0; Wg < warpgroupExtent(*Op); ++Wg)
+            pushInstance(*Op, OpIdx, Wg,
+                         Dma ? 0 : 1 + static_cast<size_t>(Wg));
         } else {
-          Push(Dma ? 0 : 1, Inst);
+          pushInstance(*Op, OpIdx, -1, Dma ? 0 : 1);
         }
         break;
       }
@@ -199,26 +367,179 @@ private:
     }
   }
 
-  ScalarEnv makeEnv(const std::vector<int64_t> &Iters,
-                    const std::vector<LoopVarId> &Vars, int64_t Wg) const {
-    ScalarEnv Env;
-    for (size_t I = 0; I < Iters.size(); ++I)
-      Env.LoopVars[Vars[I]] = Iters[I];
-    Env.ProcIndices[Processor::Block] = 0;
-    Env.ProcIndices[Processor::Warpgroup] = std::max<int64_t>(Wg, 0);
-    Env.ProcIndices[Processor::Warp] = 0;
-    Env.ProcIndices[Processor::Thread] = 0;
-    return Env;
+  /// Materializes one executable instance: interns its coordinates, loop
+  /// path, precondition descriptors, and shared-memory ranges, counts it
+  /// against every enclosing loop instance, and appends it to its agent's
+  /// stream. Everything environment-dependent is evaluated here, once.
+  void pushInstance(const Operation &Op, uint32_t OpIdx, int64_t Wg,
+                    size_t Agent) {
+    OpRec &Info = S.Ops[OpIdx];
+    if (!Info.HasCost) {
+      Info.C = costOf(Op);
+      Info.HasCost = true;
+    }
+
+    InstRec R;
+    R.Op = &Op;
+    R.Wg = static_cast<int32_t>(Wg);
+    R.OpIdx = OpIdx;
+    R.Depth = static_cast<uint32_t>(CoordStack.size());
+    R.CoordOff = static_cast<uint32_t>(S.Coords.size());
+    S.Coords.insert(S.Coords.end(), CoordStack.begin(), CoordStack.end());
+    R.LoopOff = static_cast<uint32_t>(S.LoopPaths.size());
+    S.LoopPaths.insert(S.LoopPaths.end(), LoopPath.begin(), LoopPath.end());
+
+    // Count every instance against every enclosing loop so the loop's
+    // completion event fires when all body instances have finished.
+    for (uint32_t LI : LoopPath)
+      ++S.Loops[LI].Remaining;
+
+    WgIndex->second = std::max<int64_t>(Wg, 0);
+
+    R.PrecondOff = static_cast<uint32_t>(S.Preconds.size());
+    for (const EventRef &Ref : Op.Preconds) {
+      PrecondDesc P;
+      P.Event = Ref.Event;
+      P.IterLag = Ref.IterLag;
+      if (Ref.Event < S.Events.size() && S.Events[Ref.Event].Known) {
+        const EventType &Type = Module.event(Ref.Event).Type;
+        for (size_t D = 0; D < Ref.Indices.size() && D < Type.Dims.size();
+             ++D) {
+          if (Type.Dims[D].Proc == Processor::Warpgroup) {
+            if (Ref.Indices[D].isBroadcast())
+              P.Broadcast = true;
+            else
+              P.WantWg =
+                  static_cast<int32_t>(Ref.Indices[D].Index.evaluate(Env));
+          } else if (Ref.Indices[D].isBroadcast()) {
+            // Warp/thread broadcast: the collective instance plus a barrier.
+            P.Broadcast = true;
+          }
+        }
+      }
+      S.Preconds.push_back(P);
+    }
+    R.PrecondCount =
+        static_cast<uint32_t>(S.Preconds.size()) - R.PrecondOff;
+
+    size_t IterHash = 0;
+    for (int64_t I : CoordStack)
+      IterHash = IterHash * 1000003u + static_cast<size_t>(I + 1);
+
+    R.SmemOff = static_cast<uint32_t>(S.SmemPres.size());
+    auto Record = [&](const TensorSlice &Slice, bool Write) {
+      const IRTensor &T = Module.tensor(Slice.Tensor);
+      if (T.Mem != Memory::Shared)
+        return;
+      const SharedAllocation::Entry *Entry = Alloc.find(Slice.Tensor);
+      if (!Entry)
+        return;
+      int64_t BufBytes = Entry->Bytes / std::max<int64_t>(T.PipelineDepth, 1);
+      int64_t Buf = Slice.BufferIndex.evaluate(Env);
+      int64_t Lo = Entry->Offset + Buf * BufBytes;
+      S.SmemPres.push_back({Slice.Tensor, Op.Id, Lo, Lo + BufBytes, IterHash,
+                            static_cast<int32_t>(Wg), Write});
+    };
+    if (Op.Kind == OpKind::Copy) {
+      Record(Op.CopySrc, false);
+      Record(Op.CopyDst, true);
+    } else if (Op.Kind == OpKind::Call) {
+      for (size_t I = 0; I < Op.Args.size(); ++I)
+        Record(Op.Args[I], Op.ArgIsWritten[I]);
+    }
+    R.SmemCount = static_cast<uint32_t>(S.SmemPres.size()) - R.SmemOff;
+
+    S.Insts.push_back(R);
+    S.Streams[Agent].push_back(static_cast<uint32_t>(S.Insts.size() - 1));
+  }
+
+  //===--- Completion-time tables -----------------------------------------===//
+
+  /// Sizes the flat completion-time arena: one slab per in-grid event,
+  /// (Wgs + 1) warpgroup slots when replicated, times the coordinate box of
+  /// the producer's own enclosing loops (ranges observed during expansion).
+  /// Sizing each slab from the producer's chain — not a per-depth union —
+  /// means the arena holds exactly the keys producers can register, the
+  /// same cardinality the sparse ordered map used to reach.
+  void buildEventTables() {
+    uint64_t Total = 0;
+    for (auto [Event, ProducerId] : S.KnownEvents) {
+      EventRec &Rec = S.Events[Event];
+      uint32_t Dense =
+          ProducerId < S.OpDense.size() ? S.OpDense[ProducerId] : ~0u;
+      Rec.Depth = 0;
+      Rec.ChainOff = 0;
+      Rec.CoordCount = 1;
+      if (Dense != ~0u) {
+        const OpRec &Producer = S.Ops[Dense];
+        Rec.Depth = Producer.Depth;
+        Rec.ChainOff = Producer.ChainOff;
+        for (uint32_t D = 0; D < Rec.Depth; ++D) {
+          const OpRec &Loop = S.Ops[S.ChainArena[Rec.ChainOff + D]];
+          // The op was reached, so every enclosing loop ran >= 1 iteration.
+          Rec.CoordCount *= static_cast<uint64_t>(Loop.MaxCoord -
+                                                  Loop.MinCoord + 1);
+          if (Rec.CoordCount > (uint64_t(1) << 32))
+            break;
+        }
+      }
+      Rec.WgSlots =
+          Rec.WgReplicated ? static_cast<uint32_t>(NumAgents) : 1;
+      Rec.TimesOff = Total;
+      Total += static_cast<uint64_t>(Rec.WgSlots) * Rec.CoordCount;
+    }
+    // A nest this size would also have been hopeless for the sparse map
+    // (one key per executed iteration); fail with a diagnostic instead of
+    // allocating gigabytes per thread.
+    if (Total > (uint64_t(1) << 27)) {
+      fail("simulation iteration space too large for dense event tables");
+      return;
+    }
+    S.Times.assign(Total, std::numeric_limits<double>::quiet_NaN());
+  }
+
+  /// Strided linear index of the coordinate prefix Coords[0..Len) within
+  /// \p Rec's producer coordinate box, with the last coordinate overridden
+  /// by \p Last (pipeline lag). False when any coordinate falls outside
+  /// the box (no producer instance exists there).
+  bool coordIndex(const EventRec &Rec, const int64_t *Coords, uint32_t Len,
+                  int64_t Last, uint64_t &Out) const {
+    uint64_t Idx = 0;
+    const uint32_t *Chain = S.ChainArena.data() + Rec.ChainOff;
+    for (uint32_t D = 0; D < Len; ++D) {
+      const OpRec &Loop = S.Ops[Chain[D]];
+      int64_t C = (D + 1 == Len) ? Last : Coords[D];
+      if (C < Loop.MinCoord || C > Loop.MaxCoord)
+        return false;
+      Idx = Idx * static_cast<uint64_t>(Loop.MaxCoord - Loop.MinCoord + 1) +
+            static_cast<uint64_t>(C - Loop.MinCoord);
+    }
+    Out = Idx;
+    return true;
+  }
+
+  /// Completion cycle of one (event, warpgroup, iteration-prefix) key;
+  /// false when that instance has not completed (or can never exist).
+  bool lookupTime(const EventRec &Rec, int64_t Wg, const int64_t *Coords,
+                  uint32_t KeyLen, int64_t Last, double &Out) const {
+    // Producers always register keys at their own depth; a shorter prefix
+    // (consumer shallower than producer) can never match.
+    if (KeyLen != Rec.Depth)
+      return false;
+    uint64_t Idx;
+    if (!coordIndex(Rec, Coords, KeyLen, Last, Idx))
+      return false;
+    uint64_t Slot = Wg < 0 ? 0 : static_cast<uint64_t>(Wg) + 1;
+    if (Slot >= Rec.WgSlots)
+      return false;
+    double T = S.Times[Rec.TimesOff + Slot * Rec.CoordCount + Idx];
+    if (std::isnan(T))
+      return false;
+    Out = T;
+    return true;
   }
 
   //===--- Cost model -------------------------------------------------------===//
-
-  struct Cost {
-    double IssueCycles = 0;   ///< Time the issuing agent is occupied.
-    double UnitCycles = 0;    ///< Occupancy of the shared unit (TMA/TC).
-    double Latency = 0;       ///< Extra completion latency after transfer.
-    enum class UnitKind { None, Tma, TensorCore } Unit = UnitKind::None;
-  };
 
   Cost costOf(const Operation &Op) const {
     Cost C;
@@ -261,8 +582,8 @@ private:
   //===--- Scheduling --------------------------------------------------------===//
 
   void schedule() {
-    std::vector<size_t> Cursor(Streams.size(), 0);
-    std::vector<double> Ready(Streams.size(), 0.0);
+    S.Cursor.assign(NumAgents, 0);
+    S.Ready.assign(NumAgents, 0.0);
 
     // Time-ordered scheduling: of all agents whose next instruction has
     // satisfied preconditions, execute the one that can start earliest.
@@ -273,15 +594,15 @@ private:
       size_t BestAgent = ~size_t(0);
       double BestStart = 0.0, BestWait = 0.0;
       bool AnyPending = false;
-      for (size_t Agent = 0; Agent < Streams.size(); ++Agent) {
-        if (Cursor[Agent] >= Streams[Agent].size())
+      for (size_t Agent = 0; Agent < NumAgents; ++Agent) {
+        if (S.Cursor[Agent] >= S.Streams[Agent].size())
           continue;
         AnyPending = true;
-        const OpInstance &Inst = Streams[Agent][Cursor[Agent]];
+        const InstRec &Inst = S.Insts[S.Streams[Agent][S.Cursor[Agent]]];
         double WaitTime = 0.0;
         if (!precondsReady(Inst, WaitTime))
           continue;
-        double Start = std::max(Ready[Agent], WaitTime);
+        double Start = std::max(S.Ready[Agent], WaitTime);
         if (BestAgent == ~size_t(0) || Start < BestStart) {
           BestAgent = Agent;
           BestStart = Start;
@@ -291,94 +612,68 @@ private:
       if (!AnyPending)
         break;
       if (BestAgent == ~size_t(0)) {
-        for (size_t Agent = 0; Agent < Streams.size(); ++Agent)
-          if (Cursor[Agent] < Streams[Agent].size()) {
+        for (size_t Agent = 0; Agent < NumAgents; ++Agent)
+          if (S.Cursor[Agent] < S.Streams[Agent].size()) {
             fail(formatString(
                 "simulation deadlock: agent %zu blocked at instruction %zu "
                 "(missing event producer)",
-                Agent, Cursor[Agent]));
+                Agent, S.Cursor[Agent]));
             return;
           }
       }
-      executeInstance(Streams[BestAgent][Cursor[BestAgent]],
-                      Ready[BestAgent], BestWait);
-      ++Cursor[BestAgent];
+      executeInstance(S.Insts[S.Streams[BestAgent][S.Cursor[BestAgent]]],
+                      S.Ready[BestAgent], BestWait);
+      ++S.Cursor[BestAgent];
     }
-    for (size_t Agent = 0; Agent < Streams.size(); ++Agent)
-      Finish = std::max(Finish, Ready[Agent]);
+    for (size_t Agent = 0; Agent < NumAgents; ++Agent)
+      Finish = std::max(Finish, S.Ready[Agent]);
     // Outstanding async completions also bound the block time.
     Finish = std::max(Finish, LastCompletion);
   }
 
   /// Checks all preconditions of an instance; on success \p WaitTime is the
   /// cycle when the last of them completes.
-  bool precondsReady(const OpInstance &Inst, double &WaitTime) {
+  bool precondsReady(const InstRec &Inst, double &WaitTime) const {
     WaitTime = 0.0;
-    for (const EventRef &Ref : Inst.Op->Preconds) {
-      auto It = Events.find(Ref.Event);
-      if (It == Events.end())
+    const PrecondDesc *P = S.Preconds.data() + Inst.PrecondOff;
+    const int64_t *Coords = S.Coords.data() + Inst.CoordOff;
+    for (uint32_t I = 0; I < Inst.PrecondCount; ++I, ++P) {
+      if (P->Event >= S.Events.size())
+        continue; // Reference to an event outside the module: ready.
+      const EventRec &Rec = S.Events[P->Event];
+      if (!Rec.Known)
         continue; // Events from outside the grid body: host-level, ready.
-      EventRecord &Rec = It->second;
 
-      std::vector<int64_t> Key = Inst.Iters;
-      Key.resize(std::min<size_t>(Key.size(), Rec.Depth));
-      if (Ref.IterLag > 0) {
-        if (Key.empty())
+      uint32_t KeyLen = std::min<uint32_t>(Inst.Depth, Rec.Depth);
+      int64_t Last = KeyLen ? Coords[KeyLen - 1] : 0;
+      if (P->IterLag > 0) {
+        if (KeyLen == 0)
           continue; // Lag at depth zero: vacuously satisfied.
-        Key.back() -= Ref.IterLag;
-        if (Key.back() < 0)
+        Last -= P->IterLag;
+        if (Last < 0)
           continue; // First PIPE iterations: buffer not yet reused.
-      }
-
-      // Identify warpgroup indexing.
-      bool Broadcast = false;
-      int64_t WantWg = -1;
-      const EventType &Type = Module.event(Ref.Event).Type;
-      for (size_t D = 0; D < Ref.Indices.size() && D < Type.Dims.size();
-           ++D) {
-        if (Type.Dims[D].Proc == Processor::Warpgroup) {
-          if (Ref.Indices[D].isBroadcast()) {
-            Broadcast = true;
-          } else {
-            ScalarEnv Env = makeEnv(Inst.Iters, Inst.IterVars, Inst.Wg);
-            WantWg = Ref.Indices[D].Index.evaluate(Env);
-          }
-        } else if (Ref.Indices[D].isBroadcast()) {
-          // Warp/thread broadcast: the collective instance plus a barrier.
-          Broadcast = true;
-        }
       }
 
       double Cycle = 0.0;
       if (Rec.WgReplicated) {
-        if (WantWg >= 0 && !Broadcast) {
-          std::vector<int64_t> K = Key;
-          K.insert(K.begin(), WantWg);
-          auto TimeIt = Rec.Times.find(K);
-          if (TimeIt == Rec.Times.end())
+        if (P->WantWg >= 0 && !P->Broadcast) {
+          if (!lookupTime(Rec, P->WantWg, Coords, KeyLen, Last, Cycle))
             return false;
-          Cycle = TimeIt->second;
         } else {
           // All warpgroup instances must exist.
-          int64_t Wgs = static_cast<int64_t>(Streams.size()) - 1;
+          int64_t Wgs = static_cast<int64_t>(NumAgents) - 1;
           for (int64_t Wg = 0; Wg < Wgs; ++Wg) {
-            std::vector<int64_t> K = Key;
-            K.insert(K.begin(), Wg);
-            auto TimeIt = Rec.Times.find(K);
-            if (TimeIt == Rec.Times.end())
+            double T;
+            if (!lookupTime(Rec, Wg, Coords, KeyLen, Last, T))
               return false;
-            Cycle = std::max(Cycle, TimeIt->second);
+            Cycle = std::max(Cycle, T);
           }
           Cycle += Config.BarrierLatency;
         }
       } else {
-        std::vector<int64_t> K = Key;
-        K.insert(K.begin(), -1);
-        auto TimeIt = Rec.Times.find(K);
-        if (TimeIt == Rec.Times.end())
+        if (!lookupTime(Rec, -1, Coords, KeyLen, Last, Cycle))
           return false;
-        Cycle = TimeIt->second;
-        if (Broadcast)
+        if (P->Broadcast)
           Cycle += Config.BarrierLatency;
       }
       WaitTime = std::max(WaitTime, Cycle);
@@ -386,10 +681,9 @@ private:
     return true;
   }
 
-  void executeInstance(const OpInstance &Inst, double &Ready,
-                       double WaitTime) {
+  void executeInstance(const InstRec &Inst, double &Ready, double WaitTime) {
     const Operation &Op = *Inst.Op;
-    Cost C = costOf(Op);
+    const Cost &C = S.Ops[Inst.OpIdx].C;
 
     double Start = std::max(Ready, WaitTime);
     double Completion;
@@ -411,124 +705,134 @@ private:
     }
     LastCompletion = std::max(LastCompletion, Completion);
 
-#ifdef CYPRESS_SIM_TRACE
-    if (!Inst.Iters.empty() && Inst.Iters[0] < 8)
-      std::fprintf(stderr, "[trace] op%u %s wg=%lld k=%lld start=%.0f done=%.0f wait=%.0f\n",
-                   Op.Id,
-                   Op.Kind == OpKind::Copy ? "copy" : Op.Callee.c_str(),
-                   (long long)Inst.Wg,
-                   (long long)(Inst.Iters.empty() ? -1 : Inst.Iters[0]),
-                   Start, Completion, WaitTime);
-#endif
+    const int64_t *Coords = S.Coords.data() + Inst.CoordOff;
 
+#ifdef CYPRESS_SIM_TRACE
+    if (Inst.Depth > 0 && Coords[0] < 8)
+      std::fprintf(stderr,
+                   "[trace] op%u %s wg=%d k=%lld start=%.0f done=%.0f "
+                   "wait=%.0f\n",
+                   Op.Id, Op.Kind == OpKind::Copy ? "copy" : Op.Callee.c_str(),
+                   Inst.Wg,
+                   (long long)(Inst.Depth == 0 ? -1 : Coords[0]), Start,
+                   Completion, WaitTime);
+#endif
 
     if (Op.Kind == OpKind::Call)
       BlockFlops += Op.Flops;
 
     if (Op.Result != InvalidEventId) {
-      std::vector<int64_t> Key = Inst.Iters;
-      Key.resize(std::min<size_t>(Key.size(), DepthOf.at(Op.Id)));
-      Key.insert(Key.begin(), Inst.Wg);
-      Events[Op.Result].Times[Key] = Completion;
+      EventRec &Rec = S.Events[Op.Result];
+      uint32_t KeyLen = std::min(Inst.Depth, S.Ops[Inst.OpIdx].Depth);
+      uint64_t Idx = 0;
+      bool InRange = coordIndex(
+          Rec, Coords, KeyLen, KeyLen ? Coords[KeyLen - 1] : 0, Idx);
+      assert(InRange && KeyLen == Rec.Depth &&
+             "producer key outside its own coordinate box");
+      (void)InRange;
+      uint64_t Slot = Inst.Wg < 0 ? 0 : static_cast<uint64_t>(Inst.Wg) + 1;
+      S.Times[Rec.TimesOff + Slot * Rec.CoordCount + Idx] = Completion;
     }
 
     // Credit the completion to every enclosing loop; when the last body
     // instance of a loop instance finishes, the loop's completion event
     // becomes available (Figure 8's `for` events).
-    for (size_t D = 0; D < Inst.LoopChain.size(); ++D) {
-      std::vector<int64_t> Prefix(Inst.Iters.begin(),
-                                  Inst.Iters.begin() + static_cast<long>(D));
-      auto It = LoopRemaining.find({Inst.LoopChain[D], Prefix});
-      if (It == LoopRemaining.end())
-        continue;
-      It->second.MaxTime = std::max(It->second.MaxTime, Completion);
-      if (--It->second.Remaining == 0) {
-        auto EvIt = LoopEventOf.find(Inst.LoopChain[D]);
-        if (EvIt != LoopEventOf.end()) {
-          std::vector<int64_t> Key = Prefix;
-          Key.insert(Key.begin(), static_cast<int64_t>(-1));
-          EventRecord &Rec = Events[EvIt->second];
-          Rec.Depth = static_cast<unsigned>(D);
-          Rec.Times[Key] = It->second.MaxTime;
-        }
+    const uint32_t *Path = S.LoopPaths.data() + Inst.LoopOff;
+    for (uint32_t D = 0; D < Inst.Depth; ++D) {
+      LoopInst &Loop = S.Loops[Path[D]];
+      Loop.MaxTime = std::max(Loop.MaxTime, Completion);
+      if (--Loop.Remaining == 0 && Loop.Event != InvalidEventId) {
+        EventRec &Rec = S.Events[Loop.Event];
+        Rec.Depth = D;
+        uint64_t Idx = 0;
+        bool InRange =
+            coordIndex(Rec, Coords, D, D ? Coords[D - 1] : 0, Idx);
+        assert(InRange && "loop prefix outside its own coordinate box");
+        (void)InRange;
+        S.Times[Rec.TimesOff + Idx] = Loop.MaxTime; // Warpgroup slot -1.
       }
     }
 
-    traceSmem(Inst, Start, Completion);
+    const SmemPre *Pre = S.SmemPres.data() + Inst.SmemOff;
+    for (uint32_t I = 0; I < Inst.SmemCount; ++I, ++Pre)
+      S.Accesses.push_back({Pre->Tensor, Pre->Lo, Pre->Hi, Start, Completion,
+                            Pre->Write, Pre->Op, Pre->Wg, Pre->IterHash});
   }
-
-  //===--- Loop events -------------------------------------------------------===//
-
-  /// After body instances execute, register each loop's completion event as
-  /// the max completion of its body events for the loop's iteration key.
-  /// Called lazily from precondsReady via the normal lookup: loop events
-  /// are registered eagerly here instead, after scheduling rounds, keyed at
-  /// the loop's own depth. Simpler: loops yield their final op's event, and
-  /// the dependence analysis points loop-event uses at the for op's Result.
-  /// We register the loop event when all its body instances completed.
-  /// (Invoked from schedule() rounds implicitly by re-checking.)
 
   //===--- Race detection ----------------------------------------------------===//
 
-  void traceSmem(const OpInstance &Inst, double Start, double End) {
-    const Operation &Op = *Inst.Op;
-    auto Record = [&](const TensorSlice &Slice, bool Write) {
-      const IRTensor &T = Module.tensor(Slice.Tensor);
-      if (T.Mem != Memory::Shared)
-        return;
-      const SharedAllocation::Entry *Entry = Alloc.find(Slice.Tensor);
-      if (!Entry)
-        return;
-      int64_t BufBytes = Entry->Bytes / std::max<int64_t>(T.PipelineDepth, 1);
-      ScalarEnv Env = makeEnv(Inst.Iters, Inst.IterVars, Inst.Wg);
-      int64_t Buf = Slice.BufferIndex.evaluate(Env);
-      int64_t Lo = Entry->Offset + Buf * BufBytes;
-      size_t IterHash = 0;
-      for (int64_t I : Inst.Iters)
-        IterHash = IterHash * 1000003u + static_cast<size_t>(I + 1);
-      Accesses.push_back({Slice.Tensor, Lo, Lo + BufBytes, Start, End,
-                          Write, Op.Id, Inst.Wg, IterHash});
-    };
-    if (Op.Kind == OpKind::Copy) {
-      Record(Op.CopySrc, false);
-      Record(Op.CopyDst, true);
-    } else if (Op.Kind == OpKind::Call) {
-      for (size_t I = 0; I < Op.Args.size(); ++I)
-        Record(Op.Args[I], Op.ArgIsWritten[I]);
+  static bool isRacePair(const SmemAccess &A, const SmemAccess &B) {
+    // Same-tensor conflicts are real too: an unsynchronized loop would
+    // overwrite a buffer another iteration is still reading. Only the
+    // exact same instance (and the read side of its own write) is exempt.
+    if (A.Op == B.Op && A.Wg == B.Wg && A.IterHash == B.IterHash)
+      return false;
+    if (!(A.Write || B.Write))
+      return false;
+    // Distinct warpgroups touch disjoint slices of per-warpgroup tensors;
+    // the byte-range trace is per-tensor, so cross-warpgroup pairs on the
+    // same tensor cannot be classified and are skipped.
+    if (A.Tensor == B.Tensor && A.Wg != B.Wg)
+      return false;
+    bool AddrOverlap = A.Lo < B.Hi && B.Lo < A.Hi;
+    bool TimeOverlap = A.Start < B.End && B.Start < A.End;
+    return AddrOverlap && TimeOverlap;
+  }
+
+  /// Interval sweep over the access trace ordered by start time: an access
+  /// only needs checking against the accesses still in flight when it
+  /// starts, so the all-clear case (every healthy kernel) is near-linear.
+  bool anyRace() {
+    size_t N = S.Accesses.size();
+    if (N < 2)
+      return false;
+    S.RaceOrder.resize(N);
+    for (size_t I = 0; I < N; ++I)
+      S.RaceOrder[I] = static_cast<uint32_t>(I);
+    std::sort(S.RaceOrder.begin(), S.RaceOrder.end(),
+              [&](uint32_t A, uint32_t B) {
+                return S.Accesses[A].Start < S.Accesses[B].Start ||
+                       (S.Accesses[A].Start == S.Accesses[B].Start && A < B);
+              });
+    S.RaceActive.clear();
+    for (uint32_t Idx : S.RaceOrder) {
+      const SmemAccess &B = S.Accesses[Idx];
+      size_t Keep = 0;
+      for (uint32_t ActiveIdx : S.RaceActive) {
+        const SmemAccess &A = S.Accesses[ActiveIdx];
+        if (A.End <= B.Start)
+          continue; // Expired: can never overlap anything later either.
+        if (isRacePair(A, B))
+          return true;
+        S.RaceActive[Keep++] = ActiveIdx;
+      }
+      S.RaceActive.resize(Keep);
+      S.RaceActive.push_back(Idx);
     }
+    return false;
   }
 
   void detectRaces() {
-    for (size_t I = 0; I < Accesses.size(); ++I) {
-      for (size_t J = I + 1; J < Accesses.size(); ++J) {
-        const SmemAccess &A = Accesses[I];
-        const SmemAccess &B = Accesses[J];
-        // Same-tensor conflicts are real too: an unsynchronized loop would
-        // overwrite a buffer another iteration is still reading. Only the
-        // exact same instance (and the read side of its own write) is
-        // exempt.
-        if (A.Op == B.Op && A.Wg == B.Wg && A.IterHash == B.IterHash)
+    // Fast path: prove the trace race-free with the interval sweep. Only
+    // when a hazard exists does the exact pairwise scan run, so diagnostics
+    // keep their historical order and cap.
+    if (!anyRace())
+      return;
+    for (size_t I = 0; I < S.Accesses.size(); ++I) {
+      for (size_t J = I + 1; J < S.Accesses.size(); ++J) {
+        const SmemAccess &A = S.Accesses[I];
+        const SmemAccess &B = S.Accesses[J];
+        if (!isRacePair(A, B))
           continue;
-        if (!(A.Write || B.Write))
-          continue;
-        // Distinct warpgroups touch disjoint slices of per-warpgroup
-        // tensors; the byte-range trace is per-tensor, so cross-warpgroup
-        // pairs on the same tensor cannot be classified and are skipped.
-        if (A.Tensor == B.Tensor && A.Wg != B.Wg)
-          continue;
-        bool AddrOverlap = A.Lo < B.Hi && B.Lo < A.Hi;
-        bool TimeOverlap = A.Start < B.End && B.Start < A.End;
-        if (AddrOverlap && TimeOverlap) {
-          Races.push_back(formatString(
-              "shared-memory hazard between %s and %s (aliased bytes "
-              "[%lld, %lld) overlap in time)",
-              Module.tensor(A.Tensor).Name.c_str(),
-              Module.tensor(B.Tensor).Name.c_str(),
-              static_cast<long long>(std::max(A.Lo, B.Lo)),
-              static_cast<long long>(std::min(A.Hi, B.Hi))));
-          if (Races.size() > 8)
-            return; // Enough evidence.
-        }
+        Races.push_back(formatString(
+            "shared-memory hazard between %s and %s (aliased bytes "
+            "[%lld, %lld) overlap in time)",
+            Module.tensor(A.Tensor).Name.c_str(),
+            Module.tensor(B.Tensor).Name.c_str(),
+            static_cast<long long>(std::max(A.Lo, B.Lo)),
+            static_cast<long long>(std::min(A.Hi, B.Hi))));
+        if (Races.size() > 8)
+          return; // Enough evidence.
       }
     }
   }
@@ -542,20 +846,20 @@ private:
   const SharedAllocation &Alloc;
   const SimConfig &Config;
   const Operation &Grid;
+  TimerScratch &S;
+  const SimHints *Hints;
 
-  /// Outstanding body-instance counts per (loop op, iteration prefix).
-  struct LoopProgress {
-    int64_t Remaining = 0;
-    double MaxTime = 0;
-  };
+  size_t NumAgents = 0;
 
-  std::vector<std::vector<OpInstance>> Streams;
-  std::map<std::pair<OpId, std::vector<int64_t>>, LoopProgress>
-      LoopRemaining;
-  std::map<OpId, EventId> LoopEventOf;
-  std::map<OpId, unsigned> DepthOf;
-  std::map<EventId, EventRecord> Events;
-  std::vector<SmemAccess> Accesses;
+  /// Expansion state: the current loop-variable environment (maintained
+  /// incrementally; the cached Warpgroup entry is rewritten per instance),
+  /// iteration coordinates, and enclosing loop-instance ids.
+  ScalarEnv Env;
+  std::map<Processor, int64_t>::iterator WgIndex;
+  std::vector<int64_t> CoordStack;
+  std::vector<uint32_t> LoopPath;    ///< Enclosing loop-instance ids.
+  std::vector<uint32_t> LoopOpStack; ///< Enclosing For ops (dense ids).
+
   std::vector<std::string> Races;
 
   double TmaFree = 0, TcFree = 0;
@@ -573,6 +877,33 @@ private:
 
 namespace {
 
+/// Storage key of one tensor instance: the values of the processor indices
+/// the tensor's alloc context names, inline (the context is at most one
+/// index per machine processor level).
+struct StorageKey {
+  std::array<int64_t, 6> Values{};
+  uint32_t Len = 0;
+
+  bool operator==(const StorageKey &Other) const {
+    if (Len != Other.Len)
+      return false;
+    for (uint32_t I = 0; I < Len; ++I)
+      if (Values[I] != Other.Values[I])
+        return false;
+    return true;
+  }
+};
+
+struct StorageKeyHash {
+  size_t operator()(const StorageKey &Key) const {
+    uint64_t Hash = 1469598103934665603ull;
+    for (uint32_t I = 0; I < Key.Len; ++I)
+      Hash = (Hash ^ static_cast<uint64_t>(Key.Values[I])) *
+             1099511628211ull;
+    return static_cast<size_t>(Hash ^ Key.Len);
+  }
+};
+
 class FunctionalExec {
 public:
   FunctionalExec(const IRModule &Module, const LeafRegistry &Leaves,
@@ -580,10 +911,13 @@ public:
       : Module(Module), Leaves(Leaves), EntryBuffers(EntryBuffers) {}
 
   ErrorOrVoid run() {
-    // Map alloc contexts (which processor dims key a tensor's storage).
+    // Map alloc contexts (which processor dims key a tensor's storage):
+    // flat per-tensor pointers into the IR, no ordered map.
+    AllocContext.assign(Module.tensors().size(), nullptr);
+    Storage.resize(Module.tensors().size());
     walkOps(Module.root(), [&](const Operation &Op) {
       if (Op.Kind == OpKind::Alloc)
-        AllocContext[Op.AllocTensor] = Op.VecContext;
+        AllocContext[Op.AllocTensor] = &Op.VecContext;
     });
     execBlockSeq(Module.root(), BaseEnv());
     if (Failure)
@@ -605,14 +939,17 @@ private:
   /// context names, plus the block index (block-scoped reuse is fine since
   /// blocks execute sequentially, but register tensors per warp/thread need
   /// distinct instances).
-  std::vector<int64_t> storageKey(TensorId Tensor,
-                                  const ScalarEnv &Env) const {
-    std::vector<int64_t> Key;
-    auto It = AllocContext.find(Tensor);
-    if (It == AllocContext.end())
+  StorageKey storageKey(TensorId Tensor, const ScalarEnv &Env) {
+    StorageKey Key;
+    const std::vector<EventDim> *Ctx = AllocContext[Tensor];
+    if (!Ctx)
       return Key;
-    for (const EventDim &Dim : It->second)
-      Key.push_back(Env.ProcIndices.at(Dim.Proc));
+    if (Ctx->size() > Key.Values.size()) {
+      fail("alloc context deeper than the machine processor hierarchy");
+      return Key;
+    }
+    for (const EventDim &Dim : *Ctx)
+      Key.Values[Key.Len++] = Env.ProcIndices.at(Dim.Proc);
     return Key;
   }
 
@@ -624,7 +961,7 @@ private:
           return *EntryBuffers[I];
       cypressUnreachable("entry arg not found");
     }
-    auto &Buffers = Storage[{Tensor, storageKey(Tensor, Env)}];
+    auto &Buffers = Storage[Tensor][storageKey(Tensor, Env)];
     if (Buffers.empty())
       Buffers.assign(static_cast<size_t>(std::max<int64_t>(T.PipelineDepth,
                                                            1)),
@@ -683,23 +1020,34 @@ private:
     }
   }
 
-  /// Iterates all combinations of the op's flattened processor dims.
+  /// Iterates all combinations of the op's flattened processor dims with an
+  /// iterative odometer (innermost dim fastest, matching a nested loop).
+  template <typename Fn>
   void forEachProcInstance(const Operation &Op, const ScalarEnv &Env,
-                           const std::function<void(const ScalarEnv &)> &Fn) {
-    std::vector<EventDim> Dims = Op.VecContext;
-    std::vector<int64_t> Index(Dims.size(), 0);
+                           Fn &&Body) {
+    const std::vector<EventDim> &Dims = Op.VecContext;
     ScalarEnv InstEnv = Env;
-    std::function<void(size_t)> Recurse = [&](size_t D) {
-      if (D == Dims.size()) {
-        Fn(InstEnv);
+    if (Dims.empty()) {
+      Body(InstEnv);
+      return;
+    }
+    for (const EventDim &Dim : Dims)
+      if (Dim.Extent <= 0)
         return;
+    Odometer.assign(Dims.size(), 0);
+    while (true) {
+      for (size_t D = 0; D < Dims.size(); ++D)
+        InstEnv.ProcIndices[Dims[D].Proc] = Odometer[D];
+      Body(InstEnv);
+      size_t D = Dims.size();
+      while (D-- > 0) {
+        if (++Odometer[D] < Dims[D].Extent)
+          break;
+        Odometer[D] = 0;
       }
-      for (int64_t I = 0; I < Dims[D].Extent; ++I) {
-        InstEnv.ProcIndices[Dims[D].Proc] = I;
-        Recurse(D + 1);
-      }
-    };
-    Recurse(0);
+      if (D == ~size_t(0))
+        return; // Every dimension wrapped: enumeration complete.
+    }
   }
 
   void execAlloc(const Operation &Op, const ScalarEnv &Env) {
@@ -707,8 +1055,8 @@ private:
     // enumerate the alloc's own context dims.
     forEachProcInstance(Op, Env, [&](const ScalarEnv &InstEnv) {
       const IRTensor &T = Module.tensor(Op.AllocTensor);
-      auto &Buffers = Storage[{Op.AllocTensor,
-                               storageKey(Op.AllocTensor, InstEnv)}];
+      auto &Buffers =
+          Storage[Op.AllocTensor][storageKey(Op.AllocTensor, InstEnv)];
       Buffers.assign(static_cast<size_t>(std::max<int64_t>(T.PipelineDepth,
                                                            1)),
                      TensorData(T.Type));
@@ -767,10 +1115,13 @@ private:
   const IRModule &Module;
   const LeafRegistry &Leaves;
   const std::vector<TensorData *> &EntryBuffers;
-  std::map<TensorId, std::vector<EventDim>> AllocContext;
-  std::map<std::pair<TensorId, std::vector<int64_t>>,
-           std::vector<TensorData>>
+  /// TensorId -> the alloc op's processor context (null = no alloc seen).
+  std::vector<const std::vector<EventDim> *> AllocContext;
+  /// TensorId -> storage-key -> pipeline buffers.
+  std::vector<std::unordered_map<StorageKey, std::vector<TensorData>,
+                                 StorageKeyHash>>
       Storage;
+  std::vector<int64_t> Odometer;
   std::optional<Diagnostic> Failure;
 };
 
@@ -784,7 +1135,8 @@ ErrorOr<SimResult> cypress::simulate(const IRModule &Module,
                                      const SharedAllocation &Alloc,
                                      const SimConfig &Config,
                                      const LeafRegistry &Leaves,
-                                     const std::vector<TensorData *> &EntryBuffers) {
+                                     const std::vector<TensorData *> &EntryBuffers,
+                                     const SimHints *Hints) {
   SimResult Total;
   bool FoundGrid = false;
 
@@ -796,7 +1148,7 @@ ErrorOr<SimResult> cypress::simulate(const IRModule &Module,
     Env.ProcIndices[Processor::Block] = 0;
     int64_t Blocks = Op->LoopHi.evaluate(Env) - Op->LoopLo.evaluate(Env);
 
-    BlockTimer Timer(Module, Alloc, Config, *Op);
+    BlockTimer Timer(Module, Alloc, Config, *Op, timerScratch(), Hints);
     ErrorOr<SimResult> BlockResult = Timer.run();
     if (!BlockResult)
       return BlockResult.diagnostic();

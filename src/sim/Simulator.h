@@ -87,15 +87,29 @@ struct SimResult {
   bool FunctionalRan = false;
 };
 
+/// Pre-sizing hints for the simulator's per-run tables, typically taken
+/// from the PipelineStats of the compile that produced the module (see
+/// CompiledKernel::runTiming). Optional: the simulator's pooled scratch
+/// reaches steady-state capacity after the first run either way.
+struct SimHints {
+  size_t NumOps = 0;
+  size_t NumEvents = 0;
+};
+
 /// Simulates \p Module. When \p EntryBuffers is non-empty (one TensorData
 /// per entry argument, matching shapes) the functional executor also runs,
 /// producing real results in those buffers. Timing always runs. The buffer
 /// list is only read for the duration of the call.
+///
+/// Thread-safe for concurrent calls on shared immutable inputs: all timing
+/// state lives in a per-thread pooled scratch, so the autotuner may time
+/// many kernels from its worker pool at once.
 ErrorOr<SimResult> simulate(const IRModule &Module,
                             const SharedAllocation &Alloc,
                             const SimConfig &Config,
                             const LeafRegistry &Leaves,
-                            const std::vector<TensorData *> &EntryBuffers = {});
+                            const std::vector<TensorData *> &EntryBuffers = {},
+                            const SimHints *Hints = nullptr);
 
 } // namespace cypress
 
