@@ -33,26 +33,41 @@
 /// copy or call is reported as an unsatisfiable mapping constraint
 /// (Section 3.3).
 ///
+/// The engine is worklist-driven over a flat op graph built once per run:
+/// every op gets a slot in program (pre)order, with per-event user lists
+/// and per-tensor toucher lists maintained incrementally across rewrites.
+/// Event renames and precondition splices walk use-lists instead of the
+/// module; erasure is lazy (slots are marked dead and swept once at the
+/// end); each per-op pattern pops candidate anchors in program order from
+/// its own worklist, re-seeded by exactly the state a rewrite invalidates
+/// (touched tensors' toucher lists, users whose preconditions changed, and
+/// producers whose erase-legality those changes affect). The rewrite
+/// sequence — and therefore the printed IR, pinned byte-for-byte by
+/// CompilerParityTest — is identical to the historical rescan-everything
+/// implementation; only the work to find each rewrite changed.
+///
 //===----------------------------------------------------------------------===//
 
 #include "compiler/PassManager.h"
 #include "compiler/Passes.h"
 #include "support/Format.h"
 
-#include <map>
+#include <algorithm>
 #include <optional>
-#include <set>
+#include <vector>
 
 using namespace cypress;
 
 namespace {
 
+constexpr uint32_t InvalidSlot = ~0u;
+
 //===----------------------------------------------------------------------===//
 // Structural slice equivalence
 //===----------------------------------------------------------------------===//
 
-bool colorsEqual(const std::vector<ScalarExpr> &A,
-                 const std::vector<ScalarExpr> &B) {
+bool colorsEqual(const InlineVector<ScalarExpr, 2> &A,
+                 const InlineVector<ScalarExpr, 2> &B) {
   if (A.size() != B.size())
     return false;
   for (size_t I = 0, E = A.size(); I != E; ++I)
@@ -85,35 +100,18 @@ bool sliceEquivalent(const IRModule &M, const TensorSlice &A,
 }
 
 //===----------------------------------------------------------------------===//
-// Flat op index
+// Slice/tensor helpers
 //===----------------------------------------------------------------------===//
 
-/// A flattened view of the module: every op with its containing block and
-/// position, in program order. Rebuilt after each mutating pattern.
-struct FlatOp {
-  IRBlock *Block = nullptr;
-  size_t Index = 0;
-  Operation *Op = nullptr;
-  unsigned Depth = 0; ///< Loop-nest depth.
-};
-
-void flatten(IRBlock &Block, unsigned Depth, std::vector<FlatOp> &Out) {
-  for (size_t I = 0, E = Block.Ops.size(); I != E; ++I) {
-    Operation *Op = Block.Ops[I].get();
-    Out.push_back({&Block, I, Op, Depth});
-    if (Op->Kind == OpKind::For || Op->Kind == OpKind::PFor)
-      flatten(Op->Body, Depth + 1, Out);
-  }
-}
-
-/// Visits every slice of an op (in place).
-void forEachSlice(Operation &Op, const std::function<void(TensorSlice &)> &Fn) {
+/// Visits every slice of an op (in place). Templated: this runs inside
+/// every slice rewrite, so the callback must not go through std::function.
+template <typename Fn> void forEachSlice(Operation &Op, const Fn &Callback) {
   if (Op.Kind == OpKind::Copy) {
-    Fn(Op.CopySrc);
-    Fn(Op.CopyDst);
+    Callback(Op.CopySrc);
+    Callback(Op.CopyDst);
   } else if (Op.Kind == OpKind::Call) {
     for (TensorSlice &Slice : Op.Args)
-      Fn(Slice);
+      Callback(Slice);
   }
 }
 
@@ -140,8 +138,107 @@ bool opWritesTensor(const Operation &Op, TensorId Tensor) {
   return false;
 }
 
-bool opTouchesTensor(const Operation &Op, TensorId Tensor) {
-  return opReadsTensor(Op, Tensor) || opWritesTensor(Op, Tensor);
+/// The distinct root tensors an op's slices reference, in slice order.
+void collectRoots(const Operation &Op, std::vector<TensorId> &Out) {
+  Out.clear();
+  auto Add = [&Out](TensorId T) {
+    for (TensorId Have : Out)
+      if (Have == T)
+        return;
+    Out.push_back(T);
+  };
+  if (Op.Kind == OpKind::Copy) {
+    Add(Op.CopySrc.Tensor);
+    Add(Op.CopyDst.Tensor);
+  } else if (Op.Kind == OpKind::Call) {
+    for (const TensorSlice &Slice : Op.Args)
+      Add(Slice.Tensor);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Pooled graph scratch
+//===----------------------------------------------------------------------===//
+
+/// A worklist of op slots popped in ascending program-key order (min-heap
+/// ordered by the eliminator's key comparator) with a queued-flag per slot
+/// so re-seeding an already-queued anchor is free and pops come out
+/// deduplicated.
+struct SlotWorklist {
+  std::vector<uint32_t> Heap;
+  std::vector<uint8_t> Queued;
+
+  void reset(size_t Slots) {
+    Heap.clear();
+    Queued.assign(Slots, 0);
+  }
+  bool empty() const { return Heap.empty(); }
+};
+
+/// All per-run tables, pooled thread-locally so steady-state runs (tuner
+/// sweeps compile hundreds of kernels back to back) allocate nothing: the
+/// inner vectors keep their capacity across modules.
+struct GraphScratch {
+  struct OpNode {
+    Operation *Op = nullptr;
+    IRBlock *Block = nullptr;
+    uint32_t Parent = ~0u; ///< Slot of the enclosing loop op (root: ~0u).
+    /// Program-order key with gaps: slots sort by Key, and a hoisted op
+    /// takes a midpoint key instead of forcing a renumbering rebuild.
+    uint64_t Key = 0;
+    uint64_t SubtreeEndKey = 0; ///< Key of the subtree's last op (loops).
+    uint32_t Depth = 0;
+    bool Alive = false;
+  };
+
+  std::vector<OpNode> Nodes; ///< Slot-indexed; slot order == program order.
+  /// Op id -> slot (ids are unique and dense per module at this stage, so
+  /// a vector beats hashing every lookup; InvalidSlot = not in the graph).
+  std::vector<uint32_t> SlotById;
+  std::vector<std::vector<uint32_t>> EventUsers;  ///< By event id (hints).
+  std::vector<uint32_t> EventProducer;            ///< By event id.
+  std::vector<std::vector<uint32_t>> TensorUsers; ///< By tensor id, sorted.
+  std::vector<uint32_t> ReadCount;                ///< By tensor id.
+  std::vector<TensorId> RootsA, RootsB;           ///< collectRoots buffers.
+  std::vector<uint32_t> UserScratch;              ///< Sorted-unique users.
+  std::vector<uint32_t> UserSnapshot;             ///< Stable iteration copy.
+  std::vector<EventRef> PrecondScratch;           ///< Splice rebuild buffer.
+  /// Launch-boundary copies grouped by their fresh tensor, ascending id.
+  /// Built once per graph: the copies' identities never change, only their
+  /// aliveness and slices, which the forwarding scan re-checks per call.
+  struct BoundaryGroup {
+    TensorId Tensor = InvalidTensorId;
+    std::vector<uint32_t> Slots;
+    /// Eligibility cache: recomputed only when Dirty (a member copy was
+    /// mutated or died); the forwarding scan otherwise reads the flag.
+    bool Dirty = true;
+    bool Eligible = false;
+  };
+  std::vector<BoundaryGroup> BoundaryGroups;
+  SlotWorklist Work[5];                           ///< One per op pattern.
+  std::vector<uint8_t> LoopDirty;                 ///< By slot: loop needs a
+                                                  ///< spill-hoist re-check.
+  std::vector<uint32_t> ForLoopSlots;             ///< All For-loop slots.
+  /// Per-slot bitmask of worklists the op qualifies for (bit = Pattern),
+  /// recomputed only when the op's slices change; zero for dead ops and
+  /// non-copies. Conditions that move without the op (read counts) stay at
+  /// pop time.
+  std::vector<uint8_t> SeedMask;
+  /// First boundary group that could currently be eligible; groups before
+  /// it are clean and ineligible.
+  size_t BoundaryCursor = 0;
+
+  void clearLists(std::vector<std::vector<uint32_t>> &Lists, size_t Count) {
+    if (Lists.size() < Count)
+      Lists.resize(Count);
+    for (size_t I = 0; I < Count; ++I)
+      Lists[I].clear();
+  }
+};
+
+GraphScratch &graphScratch() {
+  thread_local GraphScratch Scratch;
+  return Scratch;
 }
 
 //===----------------------------------------------------------------------===//
@@ -150,16 +247,17 @@ bool opTouchesTensor(const Operation &Op, TensorId Tensor) {
 
 class CopyEliminator {
 public:
-  explicit CopyEliminator(IRModule &Module) : Module(Module) {}
+  CopyEliminator(IRModule &Module, PassCounters *Counters)
+      : Module(Module), Counters(Counters), S(graphScratch()) {}
 
   ErrorOrVoid run() {
+    build();
     // Iterate the pattern set to a fixpoint. Spill/forwarding patterns run
     // first (they can remove synchronization); cleanup follows.
     for (unsigned Round = 0; Round < MaxRounds; ++Round) {
       bool Changed = false;
-      // Each pattern performs one safe rewrite per call (the flat index is
-      // rebuilt between mutations); drive every pattern to its own local
-      // fixpoint inside the round.
+      // Each pattern performs one safe rewrite per call; drive every
+      // pattern to its own local fixpoint inside the round.
       auto Drive = [&](bool (CopyEliminator::*Pattern)()) {
         unsigned Guard = 0;
         while ((this->*Pattern)() && ++Guard < 10000)
@@ -172,11 +270,10 @@ public:
       Drive(&CopyEliminator::redundantStoreElimination);
       Drive(&CopyEliminator::spillHoisting);
       Drive(&CopyEliminator::deadCopyElimination);
-      if (Failure)
-        return *Failure;
       if (!Changed)
         break;
     }
+    sweepDead(Module.root());
     cypress::repairEventScopes(Module);
     removeDeadDecls();
     return checkNoneConstraint();
@@ -185,41 +282,397 @@ public:
 private:
   static constexpr unsigned MaxRounds = 64;
 
-  /// Rebuilds the flat op index into a reused buffer. Each pattern rescans
-  /// the module from scratch after every rewrite (correct by construction),
-  /// so the index buffer is the pass's hottest allocation; pooling it keeps
-  /// the fixpoint loop allocation-free.
-  std::vector<FlatOp> &flatIndex() {
-    FlatScratch.clear();
-    flatten(Module.root(), 0, FlatScratch);
-    return FlatScratch;
+  enum Pattern : unsigned {
+    PatCopyProp,
+    PatSelfCopy,
+    PatDup,
+    PatRedStore,
+    PatDeadCopy,
+    NumPatterns,
+  };
+
+  using OpNode = GraphScratch::OpNode;
+
+  //===--- Graph construction ---------------------------------------------===//
+
+  void build(bool SeedAll = true) {
+    S.Nodes.clear();
+    S.SlotById.clear();
+    S.clearLists(S.EventUsers, Module.numEvents());
+    if (S.EventProducer.size() < Module.numEvents())
+      S.EventProducer.resize(Module.numEvents());
+    std::fill_n(S.EventProducer.begin(), Module.numEvents(), InvalidSlot);
+    S.clearLists(S.TensorUsers, Module.tensors().size());
+    S.ReadCount.assign(Module.tensors().size(), 0);
+    S.BoundaryGroups.clear();
+    buildBlock(Module.root(), InvalidSlot, 0);
+    std::sort(S.BoundaryGroups.begin(), S.BoundaryGroups.end(),
+              [](const auto &A, const auto &B) {
+                return A.Tensor < B.Tensor;
+              });
+    S.LoopDirty.assign(S.Nodes.size(), 1);
+    S.SeedMask.assign(S.Nodes.size(), 0);
+    for (uint32_t Slot = 0, E = S.Nodes.size(); Slot != E; ++Slot)
+      recomputeSeedMask(Slot);
+    S.BoundaryCursor = 0;
+    S.ForLoopSlots.clear();
+    for (uint32_t Slot = 0, E = S.Nodes.size(); Slot != E; ++Slot)
+      if (S.Nodes[Slot].Op->Kind == OpKind::For)
+        S.ForLoopSlots.push_back(Slot);
+    for (SlotWorklist &WL : Work)
+      WL.reset(S.Nodes.size());
+    if (SeedAll)
+      for (uint32_t Slot = 0, E = S.Nodes.size(); Slot != E; ++Slot)
+        seedSlot(Slot);
+  }
+
+  void buildBlock(IRBlock &Block, uint32_t Parent, unsigned Depth) {
+    for (std::unique_ptr<Operation> &OpPtr : Block.Ops) {
+      Operation *Op = OpPtr.get();
+      uint32_t Slot = static_cast<uint32_t>(S.Nodes.size());
+      // Initial keys leave a 2^20 gap per op for midpoint insertion.
+      uint64_t Key = (static_cast<uint64_t>(Slot) + 1) << 20;
+      S.Nodes.push_back({Op, &Block, Parent, Key, Key, Depth, true});
+      if (Op->Id >= S.SlotById.size())
+        S.SlotById.resize(Op->Id + 1, InvalidSlot);
+      assert(S.SlotById[Op->Id] == InvalidSlot &&
+             "duplicate op id in module");
+      S.SlotById[Op->Id] = Slot;
+      if (Op->Result != InvalidEventId)
+        S.EventProducer[Op->Result] = Slot;
+      for (const EventRef &Ref : Op->Preconds)
+        addEventUser(Ref.Event, Slot);
+      addTouches(Slot);
+      adjustReadCounts(*Op, +1);
+      if (Op->Kind == OpKind::Copy && Op->LaunchBoundary &&
+          Op->BoundaryTensor != InvalidTensorId)
+        boundaryGroup(Op->BoundaryTensor).push_back(Slot);
+      if (Op->Kind == OpKind::For || Op->Kind == OpKind::PFor) {
+        if (Op->Body.Yield)
+          addEventUser(Op->Body.Yield->Event, Slot);
+        buildBlock(Op->Body, Slot, Depth + 1);
+        S.Nodes[Slot].SubtreeEndKey = S.Nodes.back().Key;
+      }
+    }
+  }
+
+  std::vector<uint32_t> &boundaryGroup(TensorId Tensor) {
+    for (auto &Group : S.BoundaryGroups)
+      if (Group.Tensor == Tensor)
+        return Group.Slots;
+    S.BoundaryGroups.emplace_back();
+    S.BoundaryGroups.back().Tensor = Tensor;
+    return S.BoundaryGroups.back().Slots;
+  }
+
+  /// Marks every loop enclosing \p Slot for spill-hoist re-examination.
+  /// Hoist matches read whole loop bodies, so any body mutation dirties
+  /// the ancestor chain.
+  void markDirtyLoops(uint32_t Slot) {
+    for (uint32_t P = S.Nodes[Slot].Parent; P != InvalidSlot;
+         P = S.Nodes[P].Parent)
+      S.LoopDirty[P] = 1;
+  }
+
+  /// Rebuilds everything after a structural move (spill hoisting). Hoists
+  /// are rare (at most a handful per kernel), so the O(module) rebuild is
+  /// cheaper than maintaining ordering keys through block splices. Does
+  /// not seed: performHoist restores queued anchors and seeds its own
+  /// blast radius.
+  void rebuildAfterStructuralChange() {
+    // Dead ops stay physically present until the final sweep; preserve
+    // their marks across the rebuild.
+    std::vector<const Operation *> Dead;
+    for (const OpNode &Node : S.Nodes)
+      if (!Node.Alive)
+        Dead.push_back(Node.Op);
+    build(/*SeedAll=*/false);
+    for (const Operation *Op : Dead) {
+      uint32_t Slot = slotOf(Op);
+      if (Slot != InvalidSlot)
+        markDeadNoSeed(Slot);
+    }
+  }
+
+  bool alive(uint32_t Slot) const { return S.Nodes[Slot].Alive; }
+  Operation &op(uint32_t Slot) const { return *S.Nodes[Slot].Op; }
+  uint64_t keyOf(uint32_t Slot) const { return S.Nodes[Slot].Key; }
+
+  /// Iterator to the first entry of a key-sorted slot list strictly after
+  /// \p Slot in program order.
+  std::vector<uint32_t>::const_iterator
+  firstAfter(const std::vector<uint32_t> &Users, uint32_t Slot) const {
+    return std::upper_bound(Users.begin(), Users.end(), keyOf(Slot),
+                            [this](uint64_t Key, uint32_t User) {
+                              return Key < keyOf(User);
+                            });
+  }
+
+  void wlPush(SlotWorklist &WL, uint32_t Slot) {
+    if (WL.Queued[Slot])
+      return;
+    WL.Queued[Slot] = 1;
+    WL.Heap.push_back(Slot);
+    std::push_heap(WL.Heap.begin(), WL.Heap.end(),
+                   [this](uint32_t A, uint32_t B) {
+                     return keyOf(A) > keyOf(B);
+                   });
+  }
+
+  uint32_t wlPop(SlotWorklist &WL) {
+    std::pop_heap(WL.Heap.begin(), WL.Heap.end(),
+                  [this](uint32_t A, uint32_t B) {
+                    return keyOf(A) > keyOf(B);
+                  });
+    uint32_t Slot = WL.Heap.back();
+    WL.Heap.pop_back();
+    WL.Queued[Slot] = 0;
+    return Slot;
+  }
+
+  /// Re-establishes every worklist's heap order after keys changed.
+  void reheapWorklists() {
+    for (SlotWorklist &WL : Work)
+      std::make_heap(WL.Heap.begin(), WL.Heap.end(),
+                     [this](uint32_t A, uint32_t B) {
+                       return keyOf(A) > keyOf(B);
+                     });
+  }
+
+  void addEventUser(EventId Event, uint32_t Slot) {
+    if (Event == InvalidEventId)
+      return;
+    // Bounded dedup window: a splice re-registers one user's refs back to
+    // back, so recent duplicates are the common case; rare older ones
+    // survive as hints and fall to sortedUsers' unique pass. A full scan
+    // here would make splicing quadratic in a hot event's user count.
+    std::vector<uint32_t> &Users = S.EventUsers[Event];
+    size_t Window = Users.size() < 4 ? Users.size() : 4;
+    for (size_t I = Users.size() - Window; I < Users.size(); ++I)
+      if (Users[I] == Slot)
+        return;
+    Users.push_back(Slot);
+  }
+
+  /// Fills the pooled snapshot with the alive slots currently referencing
+  /// \p Event, sorted by program order and deduplicated (the raw lists are
+  /// insertion-ordered hints). A snapshot is required: the callers mutate
+  /// the underlying user lists while iterating.
+  std::vector<uint32_t> &sortedUsers(EventId Event) {
+    S.UserSnapshot.clear();
+    for (uint32_t Slot : S.EventUsers[Event])
+      if (alive(Slot))
+        S.UserSnapshot.push_back(Slot);
+    std::sort(S.UserSnapshot.begin(), S.UserSnapshot.end(),
+              [this](uint32_t A, uint32_t B) { return keyOf(A) < keyOf(B); });
+    S.UserSnapshot.erase(
+        std::unique(S.UserSnapshot.begin(), S.UserSnapshot.end()),
+        S.UserSnapshot.end());
+    return S.UserSnapshot;
+  }
+
+  void addTouches(uint32_t Slot) {
+    collectRoots(op(Slot), S.RootsA);
+    uint64_t Key = keyOf(Slot);
+    for (TensorId T : S.RootsA) {
+      std::vector<uint32_t> &Users = S.TensorUsers[T];
+      if (Users.empty() || keyOf(Users.back()) < Key) // Build appends.
+        Users.push_back(Slot);
+      else
+        Users.insert(std::upper_bound(Users.begin(), Users.end(), Key,
+                                      [this](uint64_t K, uint32_t User) {
+                                        return K < keyOf(User);
+                                      }),
+                     Slot);
+    }
+  }
+
+  void removeTouches(uint32_t Slot) {
+    collectRoots(op(Slot), S.RootsA);
+    uint64_t Key = keyOf(Slot);
+    for (TensorId T : S.RootsA) {
+      std::vector<uint32_t> &Users = S.TensorUsers[T];
+      auto It = std::lower_bound(Users.begin(), Users.end(), Key,
+                                 [this](uint32_t User, uint64_t K) {
+                                   return keyOf(User) < K;
+                                 });
+      if (It != Users.end() && *It == Slot)
+        Users.erase(It);
+    }
+  }
+
+  /// Read-occurrence counts back the dead-copy pattern: a tensor with zero
+  /// read occurrences matches the historical "never appears as a copy
+  /// source or call argument" scan.
+  void adjustReadCounts(const Operation &Op, int Delta) {
+    if (Op.Kind == OpKind::Copy) {
+      S.ReadCount[Op.CopySrc.Tensor] += Delta;
+    } else if (Op.Kind == OpKind::Call) {
+      for (const TensorSlice &Slice : Op.Args)
+        S.ReadCount[Slice.Tensor] += Delta;
+    }
+  }
+
+  //===--- Worklist seeding ------------------------------------------------===//
+
+  /// Every per-op pattern anchors on a copy; each worklist additionally
+  /// filters by the cheap parts of its pattern's match predicate,
+  /// precomputed into SeedMask. The filters read only state whose every
+  /// change recomputes the mask (the op's own slices) or static tensor
+  /// attributes, so a slot skipped here cannot silently become a match;
+  /// conditions that change without the op (read counts) are re-checked
+  /// at pop time instead.
+  void recomputeSeedMask(uint32_t Slot) {
+    uint8_t Mask = 0;
+    const OpNode &Node = S.Nodes[Slot];
+    if (Node.Alive && Node.Op->Kind == OpKind::Copy) {
+      const Operation &Op = *Node.Op;
+      TensorId SrcRoot = Op.CopySrc.Tensor;
+      TensorId DstRoot = Op.CopyDst.Tensor;
+      const IRTensor &Dst = Module.tensor(DstRoot);
+      if (!Dst.IsEntryArg) {
+        if (Dst.Mem == Memory::None ||
+            Dst.Mem == Module.tensor(SrcRoot).Mem)
+          Mask |= 1u << PatCopyProp;
+        Mask |= (1u << PatRedStore) | (1u << PatDeadCopy);
+      }
+      if (SrcRoot == DstRoot) // sliceEquivalent requires equal roots.
+        Mask |= 1u << PatSelfCopy;
+      Mask |= 1u << PatDup;
+    }
+    S.SeedMask[Slot] = Mask;
+  }
+
+  void seedSlot(uint32_t Slot) {
+    uint8_t Mask = S.SeedMask[Slot];
+    if (!Mask)
+      return;
+    for (unsigned P = 0; P < NumPatterns; ++P)
+      if (Mask & (1u << P))
+        wlPush(Work[P], Slot);
+  }
+
+  void seedTensor(TensorId T) {
+    for (uint32_t Slot : S.TensorUsers[T])
+      seedSlot(Slot);
+  }
+
+  void seedProducer(EventId Event) {
+    if (Event == InvalidEventId)
+      return;
+    uint32_t Slot = S.EventProducer[Event];
+    if (Slot != InvalidSlot)
+      seedSlot(Slot);
+  }
+
+  /// Re-seeds the producers of every event \p Op references: their erase
+  /// legality (spliceEvent over their users) depends on this op's indices.
+  void seedReferencedProducers(const Operation &Op) {
+    for (const EventRef &Ref : Op.Preconds)
+      seedProducer(Ref.Event);
+  }
+
+  /// Applies a slice mutation to an alive op, keeping toucher lists, read
+  /// counts, and worklists consistent. Everything touching an old or new
+  /// root is re-seeded: those toucher lists are exactly the state the
+  /// patterns' forward scans read.
+  template <typename Fn> void mutateSlices(uint32_t Slot, Fn &&Mutate) {
+    Operation &Op = op(Slot);
+    removeTouches(Slot);
+    adjustReadCounts(Op, -1);
+    collectRoots(Op, S.RootsB); // Old roots.
+    Mutate();
+    adjustReadCounts(Op, +1);
+    addTouches(Slot); // Uses RootsA = new roots.
+    // Seed the union of old and new roots' touchers once (the common
+    // rewrite changes one endpoint, so the sets mostly overlap).
+    for (TensorId T : S.RootsA)
+      if (std::find(S.RootsB.begin(), S.RootsB.end(), T) == S.RootsB.end())
+        S.RootsB.push_back(T);
+    recomputeSeedMask(Slot);
+    for (TensorId T : S.RootsB)
+      seedTensor(T);
+    dirtyBoundaryGroup(Op);
+    markDirtyLoops(Slot);
+  }
+
+  void markDeadNoSeed(uint32_t Slot) {
+    Operation &Op = op(Slot);
+    removeTouches(Slot);
+    adjustReadCounts(Op, -1);
+    S.Nodes[Slot].Alive = false;
+    S.SeedMask[Slot] = 0;
+    if (Op.Result != InvalidEventId)
+      S.EventProducer[Op.Result] = InvalidSlot;
+    dirtyBoundaryGroup(Op);
+  }
+
+  void markDead(uint32_t Slot) {
+    Operation &Op = op(Slot);
+    markDirtyLoops(Slot);
+    markDeadNoSeed(Slot); // Uses RootsA; RootsB below survives it.
+    collectRoots(Op, S.RootsB);
+    for (TensorId T : S.RootsB)
+      seedTensor(T);
+    // A dead user stops blocking precondition splices of the events it
+    // referenced; their producers may have become erasable.
+    seedReferencedProducers(Op);
+  }
+
+  void bumpPop() {
+    if (Counters)
+      ++Counters->WorklistPops;
+  }
+  void bumpRewrite() {
+    if (Counters)
+      ++Counters->Rewrites;
   }
 
   //===--- Event rewiring helpers ----------------------------------------===//
 
   /// Renames event \p From to \p To in every reference (indices preserved).
   void renameEvent(EventId From, EventId To) {
-    walkOps(Module.root(), [&](Operation &Op) {
+    const std::vector<uint32_t> &Users = sortedUsers(From);
+    for (uint32_t Slot : Users) {
+      Operation &Op = op(Slot);
+      bool Changed = false;
       for (EventRef &Ref : Op.Preconds)
-        if (Ref.Event == From)
+        if (Ref.Event == From) {
           Ref.Event = To;
+          Changed = true;
+        }
       if ((Op.Kind == OpKind::For || Op.Kind == OpKind::PFor) &&
-          Op.Body.Yield && Op.Body.Yield->Event == From)
+          Op.Body.Yield && Op.Body.Yield->Event == From) {
         Op.Body.Yield->Event = To;
-    });
+        Changed = true;
+      }
+      if (Changed) {
+        addEventUser(To, Slot);
+        seedSlot(Slot);
+        seedReferencedProducers(Op);
+        markDirtyLoops(Slot);
+        if (Op.Kind == OpKind::For || Op.Kind == OpKind::PFor)
+          S.LoopDirty[Slot] = 1;
+      }
+    }
+    S.EventUsers[From].clear();
+    // To's user set grew; its producer's erase legality changed with it.
+    seedProducer(To);
   }
 
   /// Replaces references to \p From with the op's precondition refs,
   /// converting point-wise processor indices to match the user's indexing
   /// (a broadcast user of a flattened event must keep waiting on all
-  /// instances of the producer's preconditions).
+  /// instances of the producer's preconditions). Mirrors the historical
+  /// walk exactly, including its failure behavior: users visited before a
+  /// non-adjustable reference keep their spliced preconditions.
   bool spliceEvent(EventId From, const std::vector<EventRef> &Preconds) {
     const EventType &FromType = Module.event(From).Type;
-    bool Ok = true;
-    walkOps(Module.root(), [&](Operation &Op) {
-      if (!Ok)
-        return;
-      std::vector<EventRef> NewPreconds;
+    const std::vector<uint32_t> &Users = sortedUsers(From);
+    std::vector<EventRef> &NewPreconds = S.PrecondScratch; // Capacity pools.
+    for (uint32_t Slot : Users) {
+      Operation &Op = op(Slot);
+      NewPreconds.clear();
       for (EventRef &Ref : Op.Preconds) {
         if (Ref.Event != From) {
           NewPreconds.push_back(std::move(Ref));
@@ -228,24 +681,37 @@ private:
         for (const EventRef &P : Preconds) {
           std::optional<EventRef> Adjusted = adjustSpliced(P, Ref, FromType);
           if (!Adjusted) {
-            Ok = false;
-            return;
+            // Users already processed no longer reference From, so the
+            // producer's erase attempt may succeed once state changes;
+            // leave it queued for retry.
+            seedProducer(From);
+            return false;
           }
           NewPreconds.push_back(std::move(*Adjusted));
         }
       }
-      Op.Preconds = std::move(NewPreconds);
+      Op.Preconds.swap(NewPreconds);
+      for (const EventRef &Ref : Op.Preconds)
+        addEventUser(Ref.Event, Slot);
       if ((Op.Kind == OpKind::For || Op.Kind == OpKind::PFor) &&
           Op.Body.Yield && Op.Body.Yield->Event == From) {
         // A yield cannot expand to multiple events; retarget to the single
         // precondition if there is one, else drop the yield.
-        if (Preconds.size() == 1 && Preconds[0].Indices.empty())
+        if (Preconds.size() == 1 && Preconds[0].Indices.empty()) {
           Op.Body.Yield = Preconds[0];
-        else
+          addEventUser(Op.Body.Yield->Event, Slot);
+        } else {
           Op.Body.Yield.reset();
+        }
       }
-    });
-    return Ok;
+      seedSlot(Slot);
+      seedReferencedProducers(Op);
+      markDirtyLoops(Slot);
+      if (Op.Kind == OpKind::For || Op.Kind == OpKind::PFor)
+        S.LoopDirty[Slot] = 1;
+    }
+    S.EventUsers[From].clear();
+    return true;
   }
 
   /// Adjusts a spliced precondition \p P for a user that referenced the
@@ -280,10 +746,10 @@ private:
     return Result;
   }
 
-  /// Erases the op at \p Flat (must not be a loop), rewiring its event.
-  /// Returns false (leaving the IR untouched) when rewiring is not legal.
-  bool eraseOp(const FlatOp &Flat) {
-    Operation &Op = *Flat.Op;
+  /// Erases the op at \p Slot (must not be a loop), rewiring its event.
+  /// Returns false (leaving the op in place) when rewiring is not legal.
+  bool eraseOp(uint32_t Slot) {
+    Operation &Op = op(Slot);
     assert(Op.Kind != OpKind::For && Op.Kind != OpKind::PFor &&
            "cannot erase loops");
     if (Op.Result != InvalidEventId) {
@@ -299,11 +765,11 @@ private:
       }
       // Yields referencing the erased event: repoint to the previous event
       // producer in the same block (the loop completes when its last
-      // remaining operation does).
-      fixYields(Op.Result, *Flat.Block);
+      // remaining operation does). Rename/splice already retargeted every
+      // reachable reference, so this only catches stragglers.
+      fixYields(Op.Result);
     }
-    Flat.Block->Ops.erase(Flat.Block->Ops.begin() +
-                          static_cast<long>(Flat.Index));
+    markDead(Slot);
     return true;
   }
 
@@ -314,24 +780,26 @@ private:
     return true;
   }
 
-  void fixYields(EventId Erased, IRBlock &Block) {
-    // Walk all loops; if a yield still references the erased event (splice
-    // already retargeted most), fall back to the last event-producing op.
-    walkOps(Module.root(), [&](Operation &Op) {
+  void fixYields(EventId Erased) {
+    const std::vector<uint32_t> &Users = sortedUsers(Erased);
+    for (uint32_t Slot : Users) {
+      Operation &Op = op(Slot);
       if (Op.Kind != OpKind::For && Op.Kind != OpKind::PFor)
-        return;
+        continue;
       if (!Op.Body.Yield || Op.Body.Yield->Event != Erased)
-        return;
+        continue;
       Op.Body.Yield.reset();
       for (auto It = Op.Body.Ops.rbegin(); It != Op.Body.Ops.rend(); ++It) {
-        if ((*It)->Result != InvalidEventId &&
-            (*It)->Result != Erased) {
+        if (!opAlive(It->get()))
+          continue;
+        if ((*It)->Result != InvalidEventId && (*It)->Result != Erased) {
           Op.Body.Yield = EventRef::unit((*It)->Result);
+          addEventUser((*It)->Result, Slot);
+          S.LoopDirty[Slot] = 1;
           break;
         }
       }
-    });
-    (void)Block;
+    }
   }
 
   //===--- Pattern: copy propagation --------------------------------------===//
@@ -339,44 +807,63 @@ private:
   /// copy(X -> P) ... copy(P -> Y) with equivalent P slices and no
   /// intervening write to P's root: the consumer reads X directly.
   bool copyPropagation() {
-    std::vector<FlatOp> &Ops = flatIndex();
-    for (size_t I = 0; I < Ops.size(); ++I) {
-      Operation &Producer = *Ops[I].Op;
-      if (Producer.Kind != OpKind::Copy)
+    SlotWorklist &WL = Work[PatCopyProp];
+    while (!WL.empty()) {
+      uint32_t Slot = wlPop(WL);
+      bumpPop();
+      if (!alive(Slot))
         continue;
-      TensorId Root = Producer.CopyDst.Tensor;
-      if (Module.tensor(Root).IsEntryArg)
-        continue;
-      // Propagating across a *staging* copy would defeat its purpose: a
-      // consumer reading a shared tile must not be rewritten to re-fetch
-      // from global memory. Only propagate when the intermediate adds no
-      // locality (unmaterialized, or same memory as the original source).
-      Memory MidMem = Module.tensor(Root).Mem;
-      Memory SrcMem = Module.tensor(Producer.CopySrc.Tensor).Mem;
-      if (MidMem != Memory::None && MidMem != SrcMem)
-        continue;
-      for (size_t J = I + 1; J < Ops.size(); ++J) {
-        Operation &Consumer = *Ops[J].Op;
-        // Stop at any other write to the root tensor.
-        if (&Consumer != &Producer && opWritesTensor(Consumer, Root) &&
-            !(Consumer.Kind == OpKind::Copy &&
-              sliceEquivalent(Module, Consumer.CopySrc, Producer.CopyDst)))
-          break;
-        if (Consumer.Kind != OpKind::Copy)
-          continue;
-        if (!sliceEquivalent(Module, Consumer.CopySrc, Producer.CopyDst))
-          continue;
-        if (sliceEquivalent(Module, Consumer.CopySrc, Producer.CopySrc))
-          break; // Already propagated (or self copy).
-        // Don't propagate across loop scopes when the source carries loop
-        // variables that differ between contexts.
-        if (Ops[J].Depth != Ops[I].Depth)
-          continue;
-        Consumer.CopySrc = Producer.CopySrc;
-        // The consumer must still wait for the producer (it already does
-        // through version chaining); keep preconditions unchanged.
+      if (tryCopyPropagationAt(Slot)) {
+        bumpRewrite();
         return true;
       }
+    }
+    return false;
+  }
+
+  bool tryCopyPropagationAt(uint32_t Slot) {
+    Operation &Producer = op(Slot);
+    if (Producer.Kind != OpKind::Copy)
+      return false;
+    TensorId Root = Producer.CopyDst.Tensor;
+    if (Module.tensor(Root).IsEntryArg)
+      return false;
+    // Propagating across a *staging* copy would defeat its purpose: a
+    // consumer reading a shared tile must not be rewritten to re-fetch
+    // from global memory. Only propagate when the intermediate adds no
+    // locality (unmaterialized, or same memory as the original source).
+    Memory MidMem = Module.tensor(Root).Mem;
+    Memory SrcMem = Module.tensor(Producer.CopySrc.Tensor).Mem;
+    if (MidMem != Memory::None && MidMem != SrcMem)
+      return false;
+    // Scan forward in program order over the ops touching P's root — only
+    // they can write it or consume the copied piece.
+    const std::vector<uint32_t> &Users = S.TensorUsers[Root];
+    for (auto It = firstAfter(Users, Slot); It != Users.end(); ++It) {
+      if (!alive(*It))
+        continue;
+      Operation &Consumer = op(*It);
+      // Stop at any other write to the root tensor.
+      if (opWritesTensor(Consumer, Root) &&
+          !(Consumer.Kind == OpKind::Copy &&
+            sliceEquivalent(Module, Consumer.CopySrc, Producer.CopyDst)))
+        break;
+      if (Consumer.Kind != OpKind::Copy)
+        continue;
+      if (!sliceEquivalent(Module, Consumer.CopySrc, Producer.CopyDst))
+        continue;
+      if (sliceEquivalent(Module, Consumer.CopySrc, Producer.CopySrc))
+        break; // Already propagated (or self copy).
+      // Don't propagate across loop scopes when the source carries loop
+      // variables that differ between contexts.
+      if (S.Nodes[*It].Depth != S.Nodes[Slot].Depth)
+        continue;
+      uint32_t ConsumerSlot = *It;
+      mutateSlices(ConsumerSlot,
+                   [&] { Consumer.CopySrc = Producer.CopySrc; });
+      // The consumer must still wait for the producer (it already does
+      // through version chaining); keep preconditions unchanged.
+      return true;
     }
     return false;
   }
@@ -387,60 +874,105 @@ private:
   /// from/to, when its mapped memory adds nothing (None, or same memory as
   /// the source data). Sequential semantics of the source program guarantee
   /// no third party touches the slice while the callee runs, so the
-  /// substitution is always legal for launch-boundary pairs.
+  /// substitution is always legal for launch-boundary pairs. Global
+  /// pattern: the candidate set (boundary copies in ascending fresh-tensor
+  /// order) is rebuilt per call — it is tiny and shrinks monotonically.
   bool launchPairForwarding() {
-    std::vector<FlatOp> &Ops = flatIndex();
-
-    // Collect copy-in/copy-out per fresh tensor.
-    struct PairInfo {
-      Operation *In = nullptr;
-      Operation *Out = nullptr;
-      bool OtherWholeWriters = false;
-    };
-    std::map<TensorId, PairInfo> Pairs;
-    for (FlatOp &F : Ops) {
-      Operation &Op = *F.Op;
-      if (Op.Kind != OpKind::Copy || !Op.LaunchBoundary ||
-          Op.BoundaryTensor == InvalidTensorId)
+    // Forwarding considers fresh tensors in ascending id (the order the
+    // historical ordered-map scan applied); within a group the last
+    // program-order copy-in/copy-out wins. Pair by the launch's fresh
+    // tensor, not by slice shape: slice rewrites (copy propagation) must
+    // not flip a copy-in into looking like some other tensor's copy-out.
+    for (size_t Index = S.BoundaryCursor; Index < S.BoundaryGroups.size();
+         ++Index) {
+      GraphScratch::BoundaryGroup &Group = S.BoundaryGroups[Index];
+      if (Group.Dirty) {
+        Group.Eligible = classifyBoundaryGroup(Group) != nullptr;
+        Group.Dirty = false;
+      }
+      if (!Group.Eligible) {
+        // Clean-and-ineligible prefix: skip it on the next call too.
+        if (Index == S.BoundaryCursor)
+          ++S.BoundaryCursor;
         continue;
-      // Pair by the launch's fresh tensor, not by slice shape: slice
-      // rewrites (copy propagation) must not flip a copy-in into looking
-      // like some other tensor's copy-out.
-      if (Op.CopyDst.isWhole() && Op.CopyDst.Tensor == Op.BoundaryTensor)
-        Pairs[Op.BoundaryTensor].In = &Op;
-      else if (Op.CopySrc.isWhole() &&
-               Op.CopySrc.Tensor == Op.BoundaryTensor)
-        Pairs[Op.BoundaryTensor].Out = &Op;
-    }
-
-    for (auto &[Tensor, Info] : Pairs) {
-      const IRTensor &T = Module.tensor(Tensor);
-      if (T.IsEntryArg)
-        continue;
-      const TensorSlice *Source = nullptr;
-      if (Info.In)
-        Source = &Info.In->CopySrc;
-      else if (Info.Out)
-        Source = &Info.Out->CopyDst;
-      if (!Source)
-        continue;
-      if (Source->Tensor == Tensor)
-        continue; // Already forwarded.
-      Memory SourceMem = Module.tensor(Source->Tensor).Mem;
-      // Forwarding ignores pipeline depth: the fresh tensor's buffers
-      // existed only to hold the copy, which disappears entirely.
-      bool Forwardable =
-          T.Mem == Memory::None || T.Mem == SourceMem;
-      if (!Forwardable)
-        continue;
+      }
       // When both a copy-in and a copy-out exist, forwarding follows the
       // copy-in's source: data flows in -> use -> out, so substituting the
       // fresh tensor with the in-source leaves the copy-out rewritten to a
       // correct (possibly non-trivial) store of that source.
-      substituteTensor(Tensor, *Source);
+      TensorSlice Source = *classifyBoundaryGroup(Group); // Copy:
+          // substituteTensor rewrites the op holding the source slice.
+      Group.Eligible = false; // The fresh tensor's id never comes back.
+      substituteTensor(Group.Tensor, Source);
+      bumpRewrite();
       return true;
     }
     return false;
+  }
+
+  /// The forwarding source for a boundary group, or nullptr when the group
+  /// is currently ineligible (no surviving pair, already forwarded, entry
+  /// argument, or a staging memory the forwarding would discard).
+  const TensorSlice *classifyBoundaryGroup(
+      const GraphScratch::BoundaryGroup &Group) {
+    TensorId Tensor = Group.Tensor;
+    const IRTensor &T = Module.tensor(Tensor);
+    if (T.IsEntryArg)
+      return nullptr;
+    Operation *In = nullptr, *Out = nullptr;
+    uint64_t InKey = 0, OutKey = 0;
+    for (uint32_t Slot : Group.Slots) {
+      if (!alive(Slot))
+        continue;
+      Operation &Op = op(Slot);
+      // The last copy in program order wins its side of the pair.
+      if (Op.CopyDst.isWhole() && Op.CopyDst.Tensor == Op.BoundaryTensor) {
+        if (!In || keyOf(Slot) > InKey) {
+          In = &Op;
+          InKey = keyOf(Slot);
+        }
+      } else if (Op.CopySrc.isWhole() &&
+                 Op.CopySrc.Tensor == Op.BoundaryTensor) {
+        if (!Out || keyOf(Slot) > OutKey) {
+          Out = &Op;
+          OutKey = keyOf(Slot);
+        }
+      }
+    }
+    const TensorSlice *Source = nullptr;
+    if (In)
+      Source = &In->CopySrc;
+    else if (Out)
+      Source = &Out->CopyDst;
+    if (!Source)
+      return nullptr;
+    if (Source->Tensor == Tensor)
+      return nullptr; // Already forwarded.
+    Memory SourceMem = Module.tensor(Source->Tensor).Mem;
+    // Forwarding ignores pipeline depth: the fresh tensor's buffers
+    // existed only to hold the copy, which disappears entirely.
+    if (T.Mem != Memory::None && T.Mem != SourceMem)
+      return nullptr;
+    return Source;
+  }
+
+  /// Invalidates the eligibility cache of \p Op's boundary group after a
+  /// mutation or death.
+  void dirtyBoundaryGroup(const Operation &Op) {
+    if (Op.Kind != OpKind::Copy || !Op.LaunchBoundary ||
+        Op.BoundaryTensor == InvalidTensorId)
+      return;
+    auto It = std::lower_bound(
+        S.BoundaryGroups.begin(), S.BoundaryGroups.end(), Op.BoundaryTensor,
+        [](const GraphScratch::BoundaryGroup &G, TensorId T) {
+          return G.Tensor < T;
+        });
+    if (It != S.BoundaryGroups.end() && It->Tensor == Op.BoundaryTensor) {
+      It->Dirty = true;
+      size_t Index = static_cast<size_t>(It - S.BoundaryGroups.begin());
+      if (Index < S.BoundaryCursor)
+        S.BoundaryCursor = Index;
+    }
   }
 
   /// Replaces every reference to whole-\p From (op slices and partition
@@ -454,30 +986,42 @@ private:
       else
         P.Base.Tensor = To.Tensor; // Chain root updates below.
     }
-    walkOps(Module.root(), [&](Operation &Op) {
-      forEachSlice(Op, [&](TensorSlice &Slice) {
-        if (Slice.Tensor != From)
-          return;
-        if (Slice.isWhole())
-          Slice = To;
-        else
-          Slice.Tensor = To.Tensor;
+    std::vector<uint32_t> Users = S.TensorUsers[From]; // Copy: mutation
+                                                       // edits the list.
+    for (uint32_t Slot : Users) {
+      if (!alive(Slot))
+        continue;
+      mutateSlices(Slot, [&] {
+        forEachSlice(op(Slot), [&](TensorSlice &Slice) {
+          if (Slice.Tensor != From)
+            return;
+          if (Slice.isWhole())
+            Slice = To;
+          else
+            Slice.Tensor = To.Tensor;
+        });
       });
-    });
+    }
   }
 
   //===--- Pattern: self-copy elimination (Figure 10d) ---------------------===//
 
   bool selfCopyElimination() {
-    std::vector<FlatOp> &Ops = flatIndex();
-    for (FlatOp &F : Ops) {
-      Operation &Op = *F.Op;
+    SlotWorklist &WL = Work[PatSelfCopy];
+    while (!WL.empty()) {
+      uint32_t Slot = wlPop(WL);
+      bumpPop();
+      if (!alive(Slot))
+        continue;
+      Operation &Op = op(Slot);
       if (Op.Kind != OpKind::Copy)
         continue;
       if (!sliceEquivalent(Module, Op.CopySrc, Op.CopyDst))
         continue;
-      if (eraseOp(F))
+      if (eraseOp(Slot)) {
+        bumpRewrite();
         return true;
+      }
     }
     return false;
   }
@@ -485,31 +1029,62 @@ private:
   //===--- Pattern: duplicate elimination (Figure 10c) ---------------------===//
 
   bool duplicateElimination() {
-    std::vector<FlatOp> &Ops = flatIndex();
-    for (size_t I = 0; I < Ops.size(); ++I) {
-      Operation &First = *Ops[I].Op;
-      if (First.Kind != OpKind::Copy)
+    SlotWorklist &WL = Work[PatDup];
+    while (!WL.empty()) {
+      uint32_t Slot = wlPop(WL);
+      bumpPop();
+      if (!alive(Slot))
         continue;
-      for (size_t J = I + 1; J < Ops.size(); ++J) {
-        Operation &Second = *Ops[J].Op;
-        if (opWritesTensor(Second, First.CopySrc.Tensor) ||
-            opWritesTensor(Second, First.CopyDst.Tensor))
-          break;
-        if (Second.Kind != OpKind::Copy)
-          continue;
-        if (!sliceEquivalent(Module, First.CopySrc, Second.CopySrc) ||
-            !sliceEquivalent(Module, First.CopyDst, Second.CopyDst))
-          continue;
-        if (Ops[J].Depth != Ops[I].Depth)
-          continue;
-        // Identical copy with unchanged operands: the second is redundant;
-        // its event forwards to the first copy's event.
-        if (Second.Result != InvalidEventId)
-          renameEvent(Second.Result, First.Result);
-        Ops[J].Block->Ops.erase(Ops[J].Block->Ops.begin() +
-                                static_cast<long>(Ops[J].Index));
+      if (tryDuplicateAt(Slot)) {
+        bumpRewrite();
         return true;
       }
+    }
+    return false;
+  }
+
+  bool tryDuplicateAt(uint32_t Slot) {
+    Operation &First = op(Slot);
+    if (First.Kind != OpKind::Copy)
+      return false;
+    // Only ops touching the copy's source or destination root can either
+    // match or block the match; merge-iterate the two sorted toucher lists
+    // in program order without materializing the union.
+    const std::vector<uint32_t> &SrcUsers =
+        S.TensorUsers[First.CopySrc.Tensor];
+    const std::vector<uint32_t> &DstUsers =
+        S.TensorUsers[First.CopyDst.Tensor];
+    auto SrcIt = firstAfter(SrcUsers, Slot);
+    auto DstIt = firstAfter(DstUsers, Slot);
+    while (SrcIt != SrcUsers.end() || DstIt != DstUsers.end()) {
+      uint32_t USlot;
+      if (DstIt == DstUsers.end() ||
+          (SrcIt != SrcUsers.end() && keyOf(*SrcIt) <= keyOf(*DstIt))) {
+        USlot = *SrcIt++;
+        if (DstIt != DstUsers.end() && *DstIt == USlot)
+          ++DstIt;
+      } else {
+        USlot = *DstIt++;
+      }
+      if (!alive(USlot))
+        continue;
+      Operation &Second = op(USlot);
+      if (opWritesTensor(Second, First.CopySrc.Tensor) ||
+          opWritesTensor(Second, First.CopyDst.Tensor))
+        break;
+      if (Second.Kind != OpKind::Copy)
+        continue;
+      if (!sliceEquivalent(Module, First.CopySrc, Second.CopySrc) ||
+          !sliceEquivalent(Module, First.CopyDst, Second.CopyDst))
+        continue;
+      if (S.Nodes[USlot].Depth != S.Nodes[Slot].Depth)
+        continue;
+      // Identical copy with unchanged operands: the second is redundant;
+      // its event forwards to the first copy's event.
+      if (Second.Result != InvalidEventId)
+        renameEvent(Second.Result, First.Result);
+      markDead(USlot);
+      return true;
     }
     return false;
   }
@@ -521,32 +1096,47 @@ private:
   /// launches in one loop iteration both copy their accumulator fragment
   /// back to the same unmaterialized parent piece.
   bool redundantStoreElimination() {
-    std::vector<FlatOp> &Ops = flatIndex();
-    for (size_t I = 0; I < Ops.size(); ++I) {
-      Operation &First = *Ops[I].Op;
-      if (First.Kind != OpKind::Copy)
+    SlotWorklist &WL = Work[PatRedStore];
+    while (!WL.empty()) {
+      uint32_t Slot = wlPop(WL);
+      bumpPop();
+      if (!alive(Slot))
         continue;
-      TensorId Root = First.CopyDst.Tensor;
-      if (Module.tensor(Root).IsEntryArg)
-        continue;
-      for (size_t J = I + 1; J < Ops.size(); ++J) {
-        Operation &Second = *Ops[J].Op;
-        if (opReadsTensor(Second, Root))
-          break;
-        // Same-block requirement: across loop boundaries the next iteration
-        // of the first copy's loop may read the piece before this position,
-        // which the forward scan cannot see. Within one body the second
-        // store re-executes every iteration, so erasure stays correct.
-        if (Second.Kind == OpKind::Copy &&
-            sliceEquivalent(Module, Second.CopyDst, First.CopyDst) &&
-            Ops[J].Block == Ops[I].Block) {
-          if (eraseOp(Ops[I]))
-            return true;
-          break;
-        }
-        if (opWritesTensor(Second, Root))
-          break; // A different-slice write: stop the scan conservatively.
+      if (tryRedundantStoreAt(Slot)) {
+        bumpRewrite();
+        return true;
       }
+    }
+    return false;
+  }
+
+  bool tryRedundantStoreAt(uint32_t Slot) {
+    Operation &First = op(Slot);
+    if (First.Kind != OpKind::Copy)
+      return false;
+    TensorId Root = First.CopyDst.Tensor;
+    if (Module.tensor(Root).IsEntryArg)
+      return false;
+    const std::vector<uint32_t> &Users = S.TensorUsers[Root];
+    for (auto It = firstAfter(Users, Slot); It != Users.end(); ++It) {
+      if (!alive(*It))
+        continue;
+      Operation &Second = op(*It);
+      if (opReadsTensor(Second, Root))
+        break;
+      // Same-block requirement: across loop boundaries the next iteration
+      // of the first copy's loop may read the piece before this position,
+      // which the forward scan cannot see. Within one body the second
+      // store re-executes every iteration, so erasure stays correct.
+      if (Second.Kind == OpKind::Copy &&
+          sliceEquivalent(Module, Second.CopyDst, First.CopyDst) &&
+          S.Nodes[*It].Block == S.Nodes[Slot].Block) {
+        if (eraseOp(Slot))
+          return true;
+        break;
+      }
+      if (opWritesTensor(Second, Root))
+        break; // A different-slice write: stop the scan conservatively.
     }
     return false;
   }
@@ -557,25 +1147,42 @@ private:
   ///   alloc t; copy(P[j] -> t); ...body...; copy(t -> P[j])
   /// with loop-invariant j and no other reference to P's root inside the
   /// body hoist the allocation and both copies out of the loop, keeping the
-  /// accumulator resident across iterations.
+  /// accumulator resident across iterations. Global pattern: loops are few
+  /// and a hoist restructures blocks, so each call scans the loop slots
+  /// directly and a successful hoist rebuilds the graph.
   bool spillHoisting() {
-    std::vector<FlatOp> &Ops = flatIndex();
-    for (FlatOp &F : Ops) {
-      Operation &Loop = *F.Op;
-      if (Loop.Kind != OpKind::For)
+    for (uint32_t Slot : S.ForLoopSlots) {
+      if (!alive(Slot) || !S.LoopDirty[Slot])
         continue;
-      if (hoistFromLoop(F, Loop))
+      Operation &Loop = op(Slot);
+      if (hoistFromLoop(Slot, Loop)) {
+        bumpRewrite();
         return true;
+      }
+      // Nothing inside this loop changed since this failed attempt; skip
+      // it until a mutation dirties it again.
+      S.LoopDirty[Slot] = 0;
     }
     return false;
   }
 
-  bool hoistFromLoop(const FlatOp &Where, Operation &Loop) {
+  bool opAlive(const Operation *Op) {
+    uint32_t Slot = slotOf(Op);
+    return Slot != InvalidSlot && alive(Slot);
+  }
+
+  uint32_t slotOf(const Operation *Op) const {
+    return Op->Id < S.SlotById.size() ? S.SlotById[Op->Id] : InvalidSlot;
+  }
+
+  bool hoistFromLoop(uint32_t LoopSlot, Operation &Loop) {
     IRBlock &Body = Loop.Body;
     // Find a copy-in near the top whose source is loop-invariant and whose
     // destination is a whole local tensor.
     for (size_t I = 0; I < Body.Ops.size(); ++I) {
       Operation &In = *Body.Ops[I];
+      if (!opAlive(&In))
+        continue;
       if (In.Kind != OpKind::Copy || !In.CopyDst.isWhole())
         continue;
       TensorId Acc = In.CopyDst.Tensor;
@@ -587,28 +1194,33 @@ private:
       // Find the matching trailing copy-out.
       for (size_t J = Body.Ops.size(); J-- > I + 1;) {
         Operation &Out = *Body.Ops[J];
+        if (!opAlive(&Out))
+          continue;
         if (Out.Kind != OpKind::Copy || !Out.CopySrc.isWhole() ||
             Out.CopySrc.Tensor != Acc)
           continue;
         if (!sliceEquivalent(Module, Out.CopyDst, In.CopySrc))
           continue;
-        // No other reference to the root slice inside the body.
+        // No other reference to the root slice inside the body (nested
+        // loops included): the loop's subtree is a contiguous slot range,
+        // so Root's toucher list answers this with one range scan.
         bool Clean = true;
-        for (size_t K = 0; K < Body.Ops.size() && Clean; ++K) {
-          if (K == I || K == J)
+        const std::vector<uint32_t> &Touchers = S.TensorUsers[Root];
+        for (auto It = firstAfter(Touchers, LoopSlot);
+             It != Touchers.end() &&
+             keyOf(*It) <= S.Nodes[LoopSlot].SubtreeEndKey;
+             ++It) {
+          if (!alive(*It))
             continue;
-          if (opTouchesTensor(*Body.Ops[K], Root))
+          Operation *Toucher = S.Nodes[*It].Op;
+          if (Toucher != &In && Toucher != &Out) {
             Clean = false;
-          if (Body.Ops[K]->Kind == OpKind::For ||
-              Body.Ops[K]->Kind == OpKind::PFor)
-            walkOps(Body.Ops[K]->Body, [&](Operation &Nested) {
-              if (opTouchesTensor(Nested, Root))
-                Clean = false;
-            });
+            break;
+          }
         }
         if (!Clean)
           continue;
-        performHoist(Where, Loop, I, J, Acc);
+        performHoist(LoopSlot, Loop, I, J, Acc);
         return true;
       }
     }
@@ -622,10 +1234,74 @@ private:
     return Slice.BufferIndex.usesLoopVar(Var);
   }
 
-  void performHoist(const FlatOp &Where, Operation &Loop, size_t InIdx,
+  /// The key of the first op following \p LoopSlot's subtree in pre-order,
+  /// or SubtreeEndKey + a full initial gap when the subtree ends the
+  /// program. Walks the physical blocks (small) up the ancestor chain.
+  uint64_t nextPreorderKeyAfter(uint32_t LoopSlot) {
+    uint32_t Cur = LoopSlot;
+    while (Cur != InvalidSlot) {
+      IRBlock &Block = *S.Nodes[Cur].Block;
+      const Operation *CurOp = S.Nodes[Cur].Op;
+      for (size_t K = 0; K < Block.Ops.size(); ++K)
+        if (Block.Ops[K].get() == CurOp) {
+          if (K + 1 < Block.Ops.size())
+            return keyOf(slotOf(Block.Ops[K + 1].get()));
+          break;
+        }
+      Cur = S.Nodes[Cur].Parent;
+    }
+    return S.Nodes[LoopSlot].SubtreeEndKey + (1ull << 20);
+  }
+
+  void performHoist(uint32_t LoopSlot, Operation &Loop, size_t InIdx,
                     size_t OutIdx, TensorId Acc) {
     IRBlock &Body = Loop.Body;
-    IRBlock &Parent = *Where.Block;
+    IRBlock &Parent = *S.Nodes[LoopSlot].Block;
+
+    // The hoist's blast radius: everything whose pattern matches can
+    // change when these ops move and their events rewire.
+    std::vector<TensorId> AffectedTensors;
+    std::vector<EventId> AffectedEvents;
+    auto NoteOp = [&](const Operation &Op) {
+      collectRoots(Op, S.RootsB);
+      for (TensorId T : S.RootsB)
+        AffectedTensors.push_back(T);
+      if (Op.Result != InvalidEventId)
+        AffectedEvents.push_back(Op.Result);
+      for (const EventRef &Ref : Op.Preconds)
+        AffectedEvents.push_back(Ref.Event);
+    };
+    NoteOp(*Body.Ops[InIdx]);
+    NoteOp(*Body.Ops[OutIdx]);
+    NoteOp(Loop);
+    if (Body.Yield)
+      AffectedEvents.push_back(Body.Yield->Event);
+
+    uint32_t InSlot = slotOf(Body.Ops[InIdx].get());
+    uint32_t OutSlot = slotOf(Body.Ops[OutIdx].get());
+
+    // New program positions: In (and the Alloc) land just before the loop,
+    // Out just after its subtree. Midpoint keys keep every other op's
+    // order intact; when a gap has been exhausted (only after pathological
+    // hoist churn), fall back to a full renumbering rebuild below.
+    uint64_t LoopKey = keyOf(LoopSlot);
+    uint64_t LowKey = 0;
+    for (size_t K = 0; K < Parent.Ops.size(); ++K)
+      if (Parent.Ops[K].get() == &Loop) {
+        if (K > 0)
+          LowKey = keyOf(slotOf(Parent.Ops[K - 1].get()));
+        else if (S.Nodes[LoopSlot].Parent != InvalidSlot)
+          LowKey = keyOf(S.Nodes[LoopSlot].Parent);
+        break;
+      }
+    uint64_t OutLow = S.Nodes[LoopSlot].SubtreeEndKey;
+    uint64_t OutHigh = nextPreorderKeyAfter(LoopSlot);
+    bool KeysFit = LoopKey - LowKey >= 8 && OutHigh - OutLow >= 8;
+
+    // Moved copies leave their toucher lists while their old keys are
+    // still in place; they re-enter under the new keys.
+    removeTouches(InSlot);
+    removeTouches(OutSlot);
 
     std::unique_ptr<Operation> Out = std::move(Body.Ops[OutIdx]);
     Body.Ops.erase(Body.Ops.begin() + static_cast<long>(OutIdx));
@@ -642,21 +1318,27 @@ private:
         break;
       }
     }
+    uint32_t AllocSlot = Alloc ? slotOf(Alloc.get()) : InvalidSlot;
 
     // Intra-body users of the copy-in's event now reference an event
     // defined before the loop; SSA ordering still holds. The copy-out's
     // preconditions referenced in-body events, which would escape their
     // scope: rebase it onto the loop's completion event.
     Out->Preconds.clear();
-    if (Loop.Result != InvalidEventId)
+    if (Loop.Result != InvalidEventId) {
       Out->Preconds.push_back(EventRef::unit(Loop.Result));
+      addEventUser(Loop.Result, OutSlot);
+    }
 
     // The loop must wait for the hoisted copy-in; the copy-in adopts the
     // loop's entry dependencies (conservative but sound).
     if (In->Result != InvalidEventId) {
-      for (const EventRef &Pre : Loop.Preconds)
+      for (const EventRef &Pre : Loop.Preconds) {
         In->Preconds.push_back(Pre);
+        addEventUser(Pre.Event, InSlot);
+      }
       Loop.Preconds.push_back(EventRef::unit(In->Result));
+      addEventUser(In->Result, LoopSlot);
     }
 
     // If the body yielded the copy-out's event, retarget.
@@ -664,19 +1346,25 @@ private:
         Body.Yield->Event == Out->Result) {
       Body.Yield.reset();
       for (auto It = Body.Ops.rbegin(); It != Body.Ops.rend(); ++It)
-        if ((*It)->Result != InvalidEventId) {
+        if (opAlive(It->get()) && (*It)->Result != InvalidEventId) {
           Body.Yield = EventRef::unit((*It)->Result);
+          addEventUser((*It)->Result, LoopSlot);
           break;
         }
     }
 
-    size_t At = Where.Index;
+    // Alloc and copy-in go right before the loop, copy-out right after.
+    size_t At = 0;
+    for (size_t K = 0; K < Parent.Ops.size(); ++K)
+      if (Parent.Ops[K].get() == &Loop) {
+        At = K;
+        break;
+      }
     if (Alloc)
       Parent.Ops.insert(Parent.Ops.begin() + static_cast<long>(At++),
                         std::move(Alloc));
     Parent.Ops.insert(Parent.Ops.begin() + static_cast<long>(At++),
                       std::move(In));
-    // Copy-out goes right after the loop.
     for (size_t K = 0; K < Parent.Ops.size(); ++K) {
       if (Parent.Ops[K].get() == &Loop) {
         Parent.Ops.insert(Parent.Ops.begin() + static_cast<long>(K + 1),
@@ -684,67 +1372,138 @@ private:
         break;
       }
     }
+
+    if (!KeysFit) {
+      // Exhausted key gaps: renumber everything and conservatively re-seed
+      // every anchor (rare).
+      rebuildAfterStructuralChange();
+      for (uint32_t Slot = 0, E = S.Nodes.size(); Slot != E; ++Slot)
+        seedSlot(Slot);
+      return;
+    }
+
+    // Rekey and relocate the moved ops in the graph.
+    auto Relocate = [&](uint32_t Slot, uint64_t Key) {
+      OpNode &Node = S.Nodes[Slot];
+      Node.Key = Key;
+      Node.Block = &Parent;
+      Node.Parent = S.Nodes[LoopSlot].Parent;
+      Node.Depth = S.Nodes[LoopSlot].Depth;
+    };
+    uint64_t InKey = LowKey + (LoopKey - LowKey) / 2;
+    if (AllocSlot != InvalidSlot)
+      Relocate(AllocSlot, LowKey + (LoopKey - LowKey) / 4);
+    Relocate(InSlot, InKey);
+    uint64_t OutKey = OutLow + (OutHigh - OutLow) / 2;
+    Relocate(OutSlot, OutKey);
+    // The copy-out now extends every enclosing subtree that used to end at
+    // this loop.
+    for (uint32_t A = S.Nodes[LoopSlot].Parent; A != InvalidSlot;
+         A = S.Nodes[A].Parent)
+      if (S.Nodes[A].SubtreeEndKey < OutKey)
+        S.Nodes[A].SubtreeEndKey = OutKey;
+
+    addTouches(InSlot);
+    addTouches(OutSlot);
+    reheapWorklists();
+
+    // Invalidation: the moved ops, everything sharing their tensors, the
+    // events they rewired, and the loop's spill-hoist dirtiness.
+    for (TensorId T : AffectedTensors)
+      seedTensor(T);
+    for (EventId E : AffectedEvents) {
+      seedProducer(E);
+      for (uint32_t Slot : S.EventUsers[E])
+        seedSlot(Slot);
+    }
+    dirtyBoundaryGroup(op(InSlot));
+    dirtyBoundaryGroup(op(OutSlot));
+    markDirtyLoops(InSlot);
+    S.LoopDirty[LoopSlot] = 1;
+    markDirtyLoops(LoopSlot);
   }
 
   //===--- Pattern: dead copies -------------------------------------------===//
 
   /// Copies into tensors that are never read (and are not kernel outputs).
   bool deadCopyElimination() {
-    std::set<TensorId> ReadRoots;
-    walkOps(Module.root(), [&](Operation &Op) {
-      if (Op.Kind == OpKind::Copy)
-        ReadRoots.insert(Op.CopySrc.Tensor);
-      if (Op.Kind == OpKind::Call)
-        for (const TensorSlice &Slice : Op.Args)
-          ReadRoots.insert(Slice.Tensor);
-    });
-    std::vector<FlatOp> &Ops = flatIndex();
-    for (FlatOp &F : Ops) {
-      Operation &Op = *F.Op;
+    SlotWorklist &WL = Work[PatDeadCopy];
+    while (!WL.empty()) {
+      uint32_t Slot = wlPop(WL);
+      bumpPop();
+      if (!alive(Slot))
+        continue;
+      Operation &Op = op(Slot);
       if (Op.Kind != OpKind::Copy)
         continue;
       TensorId Dst = Op.CopyDst.Tensor;
       if (Module.tensor(Dst).IsEntryArg)
         continue;
-      if (ReadRoots.count(Dst))
+      if (S.ReadCount[Dst] != 0)
         continue;
-      if (eraseOp(F))
+      if (eraseOp(Slot)) {
+        bumpRewrite();
         return true;
+      }
     }
     return false;
   }
 
   //===--- Cleanup ----------------------------------------------------------===//
 
+  /// Physically removes ops marked dead during the fixpoint (erasure is
+  /// lazy so slot order stays stable), preserving the survivors' order.
+  void sweepDead(IRBlock &Block) {
+    auto NewEnd = std::remove_if(
+        Block.Ops.begin(), Block.Ops.end(),
+        [&](const std::unique_ptr<Operation> &Op) {
+          uint32_t Slot = slotOf(Op.get());
+          return Slot != InvalidSlot && !alive(Slot);
+        });
+    Block.Ops.erase(NewEnd, Block.Ops.end());
+    for (std::unique_ptr<Operation> &Op : Block.Ops)
+      if (Op->Kind == OpKind::For || Op->Kind == OpKind::PFor)
+        sweepDead(Op->Body);
+  }
+
   void removeDeadDecls() {
-    std::set<TensorId> Live;
-    std::set<PartitionId> LiveParts;
-    walkOps(Module.root(), [&](Operation &Op) {
-      forEachSlice(Op, [&](TensorSlice &Slice) {
-        Live.insert(Slice.Tensor);
-        std::optional<PartitionId> Part = Slice.Part;
-        while (Part) {
-          LiveParts.insert(*Part);
-          const IRPartition &P = Module.partition(*Part);
-          Live.insert(P.Base.Tensor);
-          Part = P.Base.Part;
-        }
-      });
-    });
+    std::vector<uint8_t> Live(Module.tensors().size(), 0);
+    std::vector<uint8_t> LiveParts(Module.partitionsConst().size(), 0);
+    markLiveDecls(Module.root(), Live, LiveParts);
     for (TensorId T : Module.entryArgs())
-      Live.insert(T);
+      Live[T] = 1;
 
     erasePass(Module.root(), Live, LiveParts);
   }
 
-  void erasePass(IRBlock &Block, const std::set<TensorId> &Live,
-                 const std::set<PartitionId> &LiveParts) {
+  void markLiveDecls(IRBlock &Block, std::vector<uint8_t> &Live,
+                     std::vector<uint8_t> &LiveParts) {
+    for (std::unique_ptr<Operation> &Op : Block.Ops) {
+      forEachSlice(*Op, [&](TensorSlice &Slice) {
+        Live[Slice.Tensor] = 1;
+        std::optional<PartitionId> Part = Slice.Part;
+        while (Part) {
+          if (LiveParts[*Part])
+            break;
+          LiveParts[*Part] = 1;
+          const IRPartition &P = Module.partition(*Part);
+          Live[P.Base.Tensor] = 1;
+          Part = P.Base.Part;
+        }
+      });
+      if (Op->Kind == OpKind::For || Op->Kind == OpKind::PFor)
+        markLiveDecls(Op->Body, Live, LiveParts);
+    }
+  }
+
+  void erasePass(IRBlock &Block, const std::vector<uint8_t> &Live,
+                 const std::vector<uint8_t> &LiveParts) {
     for (size_t I = 0; I < Block.Ops.size();) {
       Operation &Op = *Block.Ops[I];
       bool Erase = false;
-      if (Op.Kind == OpKind::Alloc && !Live.count(Op.AllocTensor))
+      if (Op.Kind == OpKind::Alloc && !Live[Op.AllocTensor])
         Erase = true;
-      if (Op.Kind == OpKind::MakePart && !LiveParts.count(Op.Part))
+      if (Op.Kind == OpKind::MakePart && !LiveParts[Op.Part])
         Erase = true;
       if (Erase) {
         Block.Ops.erase(Block.Ops.begin() + static_cast<long>(I));
@@ -760,10 +1519,17 @@ private:
   /// in a copy or call (it would have to be materialized).
   ErrorOrVoid checkNoneConstraint() {
     std::optional<Diagnostic> Err;
-    walkOps(Module.root(), [&](Operation &Op) {
+    checkNoneIn(Module.root(), Err);
+    if (Err)
+      return *Err;
+    return ErrorOrVoid::success();
+  }
+
+  void checkNoneIn(IRBlock &Block, std::optional<Diagnostic> &Err) {
+    for (std::unique_ptr<Operation> &Op : Block.Ops) {
       if (Err)
         return;
-      auto Check = [&](const TensorSlice &Slice) {
+      forEachSlice(*Op, [&](const TensorSlice &Slice) {
         if (Err)
           return;
         const IRTensor &T = Module.tensor(Slice.Tensor);
@@ -772,47 +1538,51 @@ private:
               "tensor %s mapped to the none memory cannot be eliminated; "
               "change the partitioning or mapping strategy",
               T.Name.c_str()));
-      };
-      if (Op.Kind == OpKind::Copy) {
-        Check(Op.CopySrc);
-        Check(Op.CopyDst);
-      } else if (Op.Kind == OpKind::Call) {
-        for (const TensorSlice &Slice : Op.Args)
-          Check(Slice);
-      }
-    });
-    if (Err)
-      return *Err;
-    return ErrorOrVoid::success();
+      });
+      if (Op->Kind == OpKind::For || Op->Kind == OpKind::PFor)
+        checkNoneIn(Op->Body, Err);
+    }
   }
 
   IRModule &Module;
-  std::vector<FlatOp> FlatScratch;
-  std::optional<Diagnostic> Failure;
+  PassCounters *Counters;
+  GraphScratch &S;
+  SlotWorklist (&Work)[NumPatterns] = S.Work; ///< Alias into S.
 };
 
 } // namespace
 
-ErrorOrVoid cypress::runCopyElimination(IRModule &Module) {
-  return CopyEliminator(Module).run();
+ErrorOrVoid cypress::runCopyElimination(IRModule &Module,
+                                        PassCounters *Counters) {
+  return CopyEliminator(Module, Counters).run();
 }
 
 //===----------------------------------------------------------------------===//
 // Execution-unit assignment
 //===----------------------------------------------------------------------===//
 
-void cypress::assignExecUnits(IRModule &Module) {
-  walkOps(Module.root(), [&](Operation &Op) {
-    if (Op.Kind != OpKind::Copy)
-      return;
-    Memory Src = Module.tensor(Op.CopySrc.Tensor).Mem;
-    Memory Dst = Module.tensor(Op.CopyDst.Tensor).Mem;
+namespace {
+void assignExecUnitsIn(IRModule &Module, IRBlock &Block) {
+  for (std::unique_ptr<Operation> &Op : Block.Ops) {
+    if (Op->Kind == OpKind::For || Op->Kind == OpKind::PFor) {
+      assignExecUnitsIn(Module, Op->Body);
+      continue;
+    }
+    if (Op->Kind != OpKind::Copy)
+      continue;
+    Memory Src = Module.tensor(Op->CopySrc.Tensor).Mem;
+    Memory Dst = Module.tensor(Op->CopyDst.Tensor).Mem;
     // Bulk global<->shared transfers ride the TMA on Hopper (Section 2.2);
     // everything else (register traffic, shared<->shared staging) is SIMT.
     bool Tma = (Src == Memory::Global && Dst == Memory::Shared) ||
                (Src == Memory::Shared && Dst == Memory::Global);
-    Op.Unit = Tma ? ExecUnit::TMA : ExecUnit::SIMT;
-  });
+    Op->Unit = Tma ? ExecUnit::TMA : ExecUnit::SIMT;
+  }
+}
+} // namespace
+
+void cypress::assignExecUnits(IRModule &Module) {
+  assignExecUnitsIn(Module, Module.root());
 }
 
 //===----------------------------------------------------------------------===//
@@ -821,30 +1591,39 @@ void cypress::assignExecUnits(IRModule &Module) {
 
 void cypress::repairEventScopes(IRModule &Module) {
   // Definition environment per event: the chain of loop ops entered to
-  // reach the defining block (empty = root block).
-  std::map<EventId, std::vector<const Operation *>> DefChain;
+  // reach the defining block (empty = root block). Every event defined in
+  // one loop nest shares a chain, so chains are stored once per nest and
+  // events map to a chain index — no per-event vector copies.
+  std::vector<std::vector<const Operation *>> Chains;
+  Chains.emplace_back(); // Chain 0: the root block.
+  constexpr uint32_t NoChain = ~0u;
+  std::vector<uint32_t> ChainOf(Module.numEvents(), NoChain);
   std::vector<const Operation *> Chain;
-  std::function<void(const IRBlock &)> Collect = [&](const IRBlock &Block) {
-    for (const std::unique_ptr<Operation> &Op : Block.Ops) {
-      if (Op->Result != InvalidEventId)
-        DefChain[Op->Result] = Chain;
-      if (Op->Kind == OpKind::For || Op->Kind == OpKind::PFor) {
-        Chain.push_back(Op.get());
-        Collect(Op->Body);
-        Chain.pop_back();
-      }
-    }
-  };
-  Collect(Module.root());
+  std::function<void(const IRBlock &, uint32_t)> Collect =
+      [&](const IRBlock &Block, uint32_t ChainId) {
+        for (const std::unique_ptr<Operation> &Op : Block.Ops) {
+          if (Op->Result != InvalidEventId &&
+              Op->Result < Module.numEvents())
+            ChainOf[Op->Result] = ChainId;
+          if (Op->Kind == OpKind::For || Op->Kind == OpKind::PFor) {
+            Chain.push_back(Op.get());
+            Chains.push_back(Chain);
+            Collect(Op->Body, static_cast<uint32_t>(Chains.size()) - 1);
+            Chain.pop_back();
+          }
+        }
+      };
+  Collect(Module.root(), 0);
 
+  std::vector<EventRef> Kept, Unique; // Pooled across ops (swap below).
   std::function<void(IRBlock &)> Fix = [&](IRBlock &Block) {
     for (std::unique_ptr<Operation> &Op : Block.Ops) {
-      std::vector<EventRef> Kept;
+      Kept.clear();
       for (EventRef &Ref : Op->Preconds) {
-        auto It = DefChain.find(Ref.Event);
-        if (It == DefChain.end())
+        if (Ref.Event >= Module.numEvents() ||
+            ChainOf[Ref.Event] == NoChain)
           continue; // Producer erased without rewiring: drop.
-        const std::vector<const Operation *> &Def = It->second;
+        const std::vector<const Operation *> &Def = Chains[ChainOf[Ref.Event]];
         size_t Common = 0;
         while (Common < Def.size() && Common < Chain.size() &&
                Def[Common] == Chain[Common])
@@ -868,7 +1647,7 @@ void cypress::repairEventScopes(IRModule &Module) {
         Kept.push_back(std::move(Repl));
       }
       // Deduplicate structurally identical references.
-      std::vector<EventRef> Unique;
+      Unique.clear();
       for (EventRef &Ref : Kept) {
         bool Seen = false;
         for (const EventRef &Have : Unique) {
@@ -893,7 +1672,7 @@ void cypress::repairEventScopes(IRModule &Module) {
         if (!Seen)
           Unique.push_back(std::move(Ref));
       }
-      Op->Preconds = std::move(Unique);
+      Op->Preconds.swap(Unique);
       if (Op->Kind == OpKind::For || Op->Kind == OpKind::PFor) {
         Chain.push_back(Op.get());
         Fix(Op->Body);
@@ -907,8 +1686,9 @@ void cypress::repairEventScopes(IRModule &Module) {
 
 std::unique_ptr<Pass> cypress::createCopyEliminationPass() {
   return std::make_unique<FunctionPass>(
-      "copy-elimination",
-      [](PipelineState &State) { return runCopyElimination(State.Module); });
+      "copy-elimination", [](PipelineState &State) {
+        return runCopyElimination(State.Module, &State.Counters);
+      });
 }
 
 std::unique_ptr<Pass> cypress::createAssignExecUnitsPass() {

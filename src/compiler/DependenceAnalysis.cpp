@@ -27,6 +27,7 @@
 #include "support/Format.h"
 
 #include <algorithm>
+#include <deque>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -37,13 +38,6 @@ using namespace cypress;
 
 namespace {
 
-/// Event version of one tensor within a scope: the last writer plus all
-/// readers since (for write-after-read anti-dependencies).
-struct Version {
-  std::optional<EventRef> LastWrite;
-  std::vector<EventRef> Reads;
-};
-
 /// How a loop body used an external tensor (drives the loop op's preconds
 /// and the outer version update at loop exit).
 struct ExternalUse {
@@ -51,16 +45,92 @@ struct ExternalUse {
   bool Written = false;
 };
 
-/// One dependence-tracking scope. The root scope covers the entrypoint
-/// body; every for/pfor body pushes a child scope. The tables are hashed —
-/// version lookups are the traversal's innermost operation — and every
-/// place whose output depends on iteration order (finishLoop's dependence
-/// wiring) re-sorts by tensor id first.
-struct Scope {
-  std::unordered_map<TensorId, Version> Versions;
-  std::unordered_map<TensorId, ExternalUse> External;
-  std::unordered_set<TensorId> Local; ///< Tensors allocated in this scope.
+/// Per-tensor dependence state within one scope: the last writer plus all
+/// readers since (for write-after-read anti-dependencies), scope-locality,
+/// and the external-use summary for loop wiring — one flat record instead
+/// of three hashed tables.
+struct TensorState {
+  TensorId Tensor = InvalidTensorId;
+  bool HasWrite = false;
+  EventRef LastWrite;
+  std::vector<EventRef> Reads;
+  bool Local = false;   ///< Allocated in this scope.
+  bool ExtRead = false; ///< Read of a tensor from an enclosing scope.
+  bool ExtWritten = false;
+  bool Active = false;  ///< Slot in use (slots pool across scopes).
 };
+
+/// One dependence-tracking scope. The root scope covers the entrypoint
+/// body; every for/pfor body pushes a child scope. A scope touches a
+/// handful of tensors, so the table is a flat slot vector with linear
+/// lookup — no hashing, and slot capacity (including each slot's Reads
+/// buffer) pools across scopes and compiles via the thread-local scope
+/// stack. Every place whose output depends on slot order (finishLoop's
+/// dependence wiring) re-sorts by tensor id first.
+struct Scope {
+  std::vector<TensorState> Slots;
+  size_t Size = 0; ///< Active prefix of Slots.
+
+  void reset() {
+    for (size_t I = 0; I < Size; ++I)
+      Slots[I].Active = false;
+    Size = 0;
+  }
+
+  TensorState *find(TensorId Tensor) {
+    for (size_t I = 0; I < Size; ++I)
+      if (Slots[I].Tensor == Tensor)
+        return &Slots[I];
+    return nullptr;
+  }
+
+  TensorState &get(TensorId Tensor) {
+    if (TensorState *Have = find(Tensor))
+      return *Have;
+    if (Size == Slots.size())
+      Slots.emplace_back();
+    TensorState &Slot = Slots[Size++];
+    // Reuse the pooled slot in place: reset fields, keep Reads capacity.
+    Slot.Tensor = Tensor;
+    Slot.HasWrite = false;
+    Slot.LastWrite = EventRef();
+    Slot.Reads.clear();
+    Slot.Local = false;
+    Slot.ExtRead = false;
+    Slot.ExtWritten = false;
+    Slot.Active = true;
+    return Slot;
+  }
+};
+
+/// The pooled scope stack: scopes (and their slots' buffers) persist
+/// across compiles on one thread, so steady-state traversal allocates
+/// nothing for dependence tracking.
+struct ScopeStack {
+  std::deque<Scope> Scopes; ///< Deque: references survive deeper pushes.
+  size_t Depth = 0;
+
+  Scope &push() {
+    if (Depth == Scopes.size())
+      Scopes.emplace_back();
+    Scope &S = Scopes[Depth++];
+    S.reset();
+    return S;
+  }
+  void pop() {
+    assert(Depth > 0 && "scope stack underflow");
+    Scopes[--Depth].reset();
+  }
+  Scope &top() {
+    assert(Depth > 0 && "no active scope");
+    return Scopes[Depth - 1];
+  }
+};
+
+ScopeStack &scopeStack() {
+  thread_local ScopeStack Stack;
+  return Stack;
+}
 
 class Analysis;
 
@@ -145,7 +215,9 @@ public:
   IRBlock &block() { return *Blocks.back(); }
 
   EventId freshEvent(EventType Type = {}) {
-    return Module.addEvent(formatString("e%u", ++EventCounter),
+    // "e%u" built by concatenation: formatString's vsnprintf shows up in
+    // traversal profiles at this call rate.
+    return Module.addEvent("e" + std::to_string(++EventCounter),
                            std::move(Type));
   }
 
@@ -160,20 +232,22 @@ public:
 
   //===--- Scope / version machinery -------------------------------------===//
 
-  Scope &scope() { return Scopes.back(); }
+  Scope &scope() { return Stack.top(); }
 
-  void noteLocal(TensorId Tensor) { scope().Local.insert(Tensor); }
+  void noteLocal(TensorId Tensor) { scope().get(Tensor).Local = true; }
 
   /// Dependencies for reading \p Tensor in the current scope; records the
   /// external use when the tensor lives further out (the enclosing loop op
   /// then carries the dependence, per Figure 8's for-loop wiring).
   std::vector<EventRef> readDeps(TensorId Tensor) {
     Scope &S = scope();
-    if (!S.Local.count(Tensor))
-      S.External[Tensor].Read = true;
-    auto It = S.Versions.find(Tensor);
-    if (It != S.Versions.end() && It->second.LastWrite)
-      return {*It->second.LastWrite};
+    TensorState *State = S.find(Tensor);
+    if (!State || !State->Local)
+      S.get(Tensor).ExtRead = true;
+    // get() may have created the slot; re-find for the dependence check.
+    State = S.find(Tensor);
+    if (State && State->HasWrite)
+      return {State->LastWrite};
     return {};
   }
 
@@ -181,48 +255,48 @@ public:
   /// all readers since).
   std::vector<EventRef> writeDeps(TensorId Tensor) {
     Scope &S = scope();
-    if (!S.Local.count(Tensor))
-      S.External[Tensor].Written = true;
+    TensorState *State = S.find(Tensor);
+    if (!State || !State->Local)
+      S.get(Tensor).ExtWritten = true;
+    State = S.find(Tensor);
     std::vector<EventRef> Deps;
-    auto It = S.Versions.find(Tensor);
-    if (It == S.Versions.end())
+    if (!State)
       return Deps;
-    if (It->second.LastWrite)
-      Deps.push_back(*It->second.LastWrite);
-    for (const EventRef &R : It->second.Reads)
+    if (State->HasWrite)
+      Deps.push_back(State->LastWrite);
+    for (const EventRef &R : State->Reads)
       Deps.push_back(R);
     return Deps;
   }
 
   void recordRead(TensorId Tensor, EventRef Event) {
-    scope().Versions[Tensor].Reads.push_back(std::move(Event));
+    scope().get(Tensor).Reads.push_back(std::move(Event));
   }
 
   void recordWrite(TensorId Tensor, EventRef Event) {
-    Version &V = scope().Versions[Tensor];
-    V.LastWrite = std::move(Event);
-    V.Reads.clear();
+    TensorState &State = scope().get(Tensor);
+    State.HasWrite = true;
+    State.LastWrite = std::move(Event);
+    State.Reads.clear();
   }
 
   /// Runs \p Body inside a fresh scope whose ops are emitted into \p Into;
-  /// returns the external-use summary for the loop op's dependence wiring.
-  std::unordered_map<TensorId, ExternalUse>
+  /// returns the external-use summary for the loop op's dependence wiring,
+  /// in first-use order (finishLoop re-sorts by tensor id).
+  std::vector<std::pair<TensorId, ExternalUse>>
   withLoopScope(IRBlock &Into, const std::function<void()> &Body) {
-    Scopes.emplace_back();
-    // Seed the version tables from the emission point's op count: tensors
-    // versioned in a scope come from the ops emitted around it, so this
-    // keeps the tables from rehashing mid-traversal.
-    size_t Hint = block().Ops.size() + 8;
-    Scope &Inner = Scopes.back();
-    Inner.Versions.reserve(Hint);
-    Inner.External.reserve(Hint);
-    Inner.Local.reserve(Hint);
+    Scope &Inner = Stack.push();
     Blocks.push_back(&Into);
     Body();
     Blocks.pop_back();
-    std::unordered_map<TensorId, ExternalUse> External =
-        std::move(Scopes.back().External);
-    Scopes.pop_back();
+    std::vector<std::pair<TensorId, ExternalUse>> External;
+    for (size_t I = 0; I < Inner.Size; ++I) {
+      const TensorState &State = Inner.Slots[I];
+      if (State.ExtRead || State.ExtWritten)
+        External.emplace_back(State.Tensor,
+                              ExternalUse{State.ExtRead, State.ExtWritten});
+    }
+    Stack.pop();
     return External;
   }
 
@@ -233,10 +307,10 @@ public:
   /// which prints in the IR and feeds the verifier's diagnostics — stays
   /// deterministic.
   void finishLoop(Operation &Loop,
-                  const std::unordered_map<TensorId, ExternalUse> &External,
+                  std::vector<std::pair<TensorId, ExternalUse>> External,
                   EventRef LoopDone) {
-    std::vector<std::pair<TensorId, ExternalUse>> Ordered(External.begin(),
-                                                          External.end());
+    std::vector<std::pair<TensorId, ExternalUse>> Ordered =
+        std::move(External);
     std::sort(Ordered.begin(), Ordered.end(),
               [](const std::pair<TensorId, ExternalUse> &A,
                  const std::pair<TensorId, ExternalUse> &B) {
@@ -257,6 +331,8 @@ public:
   }
 
   static void addPrecond(Operation &Op, EventRef Ref) {
+    if (Op.Preconds.empty())
+      Op.Preconds.reserve(4); // Typical fan-in; avoids doubling churn.
     for (const EventRef &Existing : Op.Preconds)
       if (Existing.Event == Ref.Event && Existing.IterLag == Ref.IterLag &&
           Existing.Indices.size() == Ref.Indices.size()) {
@@ -298,7 +374,7 @@ public:
 private:
   const CompileInput &Input;
   IRModule Module;
-  std::vector<Scope> Scopes;
+  ScopeStack &Stack = scopeStack();
   std::vector<IRBlock *> Blocks;
   std::vector<int64_t> PipelineStack{1};
   unsigned EventCounter = 0;
@@ -350,8 +426,8 @@ TensorHandle AnalysisContext::makeTensor(const std::string &Name, Shape Dims,
   if (auto It = Instance.TempMems.find(Name); It != Instance.TempMems.end())
     Mem = It->second;
   TensorId Id = A.module().addTensor(
-      formatString("%s.%s", Instance.Instance.c_str(), Name.c_str()),
-      TensorType{std::move(Dims), Element}, Mem);
+      Instance.Instance + "." + Name, TensorType{std::move(Dims), Element},
+      Mem);
   IRTensor &T = A.module().tensor(Id);
   T.HomeProc = Instance.Proc;
   T.PipelineDepth =
@@ -433,7 +509,7 @@ void AnalysisContext::srange(ScalarExpr Extent,
   Operation &Loop = A.emit(OpKind::For);
   LoopVarId Var = A.module().freshLoopVar();
   Loop.LoopVar = Var;
-  Loop.LoopVarName = formatString("k%u", Var);
+  Loop.LoopVarName = "k" + std::to_string(Var);
   Loop.LoopLo = ScalarExpr(0);
   Loop.LoopHi = Extent;
   Loop.ExecProc = Instance.Proc;
@@ -442,7 +518,7 @@ void AnalysisContext::srange(ScalarExpr Extent,
   A.module().event(Loop.Result).Producer = Loop.Id;
 
   A.pushPipeline(Instance.PipelineDepth);
-  std::unordered_map<TensorId, ExternalUse> External = A.withLoopScope(
+  std::vector<std::pair<TensorId, ExternalUse>> External = A.withLoopScope(
       Loop.Body,
       [&] { Body(ScalarExpr::loopVar(Var, Loop.LoopVarName)); });
   A.popPipeline();
@@ -456,7 +532,7 @@ void AnalysisContext::srange(ScalarExpr Extent,
       }
     }
   }
-  A.finishLoop(Loop, External, EventRef::unit(Loop.Result));
+  A.finishLoop(Loop, std::move(External), EventRef::unit(Loop.Result));
 }
 
 void AnalysisContext::prange(
@@ -480,7 +556,7 @@ void AnalysisContext::prange(
   Operation &Loop = A.emit(OpKind::PFor);
   LoopVarId Var = A.module().freshLoopVar();
   Loop.LoopVar = Var;
-  Loop.LoopVarName = formatString("i%u", Var);
+  Loop.LoopVarName = "i" + std::to_string(Var);
   Loop.LoopLo = ScalarExpr(0);
   Loop.LoopHi = ScalarExpr(Total);
   Loop.ExecProc = Instance.Proc;
@@ -506,7 +582,7 @@ void AnalysisContext::prange(
   bool SavedWarpSpec = A.PrangeChildWarpSpec;
   A.PrangeChildProc.reset();
   A.PrangeChildWarpSpec = false;
-  std::unordered_map<TensorId, ExternalUse> External =
+  std::vector<std::pair<TensorId, ExternalUse>> External =
       A.withLoopScope(Loop.Body, [&] { Body(Indices); });
   if (!A.PrangeChildProc) {
     A.fail("prange body launched no tasks; cannot infer processor level");
@@ -536,7 +612,7 @@ void AnalysisContext::prange(
   EventRef Done;
   Done.Event = Loop.Result;
   Done.Indices.push_back(EventIndex::broadcast());
-  A.finishLoop(Loop, External, Done);
+  A.finishLoop(Loop, std::move(External), Done);
 }
 
 //===----------------------------------------------------------------------===//
@@ -594,10 +670,11 @@ void Analysis::recordLaunch(AnalysisContext &Caller,
     const TensorSlice &Arg = Caller.slice(Args[I]);
     Shape ArgShape = Module.sliceShape(Arg);
     ElementType Elem = Module.tensor(Arg.Tensor).Type.Element;
-    TensorId Id = Module.addTensor(
-        formatString("%s.%s.%u", Child.Instance.c_str(),
-                     Variant.Params[I].Name.c_str(), ++TempCounter),
-        TensorType{ArgShape, Elem}, Child.Mems[I]);
+    TensorId Id = Module.addTensor(Child.Instance + "." +
+                                       Variant.Params[I].Name + "." +
+                                       std::to_string(++TempCounter),
+                                   TensorType{ArgShape, Elem},
+                                   Child.Mems[I]);
     IRTensor &T = Module.tensor(Id);
     T.HomeProc = Child.Proc;
     T.PipelineDepth =
@@ -710,7 +787,7 @@ ErrorOr<IRModule> Analysis::run() {
         "entrypoint takes %zu tensors but %zu argument types were supplied",
         Variant.Params.size(), Input.EntryArgTypes.size()));
 
-  Scopes.emplace_back();
+  Stack.push();
   Blocks.push_back(&Module.root());
 
   AnalysisContext Ctx(*this, Entry, Variant);
@@ -731,7 +808,7 @@ ErrorOr<IRModule> Analysis::run() {
   Variant.Body(Ctx, Params);
 
   Blocks.pop_back();
-  Scopes.pop_back();
+  Stack.pop();
 
   if (std::optional<Diagnostic> Failed = takeFailure())
     return *Failed;

@@ -49,10 +49,13 @@ ErrorOr<IRModule> PassPipeline::run(const CompileInput &Input,
   for (const std::unique_ptr<Pass> &P : Passes) {
     PassStat Stat;
     Stat.Name = P->name();
+    State.Counters = PassCounters();
 
     Clock::time_point PassStart = Clock::now();
     ErrorOrVoid Result = P->run(State);
     Stat.Micros = microsSince(PassStart);
+    Stat.Rewrites = State.Counters.Rewrites;
+    Stat.WorklistPops = State.Counters.WorklistPops;
     Stat.OpsAfter = countOps(State.Module);
     Stat.EventsAfter = State.Module.numEvents();
     Stat.TensorsAfter = State.Module.tensors().size();

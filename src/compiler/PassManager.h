@@ -41,6 +41,9 @@ struct PipelineState {
   const CompileInput *Input = nullptr;
   IRModule Module;
   SharedAllocation Alloc;
+  /// Work counters for the pass currently running; reset by the pipeline
+  /// before each pass and copied into that pass's PassStat afterwards.
+  PassCounters Counters;
 };
 
 /// Per-pass measurements taken by PassPipeline::run.
@@ -51,6 +54,8 @@ struct PassStat {
   size_t OpsAfter = 0;      ///< Operations in the module after the pass.
   size_t EventsAfter = 0;   ///< Events in the module after the pass.
   size_t TensorsAfter = 0;  ///< Tensors in the module after the pass.
+  uint64_t Rewrites = 0;    ///< Pattern rewrites the pass applied.
+  uint64_t WorklistPops = 0;///< Worklist candidates the pass examined.
 };
 
 /// Statistics for one full pipeline run.

@@ -55,13 +55,25 @@ ErrorOr<IRModule> runDependenceAnalysis(const CompileInput &Input);
 /// (Figure 9). Block-level pfors remain: they become the kernel grid.
 ErrorOrVoid runVectorization(IRModule &Module, const MachineModel &Machine);
 
+/// Per-pass work counters, filled by passes that do pattern rewriting so
+/// fixpoint behavior is observable (printed by bench_compile_time's
+/// breakdown) instead of inferred from wall time.
+struct PassCounters {
+  /// Pattern rewrites actually applied (IR mutations).
+  uint64_t Rewrites = 0;
+  /// Worklist candidates popped and examined (including non-matches).
+  uint64_t WorklistPops = 0;
+};
+
 /// Stage 3 (Section 4.2.3): removes the copies introduced by the
 /// copy-in/copy-out discipline using the rewrite patterns of Figure 10
 /// (copy propagation, spill elimination/hoisting, duplicate and self-copy
 /// elimination, unmaterialized-tensor forwarding), preserving required
 /// synchronization. Reports an error if a tensor mapped to the `none`
-/// memory would have to be materialized (Section 3.3).
-ErrorOrVoid runCopyElimination(IRModule &Module);
+/// memory would have to be materialized (Section 3.3). Fills \p Counters
+/// (when given) with rewrite/worklist statistics.
+ErrorOrVoid runCopyElimination(IRModule &Module,
+                               PassCounters *Counters = nullptr);
 
 /// Restores event-scope well-formedness: references that point at events
 /// defined inside loop bodies from outside those bodies (which both event

@@ -26,8 +26,8 @@
 #include "compiler/Passes.h"
 #include "support/Format.h"
 
-#include <map>
-#include <set>
+#include <algorithm>
+#include <vector>
 
 using namespace cypress;
 
@@ -83,7 +83,8 @@ public:
       : Module(Module), Machine(Machine) {}
 
   ErrorOrVoid run() {
-    processBlock(Module.root(), {});
+    std::vector<EventDim> Context;
+    processBlock(Module.root(), Context);
     if (Failure)
       return *Failure;
     return ErrorOrVoid::success();
@@ -97,19 +98,22 @@ private:
   }
 
   /// Recursively vectorizes \p Block. \p Context is the flattened parallel
-  /// context accumulated so far (outermost first).
-  void processBlock(IRBlock &Block, std::vector<EventDim> Context) {
+  /// context accumulated so far (outermost first); it is mutated push/pop
+  /// style around recursion instead of copied per block.
+  void processBlock(IRBlock &Block, std::vector<EventDim> &Context) {
     // Deepest-first: vectorize inside loop bodies before flattening here.
     for (std::unique_ptr<Operation> &Op : Block.Ops) {
       if (Op->Kind == OpKind::For) {
         processBlock(Op->Body, Context);
       } else if (Op->Kind == OpKind::PFor) {
-        std::vector<EventDim> Inner = Context;
-        if (isImplicitLevel(Op->PForProc))
-          Inner.push_back(
+        bool Pushed = isImplicitLevel(Op->PForProc);
+        if (Pushed)
+          Context.push_back(
               {Op->LoopHi.constantValue() - Op->LoopLo.constantValue(),
                Op->PForProc});
-        processBlock(Op->Body, Inner);
+        processBlock(Op->Body, Context);
+        if (Pushed)
+          Context.pop_back();
       }
     }
 
@@ -131,7 +135,7 @@ private:
     // Record the enclosing flattened dims once (outermost first); avoid
     // double-stamping ops already annotated via nested processing.
     if (Op.VecContext.empty())
-      Op.VecContext = Context;
+      Op.VecContext.assign(Context.begin(), Context.end());
   }
 
   /// Flattens the pfor at Block.Ops[Index].
@@ -151,11 +155,13 @@ private:
 
     // Events defined directly in the body (loop results of nested loops
     // included — nested implicit pfors were flattened already, so their
-    // events now live directly in this body).
-    std::set<EventId> BodyEvents;
+    // events now live directly in this body). Sorted vector: the member
+    // tests below are the flattening loop's innermost operation.
+    std::vector<EventId> BodyEvents;
     for (std::unique_ptr<Operation> &Op : Loop->Body.Ops)
       if (Op->Result != InvalidEventId)
-        BodyEvents.insert(Op->Result);
+        BodyEvents.push_back(Op->Result);
+    std::sort(BodyEvents.begin(), BodyEvents.end());
 
     // Promote event types: prepend the new dimension.
     for (EventId E : BodyEvents) {
@@ -179,13 +185,18 @@ private:
     // Uses of the loop's completion event elsewhere redirect to the yielded
     // event; uses of promoted body events cannot appear outside by SSA
     // scoping, but the yield ref's event was promoted, so the original
-    // outer index takes the new leading slot.
+    // outer index takes the new leading slot. SSA scoping also bounds the
+    // search: references to the pfor's completion event can only exist in
+    // its containing block (including nested bodies and that block's own
+    // yield), so the redirect walks Block, not the whole module.
     if (Loop->Result != InvalidEventId) {
       if (!Yield) {
         // Empty loops: drop refs to the loop event entirely.
-        dropRefsTo(Module.root(), Loop->Result);
+        dropRefsTo(Block, Loop->Result);
       } else {
-        redirectLoopEvent(Module.root(), Loop->Result, *Yield);
+        redirectLoopEvent(Block, Loop->Result, *Yield);
+        if (Block.Yield)
+          redirectRef(*Block.Yield, Loop->Result, *Yield);
       }
     }
 
@@ -205,7 +216,7 @@ private:
         fail("block-level pfor nested inside an implicit parallel loop");
         return;
       }
-      Op->VecContext = Inner;
+      Op->VecContext.assign(Inner.begin(), Inner.end());
       if (Op->Kind == OpKind::For)
         stampContext(Op->Body, Inner);
       Block.Ops.insert(Block.Ops.begin() + static_cast<long>(At++),
@@ -215,31 +226,35 @@ private:
 
   void stampContext(IRBlock &Block, const std::vector<EventDim> &Context) {
     for (std::unique_ptr<Operation> &Op : Block.Ops) {
-      Op->VecContext = Context;
+      Op->VecContext.assign(Context.begin(), Context.end());
       if (Op->Kind == OpKind::For)
         stampContext(Op->Body, Context);
     }
   }
 
+  static bool contains(const std::vector<EventId> &Events, EventId Event) {
+    return std::binary_search(Events.begin(), Events.end(), Event);
+  }
+
   static bool opHasNoPrecondIn(const Operation &Op,
-                               const std::set<EventId> &Events) {
+                               const std::vector<EventId> &Events) {
     for (const EventRef &Ref : Op.Preconds)
-      if (Events.count(Ref.Event))
+      if (contains(Events, Ref.Event))
         return false;
     return true;
   }
 
   /// Prepends \p Index to every reference to an event in \p Events within
   /// one operation (preconditions, nested bodies, yields).
-  void prependIndexOnRefs(Operation &Op, const std::set<EventId> &Events,
+  void prependIndexOnRefs(Operation &Op, const std::vector<EventId> &Events,
                           const EventIndex &Index) {
     for (EventRef &Ref : Op.Preconds)
-      if (Events.count(Ref.Event))
+      if (contains(Events, Ref.Event))
         Ref.Indices.insert(Ref.Indices.begin(), Index);
     if (Op.Kind == OpKind::For || Op.Kind == OpKind::PFor) {
       for (std::unique_ptr<Operation> &Inner : Op.Body.Ops)
         prependIndexOnRefs(*Inner, Events, Index);
-      if (Op.Body.Yield && Events.count(Op.Body.Yield->Event))
+      if (Op.Body.Yield && contains(Events, Op.Body.Yield->Event))
         Op.Body.Yield->Indices.insert(Op.Body.Yield->Indices.begin(), Index);
     }
   }
@@ -282,6 +297,8 @@ private:
       if (Op->Kind == OpKind::For || Op->Kind == OpKind::PFor)
         dropRefsTo(Op->Body, Event);
     }
+    if (Block.Yield && Block.Yield->Event == Event)
+      Block.Yield.reset();
   }
 
   void fail(std::string Message) {

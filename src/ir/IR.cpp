@@ -6,6 +6,8 @@
 
 #include "ir/IR.h"
 
+#include <algorithm>
+
 using namespace cypress;
 
 const char *cypress::execUnitName(ExecUnit Unit) {
@@ -55,6 +57,8 @@ std::unique_ptr<Operation> Operation::clone() const {
 }
 
 TensorId IRModule::addTensor(std::string Name, TensorType Type, Memory Mem) {
+  if (Tensors.empty())
+    Tensors.reserve(64); // IRTensor carries strings; skip doubling churn.
   TensorId Id = static_cast<TensorId>(Tensors.size());
   Tensors.push_back({Id, std::move(Name), std::move(Type), Mem,
                      /*PipelineDepth=*/1});
@@ -62,12 +66,16 @@ TensorId IRModule::addTensor(std::string Name, TensorType Type, Memory Mem) {
 }
 
 PartitionId IRModule::addPartition(TensorSlice Base, Partition Spec) {
+  if (Partitions.empty())
+    Partitions.reserve(32);
   PartitionId Id = static_cast<PartitionId>(Partitions.size());
   Partitions.push_back({Id, std::move(Base), std::move(Spec)});
   return Id;
 }
 
 EventId IRModule::addEvent(std::string Name, EventType Type) {
+  if (Events.empty())
+    Events.reserve(128); // One event per async op; realloc moves strings.
   EventId Id = static_cast<EventId>(Events.size());
   Events.push_back({Id, std::move(Name), std::move(Type), ~0u});
   return Id;
@@ -109,9 +117,33 @@ SubTensor IRModule::resolveSlice(const TensorSlice &Slice,
   return SubTensor::compose(Base, Piece);
 }
 
+int64_t IRModule::sliceNumElements(const TensorSlice &Slice) const {
+  const IRTensor &T = tensor(Slice.Tensor);
+  if (Slice.isWhole())
+    return T.Type.Dims.numElements();
+  const IRPartition &P = partition(*Slice.Part);
+  // Mirror sliceShape's color handling: constant colors resolve exactly
+  // (edge tiles); any symbolic color falls back to the uniform interior
+  // tile at color 0.
+  size_t Rank = Slice.Color.size();
+  int64_t Stack[8];
+  std::vector<int64_t> Heap;
+  int64_t *Color = Rank <= 8 ? Stack : (Heap.resize(Rank), Heap.data());
+  bool AllConstant = true;
+  for (unsigned I = 0; I != Rank; ++I) {
+    if (Slice.Color[I].isConstant())
+      Color[I] = Slice.Color[I].constantValue();
+    else
+      AllConstant = false;
+  }
+  if (!AllConstant)
+    std::fill_n(Color, Rank, 0);
+  return P.Spec.pieceNumElements(Color, Rank);
+}
+
 int64_t IRModule::sliceBytes(const TensorSlice &Slice) const {
   const IRTensor &T = tensor(Slice.Tensor);
-  return sliceShape(Slice).numElements() * elementTypeBytes(T.Type.Element);
+  return sliceNumElements(Slice) * elementTypeBytes(T.Type.Element);
 }
 
 void cypress::walkOps(IRBlock &Block,
@@ -132,8 +164,18 @@ void cypress::walkOps(const IRBlock &Block,
   }
 }
 
-size_t cypress::countOps(const IRModule &Module) {
-  size_t Count = 0;
-  walkOps(Module.root(), [&Count](const Operation &) { ++Count; });
+namespace {
+size_t countBlockOps(const IRBlock &Block) {
+  size_t Count = Block.Ops.size();
+  for (const std::unique_ptr<Operation> &Op : Block.Ops)
+    if (Op->Kind == OpKind::For || Op->Kind == OpKind::PFor)
+      Count += countBlockOps(Op->Body);
   return Count;
+}
+} // namespace
+
+size_t cypress::countOps(const IRModule &Module) {
+  // Runs after every pass (PipelineStats); direct recursion, no
+  // std::function dispatch per op.
+  return countBlockOps(Module.root());
 }

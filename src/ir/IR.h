@@ -20,6 +20,7 @@
 
 #include "ir/Scalar.h"
 #include "machine/Machine.h"
+#include "support/InlineVector.h"
 #include "tensor/Partition.h"
 #include "tensor/Shape.h"
 
@@ -74,7 +75,9 @@ struct TensorSlice {
   TensorId Tensor = InvalidTensorId;
   /// Partition piece selection; empty when referencing the whole tensor.
   std::optional<PartitionId> Part;
-  std::vector<ScalarExpr> Color;
+  /// Piece colors, inline up to rank 2 (every shipped partition fits):
+  /// slices are the compiler's most-copied structure.
+  InlineVector<ScalarExpr, 2> Color;
   /// Pipelined buffer index (k mod PIPE); constant 0 when not pipelined.
   ScalarExpr BufferIndex = ScalarExpr(0);
 
@@ -88,7 +91,7 @@ struct TensorSlice {
     TensorSlice Slice;
     Slice.Tensor = Tensor;
     Slice.Part = Part;
-    Slice.Color = std::move(Color);
+    Slice.Color.assign(Color.begin(), Color.end());
     return Slice;
   }
 
@@ -156,9 +159,11 @@ struct EventIndex {
 
 /// `ev ::= x | ev[ei]` — a use of an event, fully indexed.
 /// The number of indices must equal the rank of the event's type.
+/// Index lists stay inline up to rank 4 (every kernel's events fit):
+/// EventRefs are copied and spliced on the compiler's hottest paths.
 struct EventRef {
   EventId Event = InvalidEventId;
-  std::vector<EventIndex> Indices;
+  InlineVector<EventIndex, 4> Indices;
   /// Pipelining lag: a reference with IterLag = L inside a loop waits on the
   /// event instance from iteration (k - L) and is vacuously satisfied for
   /// the first L iterations. This encodes the backward write-after-read
@@ -271,8 +276,9 @@ public:
 
   /// Flattened parallel context surrounding this op after vectorization
   /// (outermost first): the op executes once per index combination of these
-  /// processor dimensions.
-  std::vector<EventDim> VecContext;
+  /// processor dimensions. Inline: assigned to every op the flattener
+  /// touches.
+  InlineVector<EventDim, 4> VecContext;
 
   /// Warp-specialization agent assignment (set by the warp-spec pass):
   /// true if this op belongs to the data-movement (DMA) agent.
@@ -351,6 +357,10 @@ public:
 
   /// Evaluates \p Slice's piece under \p Env (all colors concrete).
   SubTensor resolveSlice(const TensorSlice &Slice, const ScalarEnv &Env) const;
+
+  /// Element count of \p Slice without materializing its shape (no
+  /// allocation; the verifier's copy checks run after every pass).
+  int64_t sliceNumElements(const TensorSlice &Slice) const;
 
   /// Bytes moved by a copy between these slices (size of the data, using the
   /// source element type).

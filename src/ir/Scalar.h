@@ -11,6 +11,15 @@
 /// constant-folds on construction. Expressions evaluate to concrete values
 /// during simulation/codegen once an environment binds every variable.
 ///
+/// Expressions are hash-consed: construction dedupes into an immortal node
+/// pool, so a ScalarExpr is one pointer, copies are free, and structural
+/// equality is (almost always) a pointer comparison. Nodes live until
+/// process exit — the pool never shrinks — which makes expressions safe to
+/// move across threads (compiler worker pools hand modules to other
+/// threads) at the cost of retaining every *distinct* expression ever
+/// built; the distinct-expression population of a compile is tiny and
+/// recurs across tuner sweeps, so the pool plateaus in practice.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CYPRESS_IR_SCALAR_H
@@ -21,7 +30,6 @@
 
 #include <cstdint>
 #include <map>
-#include <memory>
 #include <string>
 
 namespace cypress {
@@ -47,7 +55,13 @@ struct ScalarEnv {
   }
 };
 
-/// An immutable symbolic integer expression with value semantics.
+namespace detail {
+struct ScalarNode;
+}
+
+/// An immutable symbolic integer expression with value semantics. One
+/// interned-node pointer wide: trivially copyable and cheap to store in the
+/// slice/event structures that the compiler copies constantly.
 class ScalarExpr {
 public:
   enum class Kind : uint8_t {
@@ -62,7 +76,7 @@ public:
   };
 
   /// Default-constructs the constant 0.
-  ScalarExpr() : ScalarExpr(0) {}
+  ScalarExpr();
   /*implicit*/ ScalarExpr(int64_t Value);
 
   static ScalarExpr constant(int64_t Value) { return ScalarExpr(Value); }
@@ -76,20 +90,20 @@ public:
   ScalarExpr floorDiv(const ScalarExpr &Divisor) const;
   ScalarExpr mod(const ScalarExpr &Divisor) const;
 
-  Kind kind() const { return TheKind; }
-  bool isConstant() const { return TheKind == Kind::Constant; }
+  Kind kind() const;
+  bool isConstant() const;
   /// The constant value; asserts isConstant().
-  int64_t constantValue() const {
-    assert(isConstant() && "expression is not constant");
-    return Value;
-  }
+  int64_t constantValue() const;
 
   /// Evaluates with all variables bound by \p Env.
   int64_t evaluate(const ScalarEnv &Env) const;
 
   /// Substitutes loop variable \p Id with \p Replacement everywhere.
   /// Used by vectorization to replace pfor induction variables with
-  /// processor indices, and by pipelining for modular rotation.
+  /// processor indices, and by pipelining for modular rotation. Memoized
+  /// per (node, variable, replacement) in the interner, and a no-op —
+  /// returning the same handle — when the expression does not mention the
+  /// variable.
   ScalarExpr substituteLoopVar(LoopVarId Id,
                                const ScalarExpr &Replacement) const;
 
@@ -100,21 +114,73 @@ public:
 
   std::string toString() const;
 
-  /// Structural equality.
+  /// Structural equality. Identically-constructed expressions on one thread
+  /// intern to the same node, so this is usually a pointer comparison; the
+  /// structural fallback covers nodes built on different threads and
+  /// same-id loop variables registered under different display names.
   bool equals(const ScalarExpr &Other) const;
 
+  /// The interned node identity. Stable for the process lifetime; equal
+  /// handles imply equal expressions (the converse holds for expressions
+  /// constructed identically on one thread). Exposed for tests and for
+  /// hashed containers keyed on expression identity.
+  const void *handle() const { return Node; }
+
 private:
-  struct Node;
-  explicit ScalarExpr(std::shared_ptr<const Node> N);
+  struct FromNode {};
+  ScalarExpr(FromNode, const detail::ScalarNode *Node) : Node(Node) {}
+  /// Wraps an interned node (disambiguated from the int64_t constructor,
+  /// for which a literal 0 would otherwise also be a null pointer match).
+  static ScalarExpr wrap(const detail::ScalarNode *Node) {
+    return ScalarExpr(FromNode{}, Node);
+  }
   static ScalarExpr binary(Kind K, const ScalarExpr &L, const ScalarExpr &R);
 
-  Kind TheKind = Kind::Constant;
-  int64_t Value = 0;                  // Constant payload.
-  LoopVarId VarId = 0;                // LoopVar payload.
-  std::string VarName;                // LoopVar payload.
-  Processor Proc = Processor::Thread; // ProcIndex payload.
-  std::shared_ptr<const ScalarExpr> Lhs, Rhs; // Binary payload.
+  const detail::ScalarNode *Node;
 };
+
+namespace detail {
+
+/// One interned expression node. Immutable after construction; child links
+/// point at other interned nodes, so the whole population forms a DAG.
+/// Defined in the header only so ScalarExpr's hot accessors can inline.
+struct ScalarNode {
+  ScalarExpr::Kind TheKind = ScalarExpr::Kind::Constant;
+  Processor Proc = Processor::Thread; ///< ProcIndex payload.
+  bool HasProcIndex = false;          ///< Any ProcIndex in the subtree.
+  LoopVarId VarId = 0;                ///< LoopVar payload.
+  int64_t Value = 0;                  ///< Constant payload.
+  const ScalarNode *Lhs = nullptr;    ///< Binary payload.
+  const ScalarNode *Rhs = nullptr;    ///< Binary payload.
+  /// Bloom filter over (VarId % 64) of every loop variable in the subtree;
+  /// zero means provably loop-variable-free.
+  uint64_t LoopVarMask = 0;
+  std::string VarName;                ///< LoopVar payload.
+};
+
+/// Structural equality with pointer short-circuit at every level (loop
+/// variables compare by id, ignoring display names, exactly as the
+/// pre-interning implementation did).
+bool scalarNodesEqual(const ScalarNode *A, const ScalarNode *B);
+
+} // namespace detail
+
+inline ScalarExpr::Kind ScalarExpr::kind() const { return Node->TheKind; }
+
+inline bool ScalarExpr::isConstant() const {
+  return Node->TheKind == Kind::Constant;
+}
+
+inline int64_t ScalarExpr::constantValue() const {
+  assert(isConstant() && "expression is not constant");
+  return Node->Value;
+}
+
+inline bool ScalarExpr::usesProcIndex() const { return Node->HasProcIndex; }
+
+inline bool ScalarExpr::equals(const ScalarExpr &Other) const {
+  return Node == Other.Node || detail::scalarNodesEqual(Node, Other.Node);
+}
 
 } // namespace cypress
 

@@ -9,36 +9,58 @@
 /// precondition is defined by an earlier operation in scope, index counts
 /// match event ranks, and slice colors match partition color-space ranks.
 ///
+/// The verifier runs after every pipeline stage, so the success path is
+/// engineered to do no allocation: defined-event tracking is a pooled
+/// dense flag array with an undo stack (loop scopes roll back their inner
+/// definitions instead of copying a set), copy element counts come from
+/// IRModule::sliceNumElements (no Shape materialization), and diagnostic
+/// strings are only built once a violation is found.
+///
 //===----------------------------------------------------------------------===//
 
 #include "ir/IR.h"
 #include "support/Format.h"
 
-#include <set>
+#include <vector>
 
 using namespace cypress;
 
 namespace {
 
+/// Pooled per-thread verifier scratch: the defined-event flags and the
+/// definition undo stack, reused across runs.
+struct VerifierScratch {
+  std::vector<uint8_t> Defined; ///< By event id.
+  std::vector<EventId> DefStack;
+};
+
+VerifierScratch &verifierScratch() {
+  thread_local VerifierScratch Scratch;
+  return Scratch;
+}
+
 class VerifierImpl {
 public:
-  explicit VerifierImpl(const IRModule &Module) : Module(Module) {}
+  explicit VerifierImpl(const IRModule &Module)
+      : Module(Module), S(verifierScratch()) {}
 
   ErrorOrVoid run() {
-    std::set<EventId> Defined;
-    return verifyBlock(Module.root(), Defined);
+    if (S.Defined.size() < Module.numEvents())
+      S.Defined.resize(Module.numEvents());
+    std::fill_n(S.Defined.begin(), Module.numEvents(), 0);
+    S.DefStack.clear();
+    return verifyBlock(Module.root());
   }
 
 private:
-  ErrorOrVoid verifyRef(const EventRef &Ref, const std::set<EventId> &Defined,
-                        const char *Where) {
+  ErrorOrVoid verifyRef(const EventRef &Ref, const char *Where) {
     if (Ref.Event >= Module.numEvents())
       return Diagnostic(formatString("%s references unknown event", Where));
     // Lagged references point backward across loop iterations (pipelining's
     // anti-dependence edges); the producer may appear later in the body.
     if (Ref.IterLag > 0)
       return ErrorOrVoid::success();
-    if (!Defined.count(Ref.Event))
+    if (!S.Defined[Ref.Event])
       return Diagnostic(formatString(
           "%s uses event %s before its definition", Where,
           Module.event(Ref.Event).Name.c_str()));
@@ -69,10 +91,10 @@ private:
     return ErrorOrVoid::success();
   }
 
-  ErrorOrVoid verifyBlock(const IRBlock &Block, std::set<EventId> &Defined) {
+  ErrorOrVoid verifyBlock(const IRBlock &Block) {
     for (const std::unique_ptr<Operation> &Op : Block.Ops) {
       for (const EventRef &Ref : Op->Preconds)
-        if (ErrorOrVoid Err = verifyRef(Ref, Defined, "precondition"); !Err)
+        if (ErrorOrVoid Err = verifyRef(Ref, "precondition"); !Err)
           return Err;
 
       switch (Op->Kind) {
@@ -87,13 +109,13 @@ private:
           return Err;
         if (ErrorOrVoid Err = verifySlice(Op->CopyDst, "copy dest"); !Err)
           return Err;
-        Shape SrcShape = Module.sliceShape(Op->CopySrc);
-        Shape DstShape = Module.sliceShape(Op->CopyDst);
-        if (SrcShape.numElements() != DstShape.numElements())
+        int64_t SrcElems = Module.sliceNumElements(Op->CopySrc);
+        int64_t DstElems = Module.sliceNumElements(Op->CopyDst);
+        if (SrcElems != DstElems)
           return Diagnostic(formatString(
               "copy moves %lld elements into %lld",
-              static_cast<long long>(SrcShape.numElements()),
-              static_cast<long long>(DstShape.numElements())));
+              static_cast<long long>(SrcElems),
+              static_cast<long long>(DstElems)));
         break;
       }
       case OpKind::Call:
@@ -108,30 +130,39 @@ private:
       case OpKind::For:
       case OpKind::PFor: {
         // Loop bodies may reference events defined outside plus their own;
-        // definitions inside do not escape except via the loop's own result.
-        std::set<EventId> Inner = Defined;
-        if (ErrorOrVoid Err = verifyBlock(Op->Body, Inner); !Err)
+        // definitions inside do not escape except via the loop's own
+        // result. Mark the undo point, verify the body, then roll inner
+        // definitions back.
+        size_t Mark = S.DefStack.size();
+        if (ErrorOrVoid Err = verifyBlock(Op->Body); !Err)
           return Err;
         if (Op->Body.Yield)
-          if (ErrorOrVoid Err = verifyRef(*Op->Body.Yield, Inner, "yield");
-              !Err)
+          if (ErrorOrVoid Err = verifyRef(*Op->Body.Yield, "yield"); !Err)
             return Err;
+        while (S.DefStack.size() > Mark) {
+          S.Defined[S.DefStack.back()] = 0;
+          S.DefStack.pop_back();
+        }
         break;
       }
       }
 
       if (Op->Result != InvalidEventId) {
-        if (Defined.count(Op->Result))
+        if (Op->Result < Module.numEvents() && S.Defined[Op->Result])
           return Diagnostic(formatString(
               "event %s defined more than once (SSA violation)",
               Module.event(Op->Result).Name.c_str()));
-        Defined.insert(Op->Result);
+        if (Op->Result < Module.numEvents()) {
+          S.Defined[Op->Result] = 1;
+          S.DefStack.push_back(Op->Result);
+        }
       }
     }
     return ErrorOrVoid::success();
   }
 
   const IRModule &Module;
+  VerifierScratch &S;
 };
 
 } // namespace

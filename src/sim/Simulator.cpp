@@ -941,7 +941,7 @@ private:
   /// distinct instances).
   StorageKey storageKey(TensorId Tensor, const ScalarEnv &Env) {
     StorageKey Key;
-    const std::vector<EventDim> *Ctx = AllocContext[Tensor];
+    const InlineVector<EventDim, 4> *Ctx = AllocContext[Tensor];
     if (!Ctx)
       return Key;
     if (Ctx->size() > Key.Values.size()) {
@@ -1025,7 +1025,7 @@ private:
   template <typename Fn>
   void forEachProcInstance(const Operation &Op, const ScalarEnv &Env,
                            Fn &&Body) {
-    const std::vector<EventDim> &Dims = Op.VecContext;
+    const InlineVector<EventDim, 4> &Dims = Op.VecContext;
     ScalarEnv InstEnv = Env;
     if (Dims.empty()) {
       Body(InstEnv);
@@ -1116,7 +1116,7 @@ private:
   const LeafRegistry &Leaves;
   const std::vector<TensorData *> &EntryBuffers;
   /// TensorId -> the alloc op's processor context (null = no alloc seen).
-  std::vector<const std::vector<EventDim> *> AllocContext;
+  std::vector<const InlineVector<EventDim, 4> *> AllocContext;
   /// TensorId -> storage-key -> pipeline buffers.
   std::vector<std::unordered_map<StorageKey, std::vector<TensorData>,
                                  StorageKeyHash>>

@@ -220,6 +220,28 @@ ErrorOr<Partition> Partition::byMma(const Shape &Parent,
   return Result;
 }
 
+int64_t Partition::pieceNumElements(const int64_t *Color,
+                                    size_t Rank) const {
+  assert(Rank == Colors.rank() && "color rank mismatch");
+  (void)Rank;
+  switch (Kind) {
+  case PartitionKind::Blocks: {
+    int64_t Count = 1;
+    for (unsigned I = 0, E = Parent.rank(); I != E; ++I)
+      Count *= std::min(TileShape.dim(I),
+                        Parent.dim(I) - Color[I] * TileShape.dim(I));
+    return Count;
+  }
+  case PartitionKind::Mma:
+    if (Operand != MmaOperand::C)
+      return Parent.numElements(); // Pieces alias the whole tile.
+    if (Granularity == MmaGranularity::Warp)
+      return 16 * Instr.N; // A warp's 16-row slice of the accumulator.
+    return 2 * (Instr.N / 4); // One lane's swizzled fragment.
+  }
+  cypressUnreachable("unknown partition kind");
+}
+
 SubTensor Partition::piece(const std::vector<int64_t> &Color) const {
   assert(Color.size() == Colors.rank() && "color rank mismatch");
 #ifndef NDEBUG

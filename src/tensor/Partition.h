@@ -170,6 +170,10 @@ public:
 
   /// The piece at multi-dimensional color \p Color.
   SubTensor piece(const std::vector<int64_t> &Color) const;
+  /// piece(Color).shape().numElements() without materializing the piece —
+  /// the verifier checks element counts after every pass, so this must not
+  /// allocate. \p Color points at rank() color coordinates.
+  int64_t pieceNumElements(const int64_t *Color, size_t Rank) const;
   /// The piece at linearized color \p LinearColor.
   SubTensor piece(int64_t LinearColor) const {
     return piece(Colors.delinearize(LinearColor));

@@ -1,0 +1,165 @@
+//===- CompilerParityTest.cpp - Mid-end byte-for-byte parity tests ----------===//
+//
+// Part of the Cypress reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pins the printed IR after *every* compiler pass against goldens recorded
+/// from the pre-rewrite mid-end (the rescan-based copy elimination and
+/// shared_ptr ScalarExpr trees, commit ec840e7), so the worklist-driven
+/// flat-graph rewrite — and any future compiler hot-path work — must stay
+/// output-identical while getting faster. Same spirit as
+/// SimulatorParityTest, but for the compiler: the golden is the full
+/// CYPRESS_PRINT_IR_AFTER_ALL dump of a pipeline run, compared byte for
+/// byte.
+///
+/// Regenerate with CYPRESS_UPDATE_GOLDENS=1 (writes into the source tree's
+/// tests/goldens/) after an *intentional* output change; never to paper
+/// over an unintentional one.
+///
+//===----------------------------------------------------------------------===//
+
+#include "compiler/PassManager.h"
+#include "kernels/Kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace cypress;
+
+#ifndef CYPRESS_GOLDEN_DIR
+#error "CYPRESS_GOLDEN_DIR must point at tests/goldens"
+#endif
+
+namespace {
+
+/// Compiles \p Input through the default pipeline with per-pass IR dumping
+/// into a string: the exact byte stream CYPRESS_PRINT_IR_AFTER_ALL would
+/// print, one "// --- IR after <pass> ---" section per stage.
+std::string dumpPipeline(const CompileInput &Input) {
+  std::ostringstream OS;
+  PassPipeline Pipeline = PassPipeline::defaultPipeline();
+  Pipeline.setPrintIRAfterAll(true);
+  Pipeline.setPrintStream(OS);
+  ErrorOr<IRModule> Module = Pipeline.run(Input);
+  EXPECT_TRUE(Module) << (Module ? "" : Module.diagnostic().str());
+  return OS.str();
+}
+
+std::string goldenPath(const std::string &Name) {
+  return std::string(CYPRESS_GOLDEN_DIR) + "/" + Name + ".ir";
+}
+
+void checkGolden(const std::string &Name, const CompileInput &Input) {
+  std::string Dump = dumpPipeline(Input);
+  ASSERT_FALSE(Dump.empty());
+
+  const char *Update = std::getenv("CYPRESS_UPDATE_GOLDENS");
+  if (Update && *Update && std::string(Update) != "0") {
+    std::ofstream Out(goldenPath(Name), std::ios::binary);
+    ASSERT_TRUE(Out.good()) << "cannot write " << goldenPath(Name);
+    Out << Dump;
+    return;
+  }
+
+  std::ifstream In(goldenPath(Name), std::ios::binary);
+  ASSERT_TRUE(In.good()) << "missing golden " << goldenPath(Name)
+                         << " (record with CYPRESS_UPDATE_GOLDENS=1)";
+  std::ostringstream Golden;
+  Golden << In.rdbuf();
+  std::string Expected = Golden.str();
+
+  if (Dump == Expected)
+    return;
+  // Byte mismatch: report the first differing pass section compactly
+  // instead of two multi-thousand-line strings.
+  size_t Pos = 0;
+  while (Pos < Dump.size() && Pos < Expected.size() &&
+         Dump[Pos] == Expected[Pos])
+    ++Pos;
+  size_t LineStart = Expected.rfind('\n', Pos);
+  LineStart = LineStart == std::string::npos ? 0 : LineStart + 1;
+  size_t Section = Expected.rfind("// --- IR after", Pos);
+  std::string SectionName =
+      Section == std::string::npos
+          ? "<preamble>"
+          : Expected.substr(Section, Expected.find('\n', Section) - Section);
+  FAIL() << Name << ": printed IR diverges from golden at byte " << Pos
+         << " (in section '" << SectionName << "')\n  golden: "
+         << Expected.substr(LineStart, 120) << "\n  actual: "
+         << Dump.substr(LineStart, 120);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// The six pinned kernels
+//===----------------------------------------------------------------------===//
+
+TEST(CompilerParity, Gemm4096) {
+  GemmConfig Config;
+  TaskRegistry Registry;
+  registerGemmTasks(Registry);
+  MappingSpec Mapping = gemmMapping(Config);
+  std::vector<TensorType> Args = gemmArgTypes(Config);
+  checkGolden("gemm_4096",
+              {&Registry, &Mapping, &MachineModel::h100(), Args});
+}
+
+TEST(CompilerParity, GemmSmall) {
+  GemmConfig Config;
+  Config.M = 256;
+  Config.N = 512;
+  Config.K = 128;
+  TaskRegistry Registry;
+  registerGemmTasks(Registry);
+  MappingSpec Mapping = gemmMapping(Config);
+  std::vector<TensorType> Args = gemmArgTypes(Config);
+  checkGolden("gemm_small",
+              {&Registry, &Mapping, &MachineModel::h100(), Args});
+}
+
+TEST(CompilerParity, AttentionFa2_4096) {
+  AttentionConfig Config = fa2Config(4096);
+  TaskRegistry Registry;
+  registerAttentionTasks(Registry);
+  MappingSpec Mapping = attentionMapping(Config);
+  std::vector<TensorType> Args = attentionArgTypes(Config);
+  checkGolden("attention_fa2_4096",
+              {&Registry, &Mapping, &MachineModel::h100(), Args});
+}
+
+TEST(CompilerParity, AttentionFa3_4096) {
+  AttentionConfig Config = fa3Config(4096);
+  TaskRegistry Registry;
+  registerAttentionTasks(Registry);
+  MappingSpec Mapping = attentionMapping(Config);
+  std::vector<TensorType> Args = attentionArgTypes(Config);
+  checkGolden("attention_fa3_4096",
+              {&Registry, &Mapping, &MachineModel::h100(), Args});
+}
+
+TEST(CompilerParity, DualGemm4096) {
+  GemmConfig Config;
+  TaskRegistry Registry;
+  registerDualGemmTasks(Registry);
+  MappingSpec Mapping = dualGemmMapping(Config);
+  std::vector<TensorType> Args = dualGemmArgTypes(Config);
+  checkGolden("dual_gemm_4096",
+              {&Registry, &Mapping, &MachineModel::h100(), Args});
+}
+
+TEST(CompilerParity, GemmReduction4096) {
+  GemmConfig Config;
+  TaskRegistry Registry;
+  registerGemmRedTasks(Registry);
+  MappingSpec Mapping = gemmRedMapping(Config);
+  std::vector<TensorType> Args = gemmRedArgTypes(Config);
+  checkGolden("gemm_red_4096",
+              {&Registry, &Mapping, &MachineModel::h100(), Args});
+}

@@ -88,3 +88,98 @@ TEST(Scalar, CdivMatchesCeilDiv) {
   ScalarExpr E = (ScalarExpr(100) + ScalarExpr(63)).floorDiv(ScalarExpr(64));
   EXPECT_EQ(E.constantValue(), 2);
 }
+
+//===----------------------------------------------------------------------===//
+// Interning and new fold coverage (hash-consed ScalarExpr)
+//===----------------------------------------------------------------------===//
+
+TEST(Scalar, InternIdentity) {
+  // Identical construction on one thread yields the same interned handle,
+  // and equal handles always mean equal expressions.
+  ScalarExpr A = ScalarExpr::loopVar(7, "k7").mod(ScalarExpr(3)) +
+                 ScalarExpr::procIndex(Processor::Warp);
+  ScalarExpr B = ScalarExpr::loopVar(7, "k7").mod(ScalarExpr(3)) +
+                 ScalarExpr::procIndex(Processor::Warp);
+  EXPECT_EQ(A.handle(), B.handle());
+  EXPECT_TRUE(A.equals(B));
+
+  // Copies share the handle (one pointer wide).
+  ScalarExpr C = A;
+  EXPECT_EQ(C.handle(), A.handle());
+
+  // Different structure, different handle and inequality.
+  ScalarExpr D = ScalarExpr::loopVar(7, "k7").mod(ScalarExpr(4));
+  EXPECT_NE(D.handle(), A.handle());
+  EXPECT_FALSE(D.equals(A));
+
+  // Constants intern globally: the same value is always the same node.
+  EXPECT_EQ(ScalarExpr(0).handle(), ScalarExpr().handle());
+  EXPECT_EQ(ScalarExpr(12).handle(), ScalarExpr::constant(12).handle());
+  EXPECT_EQ(ScalarExpr::procIndex(Processor::Thread).handle(),
+            ScalarExpr::procIndex(Processor::Thread).handle());
+}
+
+TEST(Scalar, InternIdentityIgnoresDisplayNameForEquality) {
+  // Same variable id under two display names: distinct handles (printing
+  // stays faithful) but equal expressions (ids are identity).
+  ScalarExpr A = ScalarExpr::loopVar(3, "k3");
+  ScalarExpr B = ScalarExpr::loopVar(3, "i3");
+  EXPECT_NE(A.handle(), B.handle());
+  EXPECT_TRUE(A.equals(B));
+  EXPECT_EQ(A.toString(), "k3");
+  EXPECT_EQ(B.toString(), "i3");
+}
+
+TEST(Scalar, SubstituteIsInterned) {
+  // Substitution through the interner: results dedupe with direct
+  // construction, and a substitution that touches nothing returns the
+  // original handle (memoized no-op).
+  ScalarExpr K = ScalarExpr::loopVar(21, "k21");
+  ScalarExpr E = K * ScalarExpr(4) + ScalarExpr(2);
+  ScalarExpr Direct =
+      ScalarExpr::procIndex(Processor::Thread) * ScalarExpr(4) +
+      ScalarExpr(2);
+  ScalarExpr Substituted =
+      E.substituteLoopVar(21, ScalarExpr::procIndex(Processor::Thread));
+  EXPECT_EQ(Substituted.handle(), Direct.handle());
+  EXPECT_EQ(E.substituteLoopVar(22, ScalarExpr(0)).handle(), E.handle());
+}
+
+TEST(Scalar, ModByOneFoldsToZero) {
+  ScalarExpr K = ScalarExpr::loopVar(30, "k30");
+  ScalarExpr E = K.mod(ScalarExpr(1));
+  EXPECT_TRUE(E.isConstant());
+  EXPECT_EQ(E.constantValue(), 0);
+  // Matches the constant-fold result for concrete operands.
+  EXPECT_EQ(ScalarExpr(17).mod(ScalarExpr(1)).constantValue(), 0);
+}
+
+TEST(Scalar, ZeroNumeratorFolds) {
+  ScalarExpr K = ScalarExpr::loopVar(31, "k31");
+  ScalarExpr Div = ScalarExpr(0).floorDiv(K);
+  ScalarExpr Mod = ScalarExpr(0).mod(K);
+  EXPECT_TRUE(Div.isConstant());
+  EXPECT_EQ(Div.constantValue(), 0);
+  EXPECT_TRUE(Mod.isConstant());
+  EXPECT_EQ(Mod.constantValue(), 0);
+}
+
+TEST(Scalar, MulIdentityFolds) {
+  ScalarExpr K = ScalarExpr::loopVar(32, "k32");
+  EXPECT_EQ((K * ScalarExpr(1)).handle(), K.handle());
+  EXPECT_EQ((ScalarExpr(1) * K).handle(), K.handle());
+  EXPECT_TRUE((K * ScalarExpr(0)).isConstant());
+  EXPECT_EQ((K * ScalarExpr(0)).constantValue(), 0);
+  EXPECT_EQ((K + ScalarExpr(0)).handle(), K.handle());
+  EXPECT_EQ(K.floorDiv(ScalarExpr(1)).handle(), K.handle());
+}
+
+TEST(Scalar, FoldedExpressionsEvaluateConsistently) {
+  // Folds must agree with evaluation of the unfolded form.
+  ScalarExpr K = ScalarExpr::loopVar(33, "k33");
+  ScalarEnv Env;
+  Env.LoopVars[33] = 13;
+  EXPECT_EQ(K.mod(ScalarExpr(1)).evaluate(Env), 13 % 1);
+  EXPECT_EQ((K * ScalarExpr(1)).evaluate(Env), 13);
+  EXPECT_EQ(ScalarExpr(0).floorDiv(K).evaluate(Env), 0);
+}
