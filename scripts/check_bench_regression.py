@@ -69,10 +69,21 @@ def metrics_autotune(doc):
             yield f"sweep {sweep['kernel']} compile_us", (compile_us, False)
 
 
+def metrics_emit(doc):
+    # Emission is a one-shot latency (~20us per kernel, best of 5 batches
+    # of 200): stable enough to report, but a string-building loop is much
+    # more allocator-sensitive than the simulator hot path, so keep it
+    # informational rather than gated.
+    for kernel in doc.get("kernels", []):
+        yield f"kernel {kernel['kernel']} us_per_emit", (
+            kernel["us_per_emit"], False)
+
+
 EXTRACTORS = {
     "BENCH_sim_hotpath.json": metrics_sim_hotpath,
     "BENCH_compile_time.json": metrics_compile_time,
     "BENCH_autotune.json": metrics_autotune,
+    "BENCH_emit.json": metrics_emit,
 }
 
 # Sub-100us single-shot metrics are dominated by timer and scheduler

@@ -151,13 +151,37 @@ ErrorOrVoid runWarpSpecialization(IRModule &Module);
 ErrorOr<IRModule> compileToIR(const CompileInput &Input,
                               SharedAllocation *AllocOut = nullptr);
 
+/// Counters describing one CUDA emission: how many synchronization
+/// constructs and op bodies the printer produced. Tests cross-check these
+/// against the post-pipeline IR (e.g. one mbarrier per cross-agent event),
+/// and bench_emit reports them next to emit wall time.
+struct CudaEmitStats {
+  int64_t Kernels = 0;         ///< __global__ kernels (one per grid pfor).
+  int64_t Mbarriers = 0;       ///< Cross-agent events lowered to mbarriers.
+  int64_t MbarrierWaits = 0;   ///< bar.wait sites (incl. phase-guarded).
+  int64_t MbarrierArrives = 0; ///< bar.arrive sites.
+  int64_t NamedBarriers = 0;   ///< Intra-compute warpgroup-broadcast syncs.
+  int64_t TmaCopies = 0;       ///< cp_async_bulk_tensor sites.
+  int64_t SimtCopies = 0;      ///< Plain SIMT copy sites.
+  int64_t WgmmaCalls = 0;      ///< Tensor Core calls (commit/wait wrapped).
+  int64_t SimtCalls = 0;       ///< SIMT leaf calls.
+  int64_t SharedTensors = 0;   ///< Shared-memory prologue declarations.
+  int64_t RegisterTensors = 0; ///< Register-fragment prologue declarations.
+  int64_t Lines = 0;           ///< Total emitted lines.
+};
+
 /// Stage 6a: prints warp-specialized CUDA C++ matching the structure of
 /// Figure 1b (mbarriers, TMA intrinsics, wgmma, named barriers). The text
 /// is golden-tested; it is not compiled in this environment (see docs/DESIGN.md
-/// substitutions).
+/// substitutions). The second overload also fills \p Stats with emission
+/// counters.
 std::string emitCudaSource(const IRModule &Module,
                            const SharedAllocation &Alloc,
                            const std::string &KernelName);
+std::string emitCudaSource(const IRModule &Module,
+                           const SharedAllocation &Alloc,
+                           const std::string &KernelName,
+                           CudaEmitStats &Stats);
 
 } // namespace cypress
 

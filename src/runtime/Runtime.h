@@ -77,10 +77,24 @@ public:
                     Hints.NumOps ? &Hints : nullptr);
   }
 
-  /// The generated warp-specialized CUDA C++ (structural artifact).
-  std::string cudaSource() const {
-    return emitCudaSource(Module, Alloc, Name);
+  /// One CUDA emission: the generated text plus the printer's counters
+  /// (tests cross-check the counters against the post-pipeline IR, and
+  /// bench_emit reports them next to wall time).
+  struct CudaEmission {
+    std::string Source;
+    CudaEmitStats Stats;
+  };
+
+  /// Emits the warp-specialized CUDA C++ for this kernel from the
+  /// post-pipeline IR, with emission statistics.
+  CudaEmission emitCuda() const {
+    CudaEmission Emission;
+    Emission.Source = emitCudaSource(Module, Alloc, Name, Emission.Stats);
+    return Emission;
   }
+
+  /// The generated warp-specialized CUDA C++ (structural artifact).
+  std::string cudaSource() const { return emitCuda().Source; }
 
   /// The IR in the paper's textual form (Figures 8/9).
   std::string irDump() const { return printModule(Module); }

@@ -16,53 +16,16 @@
 
 #include "autotune/KernelSpaces.h"
 #include "autotune/Tuner.h"
-#include "kernels/Kernels.h"
-#include "runtime/Runtime.h"
-#include "support/Random.h"
+#include "TestKernels.h"
 
 #include <gtest/gtest.h>
 
 #include <memory>
 
 using namespace cypress;
+using namespace cypress::testkernels;
 
 namespace {
-
-struct Compiled {
-  std::unique_ptr<TaskRegistry> Registry;
-  std::unique_ptr<MappingSpec> Mapping;
-  std::unique_ptr<CompiledKernel> Kernel;
-};
-
-Compiled compileGemm(const GemmConfig &Config) {
-  Compiled Result;
-  Result.Registry = std::make_unique<TaskRegistry>();
-  registerGemmTasks(*Result.Registry);
-  Result.Mapping = std::make_unique<MappingSpec>(gemmMapping(Config));
-  CompileInput Input{Result.Registry.get(), Result.Mapping.get(),
-                     &MachineModel::h100(), gemmArgTypes(Config)};
-  ErrorOr<std::unique_ptr<CompiledKernel>> Kernel =
-      compileKernel(Input, "gemm");
-  EXPECT_TRUE(Kernel) << (Kernel ? "" : Kernel.diagnostic().message());
-  if (Kernel)
-    Result.Kernel = std::move(*Kernel);
-  return Result;
-}
-
-Compiled compileAttention(const AttentionConfig &Config) {
-  Compiled Result;
-  Result.Registry = std::make_unique<TaskRegistry>();
-  registerAttentionTasks(*Result.Registry);
-  Result.Mapping = std::make_unique<MappingSpec>(attentionMapping(Config));
-  CompileInput Input{Result.Registry.get(), Result.Mapping.get(),
-                     &MachineModel::h100(), attentionArgTypes(Config)};
-  ErrorOr<std::unique_ptr<CompiledKernel>> Kernel =
-      compileKernel(Input, "fa");
-  EXPECT_TRUE(Kernel) << (Kernel ? "" : Kernel.diagnostic().message());
-  if (Kernel)
-    Result.Kernel = std::move(*Kernel);
-  return Result;
-}
 
 /// Golden values recorded from the pre-rewrite simulator (ordered-map
 /// implementation, commit 627d726) at these exact configurations. The
@@ -89,10 +52,8 @@ void expectGolden(const ErrorOr<SimResult> &Result, double BlockCycles,
 //===----------------------------------------------------------------------===//
 
 TEST(SimulatorParity, GemmHeadlineGolden) {
-  GemmConfig Config;
-  Config.M = Config.N = Config.K = 4096;
-  Compiled G = compileGemm(Config);
-  ASSERT_NE(G.Kernel, nullptr);
+  Compiled G = compileGemm(headlineGemmConfig());
+  ASSERT_NE(G.Kernel, nullptr) << G.Error;
   ErrorOr<SimResult> Result = G.Kernel->runTiming();
   expectGolden(Result, 66537.710867254267, 901.41412686954015,
                137472507904.0, 512, 4);
@@ -102,33 +63,29 @@ TEST(SimulatorParity, GemmHeadlineGolden) {
 }
 
 TEST(SimulatorParity, GemmSmallGolden) {
-  GemmConfig Config;
-  Config.M = 256;
-  Config.N = 512;
-  Config.K = 128;
-  Compiled G = compileGemm(Config);
-  ASSERT_NE(G.Kernel, nullptr);
+  Compiled G = compileGemm(smallGemmConfig());
+  ASSERT_NE(G.Kernel, nullptr) << G.Error;
   expectGolden(G.Kernel->runTiming(), 5622.5438492170742,
                8.3324289939645197, 33816576.0, 4, 1);
 }
 
 TEST(SimulatorParity, AttentionFa2Golden) {
   Compiled C = compileAttention(fa2Config(4096));
-  ASSERT_NE(C.Kernel, nullptr);
+  ASSERT_NE(C.Kernel, nullptr) << C.Error;
   expectGolden(C.Kernel->runTiming(), 116608.87399318923,
                791.94619599599901, 105916710912.0, 256, 2);
 }
 
 TEST(SimulatorParity, AttentionFa3Golden) {
   Compiled C = compileAttention(fa3Config(4096));
-  ASSERT_NE(C.Kernel, nullptr);
+  ASSERT_NE(C.Kernel, nullptr) << C.Error;
   expectGolden(C.Kernel->runTiming(), 118976.87399318925,
                777.75836622158124, 106118037504.0, 256, 2);
 }
 
 TEST(SimulatorParity, AttentionShortSequenceGolden) {
   Compiled C = compileAttention(fa2Config(1024));
-  ASSERT_NE(C.Kernel, nullptr);
+  ASSERT_NE(C.Kernel, nullptr) << C.Error;
   expectGolden(C.Kernel->runTiming(), 32140.68003675872,
                345.53303429831527, 6623342592.0, 64, 1);
 }
@@ -140,12 +97,10 @@ TEST(SimulatorParity, AttentionShortSequenceGolden) {
 TEST(SimulatorParity, RepeatedRunsBitIdentical) {
   // The timing scratch is pooled across runs; reuse must not leak state
   // between simulations (same kernel, and interleaved different kernels).
-  GemmConfig Config;
-  Config.M = Config.N = Config.K = 4096;
-  Compiled G = compileGemm(Config);
+  Compiled G = compileGemm(headlineGemmConfig());
   Compiled A = compileAttention(fa2Config(1024));
-  ASSERT_NE(G.Kernel, nullptr);
-  ASSERT_NE(A.Kernel, nullptr);
+  ASSERT_NE(G.Kernel, nullptr) << G.Error;
+  ASSERT_NE(A.Kernel, nullptr) << A.Error;
   ErrorOr<SimResult> GemmFirst = G.Kernel->runTiming();
   ErrorOr<SimResult> AttnFirst = A.Kernel->runTiming();
   ASSERT_TRUE(GemmFirst);
@@ -166,20 +121,16 @@ TEST(SimulatorParity, FunctionalModeKeepsTimingAndComputesGemm) {
   // runFunctional = timing plus functional execution: the timing half must
   // report the same golden cycles, and the functional half the right
   // numbers.
-  GemmConfig Config;
-  Config.M = 256;
-  Config.N = 512;
-  Config.K = 128;
+  GemmConfig Config = smallGemmConfig();
   Compiled G = compileGemm(Config);
-  ASSERT_NE(G.Kernel, nullptr);
+  ASSERT_NE(G.Kernel, nullptr) << G.Error;
 
-  TensorData C(gemmArgTypes(Config)[0]);
-  TensorData A(gemmArgTypes(Config)[1]);
-  TensorData B(gemmArgTypes(Config)[2]);
-  fillRandomFp16(A.raw(), 11);
-  fillRandomFp16(B.raw(), 22);
+  KernelBuffers Buffers = gemmInputs(Config);
+  TensorData &C = Buffers.Data[0];
+  TensorData &A = Buffers.Data[1];
+  TensorData &B = Buffers.Data[2];
 
-  ErrorOr<SimResult> Result = G.Kernel->runFunctional({&C, &A, &B});
+  ErrorOr<SimResult> Result = G.Kernel->runFunctional(Buffers.ptrs());
   expectGolden(Result, 5622.5438492170742, 8.3324289939645197, 33816576.0,
                4, 1);
   ASSERT_TRUE(Result);
@@ -199,23 +150,15 @@ TEST(SimulatorParity, FunctionalAttentionDeterministic) {
   // The odometer enumeration of processor instances must visit the same
   // instances in the same order as the recursive enumerator it replaced:
   // repeated functional runs produce bit-identical outputs.
-  AttentionConfig Config = fa2Config(384);
-  Config.Heads = 2;
-  Config.BC = 64;
+  AttentionConfig Config = smallAttentionConfig();
   Compiled C = compileAttention(Config);
-  ASSERT_NE(C.Kernel, nullptr);
+  ASSERT_NE(C.Kernel, nullptr) << C.Error;
 
-  TensorData Q(attentionArgTypes(Config)[1]);
-  TensorData K(attentionArgTypes(Config)[2]);
-  TensorData V(attentionArgTypes(Config)[3]);
-  fillRandomFp16(Q.raw(), 101);
-  fillRandomFp16(K.raw(), 102);
-  fillRandomFp16(V.raw(), 103);
-
-  TensorData O1(attentionArgTypes(Config)[0]);
-  TensorData O2(attentionArgTypes(Config)[0]);
-  ASSERT_TRUE(C.Kernel->runFunctional({&O1, &Q, &K, &V}));
-  ASSERT_TRUE(C.Kernel->runFunctional({&O2, &Q, &K, &V}));
+  KernelBuffers One = attentionInputs(Config);
+  KernelBuffers Two = attentionInputs(Config);
+  ASSERT_TRUE(C.Kernel->runFunctional(One.ptrs()));
+  ASSERT_TRUE(C.Kernel->runFunctional(Two.ptrs()));
+  const TensorData &O1 = One.Data[0], &O2 = Two.Data[0];
   for (int64_t I = 0; I < O1.type().Dims.numElements(); ++I)
     ASSERT_EQ(O1.at(I), O2.at(I)) << "element " << I;
 }
