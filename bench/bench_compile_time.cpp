@@ -23,6 +23,7 @@
 
 #include "BenchUtil.h"
 #include "compiler/PassManager.h"
+#include "support/AllocCounter.h"
 
 #include <benchmark/benchmark.h>
 
@@ -60,16 +61,20 @@ void printBreakdown(std::FILE *Out,
                     const std::vector<KernelBreakdown> &Breakdowns) {
   for (const KernelBreakdown &B : Breakdowns) {
     std::fprintf(Out, "== per-pass breakdown: %s ==\n", B.Kernel.c_str());
-    std::fprintf(Out, "%-22s%12s%12s%8s%8s%9s%10s%8s\n", "pass", "time_us",
-                 "verify_us", "ops", "events", "tensors", "rewrites",
-                 "pops");
+    std::fprintf(Out, "%-22s%12s%12s%8s%8s%9s%10s%8s%8s\n", "pass",
+                 "time_us", "verify_us", "ops", "events", "tensors",
+                 "rewrites", "pops", "allocs");
     for (const PassStat &S : B.Stats.Passes)
-      std::fprintf(Out, "%-22s%12.1f%12.1f%8zu%8zu%9zu%10llu%8llu\n",
+      std::fprintf(Out, "%-22s%12.1f%12.1f%8zu%8zu%9zu%10llu%8llu%8llu\n",
                    S.Name.c_str(), S.Micros, S.VerifyMicros, S.OpsAfter,
                    S.EventsAfter, S.TensorsAfter,
                    static_cast<unsigned long long>(S.Rewrites),
-                   static_cast<unsigned long long>(S.WorklistPops));
+                   static_cast<unsigned long long>(S.WorklistPops),
+                   static_cast<unsigned long long>(S.HeapAllocs));
     std::fprintf(Out, "%-22s%12.1f\n\n", "total", B.Stats.TotalMicros);
+    if (!allocCounterActive())
+      std::fprintf(Out, "(alloc counter compiled out in this build; "
+                        "allocs column reads 0)\n\n");
   }
 }
 
@@ -79,7 +84,8 @@ void maybeWriteJson(const std::vector<KernelBreakdown> &Breakdowns) {
   std::FILE *Out = bench::benchJsonOpen("compile_time");
   if (!Out)
     return;
-  std::fprintf(Out, "{\n  \"kernels\": [\n");
+  std::fprintf(Out, "{\n  \"host_contention\": %.3f,\n  \"kernels\": [\n",
+               bench::hostContention());
   for (size_t I = 0; I < Breakdowns.size(); ++I) {
     const KernelBreakdown &B = Breakdowns[I];
     std::fprintf(Out, "    {\"kernel\": \"%s\", \"total_us\": %.3f,\n",
@@ -91,11 +97,12 @@ void maybeWriteJson(const std::vector<KernelBreakdown> &Breakdowns) {
                    "       {\"pass\": \"%s\", \"time_us\": %.3f, "
                    "\"verify_us\": %.3f, \"ops\": %zu, \"events\": %zu, "
                    "\"tensors\": %zu, \"rewrites\": %llu, "
-                   "\"worklist_pops\": %llu}%s\n",
+                   "\"worklist_pops\": %llu, \"heap_allocs\": %llu}%s\n",
                    S.Name.c_str(), S.Micros, S.VerifyMicros, S.OpsAfter,
                    S.EventsAfter, S.TensorsAfter,
                    static_cast<unsigned long long>(S.Rewrites),
                    static_cast<unsigned long long>(S.WorklistPops),
+                   static_cast<unsigned long long>(S.HeapAllocs),
                    J + 1 < B.Stats.Passes.size() ? "," : "");
     }
     std::fprintf(Out, "     ]}%s\n", I + 1 < Breakdowns.size() ? "," : "");
@@ -104,23 +111,28 @@ void maybeWriteJson(const std::vector<KernelBreakdown> &Breakdowns) {
   std::fclose(Out);
 }
 
-/// Runs the pipeline \p Repeats times and keeps the fastest run's stats:
-/// one cold compile is dominated by first-touch page faults, the per-kernel
-/// totals are *gated* by scripts/check_bench_regression.py, and shared
-/// runners need enough repeats to catch a preemption-free window.
+/// One warmup compile (first-touch page faults) then the fastest of
+/// bench::kQuietBestOf measured runs — the shared quiet-window methodology
+/// of the gated benches; the per-kernel totals are gated by
+/// scripts/check_bench_regression.py.
 void compileBestOf(const char *Name, const CompileInput &Input,
-                   std::vector<KernelBreakdown> &Breakdowns,
-                   int Repeats = 9) {
+                   std::vector<KernelBreakdown> &Breakdowns) {
   std::optional<PipelineStats> Best;
-  for (int I = 0; I < Repeats; ++I) {
+  PassPipeline Pipeline = PassPipeline::defaultPipeline();
+  // The allocs column reports the fastest (warm) repeat, i.e. the steady
+  // state the alloc-counting test asserts; counting is a thread-local
+  // increment per allocation, far below timing noise.
+  Pipeline.setCountAllocs(true);
+  for (int I = 0; I < bench::kQuietBestOf + 1; ++I) {
     PipelineStats Stats;
-    ErrorOr<IRModule> Module =
-        PassPipeline::defaultPipeline().run(Input, nullptr, &Stats);
+    ErrorOr<IRModule> Module = Pipeline.run(Input, nullptr, &Stats);
     if (!Module) {
       std::fprintf(stderr, "error: %s: %s\n", Name,
                    Module.diagnostic().str().c_str());
       return;
     }
+    if (I == 0)
+      continue; // Warmup.
     if (!Best || Stats.TotalMicros < Best->TotalMicros)
       Best = std::move(Stats);
   }

@@ -45,10 +45,11 @@ struct HotpathRow {
 
 /// Times `Runs` timing-only simulations of one compiled kernel per batch
 /// (after one warmup run that also reports cycles/TFLOP/s) and keeps the
-/// fastest batch — minimum-of-N is what makes the CI regression gate
-/// stable on shared runners.
+/// fastest batch — the shared warmup-plus-best-of-kQuietBestOf methodology
+/// (BenchUtil.h) that makes the CI regression gate stable on shared
+/// runners and the committed baselines comparable across benches.
 HotpathRow timeKernel(const char *Name, const OwnedKernel &Owned, int Runs,
-                      int Batches = 5) {
+                      int Batches = kQuietBestOf) {
   HotpathRow Row{Name, Runs, 0.0, 0.0, 0.0};
   if (!Owned.Kernel)
     return Row;
@@ -105,15 +106,16 @@ int main() {
 
   // The mapping_explorer grid, end to end: enumerate + prune + compile +
   // simulate on a cold session (no kernel- or cost-cache reuse), exactly
-  // what one fresh tuning sweep costs. One warmup sweep then best of five,
-  // for the same stability reason as above; per-candidate compile/simulate
-  // wall times from the fastest sweep's TuneResult split its total.
+  // what one fresh tuning sweep costs. One warmup sweep then best of
+  // kQuietBestOf, for the same stability reason as above; per-candidate
+  // compile/simulate wall times from the fastest sweep's TuneResult split
+  // its total.
   std::printf("\n== mapping_explorer grid sweep (cold session) ==\n");
   GemmConfig Base;
   Base.M = Base.N = Base.K = 4096;
   TuneResult Sweep;
   double SweepMillis = 0.0;
-  for (int Attempt = 0; Attempt < 6; ++Attempt) {
+  for (int Attempt = 0; Attempt < kQuietBestOf + 1; ++Attempt) {
     CompilerSession Session;
     Tuner SweepTuner(Session);
     Clock::time_point SweepStart = Clock::now();
@@ -143,8 +145,10 @@ int main() {
                 Best->TFlops);
 
   if (std::FILE *Out = benchJsonOpen("sim_hotpath")) {
-    std::fprintf(Out, "{\n  \"machine\": \"%s\",\n  \"kernels\": [\n",
-                 MachineModel::h100().name().c_str());
+    std::fprintf(Out,
+                 "{\n  \"machine\": \"%s\",\n  \"host_contention\": %.3f,\n"
+                 "  \"kernels\": [\n",
+                 MachineModel::h100().name().c_str(), hostContention());
     for (size_t I = 0; I < sizeof(Rows) / sizeof(Rows[0]); ++I)
       std::fprintf(Out,
                    "    {\"kernel\": \"%s\", \"runs\": %d, "

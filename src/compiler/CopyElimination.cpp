@@ -160,12 +160,14 @@ void collectRoots(const Operation &Op, std::vector<TensorId> &Out) {
 // Pooled graph scratch
 //===----------------------------------------------------------------------===//
 
-/// A worklist of op slots popped in ascending program-key order (min-heap
-/// ordered by the eliminator's key comparator) with a queued-flag per slot
-/// so re-seeding an already-queued anchor is free and pops come out
-/// deduplicated.
+/// A worklist of op slots popped in ascending program-key order (min-heap)
+/// with a queued-flag per slot so re-seeding an already-queued anchor is
+/// free and pops come out deduplicated. Entries carry the slot's key at
+/// push time: heap comparisons then stay in registers instead of chasing
+/// the node table, which dominates sift cost at this pop rate. Keys only
+/// move during a hoist, which refreshes every entry (reheapWorklists).
 struct SlotWorklist {
-  std::vector<uint32_t> Heap;
+  std::vector<std::pair<uint64_t, uint32_t>> Heap; ///< (key, slot).
   std::vector<uint8_t> Queued;
 
   void reset(size_t Slots) {
@@ -198,8 +200,15 @@ struct GraphScratch {
   std::vector<std::vector<uint32_t>> EventUsers;  ///< By event id (hints).
   std::vector<uint32_t> EventProducer;            ///< By event id.
   std::vector<std::vector<uint32_t>> TensorUsers; ///< By tensor id, sorted.
+  /// Copy-kind subset of TensorUsers, same sort order. Seeding only ever
+  /// enqueues copies (SeedMask is zero for everything else), and most
+  /// touchers of a hot tensor are calls, so sweeping this subset instead
+  /// of the full list drops the dominant per-rewrite seeding cost.
+  std::vector<std::vector<uint32_t>> TensorCopyUsers;
   std::vector<uint32_t> ReadCount;                ///< By tensor id.
   std::vector<TensorId> RootsA, RootsB;           ///< collectRoots buffers.
+  std::vector<uint32_t> SubstUsers;               ///< substituteTensor copy.
+  std::vector<TensorId> SubstRoots;               ///< Affected-root union.
   std::vector<uint32_t> UserScratch;              ///< Sorted-unique users.
   std::vector<uint32_t> UserSnapshot;             ///< Stable iteration copy.
   std::vector<EventRef> PrecondScratch;           ///< Splice rebuild buffer.
@@ -303,6 +312,7 @@ private:
       S.EventProducer.resize(Module.numEvents());
     std::fill_n(S.EventProducer.begin(), Module.numEvents(), InvalidSlot);
     S.clearLists(S.TensorUsers, Module.tensors().size());
+    S.clearLists(S.TensorCopyUsers, Module.tensors().size());
     S.ReadCount.assign(Module.tensors().size(), 0);
     S.BoundaryGroups.clear();
     buildBlock(Module.root(), InvalidSlot, 0);
@@ -408,35 +418,35 @@ private:
                             });
   }
 
+  static bool heapAfter(const std::pair<uint64_t, uint32_t> &A,
+                        const std::pair<uint64_t, uint32_t> &B) {
+    return A.first > B.first;
+  }
+
   void wlPush(SlotWorklist &WL, uint32_t Slot) {
     if (WL.Queued[Slot])
       return;
     WL.Queued[Slot] = 1;
-    WL.Heap.push_back(Slot);
-    std::push_heap(WL.Heap.begin(), WL.Heap.end(),
-                   [this](uint32_t A, uint32_t B) {
-                     return keyOf(A) > keyOf(B);
-                   });
+    WL.Heap.emplace_back(keyOf(Slot), Slot);
+    std::push_heap(WL.Heap.begin(), WL.Heap.end(), heapAfter);
   }
 
   uint32_t wlPop(SlotWorklist &WL) {
-    std::pop_heap(WL.Heap.begin(), WL.Heap.end(),
-                  [this](uint32_t A, uint32_t B) {
-                    return keyOf(A) > keyOf(B);
-                  });
-    uint32_t Slot = WL.Heap.back();
+    std::pop_heap(WL.Heap.begin(), WL.Heap.end(), heapAfter);
+    uint32_t Slot = WL.Heap.back().second;
     WL.Heap.pop_back();
     WL.Queued[Slot] = 0;
     return Slot;
   }
 
-  /// Re-establishes every worklist's heap order after keys changed.
+  /// Re-establishes every worklist's heap order after keys changed,
+  /// refreshing the keys embedded in the entries.
   void reheapWorklists() {
-    for (SlotWorklist &WL : Work)
-      std::make_heap(WL.Heap.begin(), WL.Heap.end(),
-                     [this](uint32_t A, uint32_t B) {
-                       return keyOf(A) > keyOf(B);
-                     });
+    for (SlotWorklist &WL : Work) {
+      for (std::pair<uint64_t, uint32_t> &Entry : WL.Heap)
+        Entry.first = keyOf(Entry.second);
+      std::make_heap(WL.Heap.begin(), WL.Heap.end(), heapAfter);
+    }
   }
 
   void addEventUser(EventId Event, uint32_t Slot) {
@@ -471,33 +481,47 @@ private:
     return S.UserSnapshot;
   }
 
+  void insertUser(std::vector<uint32_t> &Users, uint32_t Slot, uint64_t Key) {
+    if (Users.empty() || keyOf(Users.back()) < Key) // Build appends.
+      Users.push_back(Slot);
+    else
+      Users.insert(std::upper_bound(Users.begin(), Users.end(), Key,
+                                    [this](uint64_t K, uint32_t User) {
+                                      return K < keyOf(User);
+                                    }),
+                   Slot);
+  }
+
+  void eraseUser(std::vector<uint32_t> &Users, uint32_t Slot, uint64_t Key) {
+    auto It = std::lower_bound(Users.begin(), Users.end(), Key,
+                               [this](uint32_t User, uint64_t K) {
+                                 return keyOf(User) < K;
+                               });
+    if (It != Users.end() && *It == Slot)
+      Users.erase(It);
+  }
+
   void addTouches(uint32_t Slot) {
-    collectRoots(op(Slot), S.RootsA);
+    Operation &Op = op(Slot);
+    collectRoots(Op, S.RootsA);
     uint64_t Key = keyOf(Slot);
+    bool IsCopy = Op.Kind == OpKind::Copy;
     for (TensorId T : S.RootsA) {
-      std::vector<uint32_t> &Users = S.TensorUsers[T];
-      if (Users.empty() || keyOf(Users.back()) < Key) // Build appends.
-        Users.push_back(Slot);
-      else
-        Users.insert(std::upper_bound(Users.begin(), Users.end(), Key,
-                                      [this](uint64_t K, uint32_t User) {
-                                        return K < keyOf(User);
-                                      }),
-                     Slot);
+      insertUser(S.TensorUsers[T], Slot, Key);
+      if (IsCopy)
+        insertUser(S.TensorCopyUsers[T], Slot, Key);
     }
   }
 
   void removeTouches(uint32_t Slot) {
-    collectRoots(op(Slot), S.RootsA);
+    Operation &Op = op(Slot);
+    collectRoots(Op, S.RootsA);
     uint64_t Key = keyOf(Slot);
+    bool IsCopy = Op.Kind == OpKind::Copy;
     for (TensorId T : S.RootsA) {
-      std::vector<uint32_t> &Users = S.TensorUsers[T];
-      auto It = std::lower_bound(Users.begin(), Users.end(), Key,
-                                 [this](uint32_t User, uint64_t K) {
-                                   return keyOf(User) < K;
-                                 });
-      if (It != Users.end() && *It == Slot)
-        Users.erase(It);
+      eraseUser(S.TensorUsers[T], Slot, Key);
+      if (IsCopy)
+        eraseUser(S.TensorCopyUsers[T], Slot, Key);
     }
   }
 
@@ -553,7 +577,7 @@ private:
   }
 
   void seedTensor(TensorId T) {
-    for (uint32_t Slot : S.TensorUsers[T])
+    for (uint32_t Slot : S.TensorCopyUsers[T])
       seedSlot(Slot);
   }
 
@@ -886,9 +910,15 @@ private:
     for (size_t Index = S.BoundaryCursor; Index < S.BoundaryGroups.size();
          ++Index) {
       GraphScratch::BoundaryGroup &Group = S.BoundaryGroups[Index];
+      // Classify at most once per group visit: the dirty recompute doubles
+      // as the eligible path's source lookup.
+      const TensorSlice *Slice = nullptr;
       if (Group.Dirty) {
-        Group.Eligible = classifyBoundaryGroup(Group) != nullptr;
+        Slice = classifyBoundaryGroup(Group);
+        Group.Eligible = Slice != nullptr;
         Group.Dirty = false;
+      } else if (Group.Eligible) {
+        Slice = classifyBoundaryGroup(Group);
       }
       if (!Group.Eligible) {
         // Clean-and-ineligible prefix: skip it on the next call too.
@@ -900,8 +930,8 @@ private:
       // copy-in's source: data flows in -> use -> out, so substituting the
       // fresh tensor with the in-source leaves the copy-out rewritten to a
       // correct (possibly non-trivial) store of that source.
-      TensorSlice Source = *classifyBoundaryGroup(Group); // Copy:
-          // substituteTensor rewrites the op holding the source slice.
+      TensorSlice Source = *Slice; // Copy: substituteTensor rewrites the op
+                                   // holding the source slice.
       Group.Eligible = false; // The fresh tensor's id never comes back.
       substituteTensor(Group.Tensor, Source);
       bumpRewrite();
@@ -976,7 +1006,11 @@ private:
   }
 
   /// Replaces every reference to whole-\p From (op slices and partition
-  /// bases) with \p To, rebasing partitions rooted at From.
+  /// bases) with \p To, rebasing partitions rooted at From. Seeding is
+  /// batched: per-op seeding would rescan the shared roots' toucher lists
+  /// once per rewritten user (the forwarding profile's dominant cost), and
+  /// the queued-flag dedup makes one final sweep over the union of
+  /// affected roots produce the identical worklist contents.
   void substituteTensor(TensorId From, const TensorSlice &To) {
     for (IRPartition &P : Module.partitions()) {
       if (P.Base.Tensor != From)
@@ -986,22 +1020,43 @@ private:
       else
         P.Base.Tensor = To.Tensor; // Chain root updates below.
     }
-    std::vector<uint32_t> Users = S.TensorUsers[From]; // Copy: mutation
-                                                       // edits the list.
+    std::vector<uint32_t> &Users = S.SubstUsers; // Copy: mutation edits the
+    Users = S.TensorUsers[From];                 // list. Capacity pools.
+    std::vector<TensorId> &Affected = S.SubstRoots;
+    Affected.clear();
+    auto NoteRoot = [&Affected](TensorId T) {
+      for (TensorId Have : Affected)
+        if (Have == T)
+          return;
+      Affected.push_back(T);
+    };
     for (uint32_t Slot : Users) {
       if (!alive(Slot))
         continue;
-      mutateSlices(Slot, [&] {
-        forEachSlice(op(Slot), [&](TensorSlice &Slice) {
-          if (Slice.Tensor != From)
-            return;
-          if (Slice.isWhole())
-            Slice = To;
-          else
-            Slice.Tensor = To.Tensor;
-        });
+      Operation &Op = op(Slot);
+      removeTouches(Slot);
+      adjustReadCounts(Op, -1);
+      collectRoots(Op, S.RootsB); // Old roots.
+      for (TensorId T : S.RootsB)
+        NoteRoot(T);
+      forEachSlice(Op, [&](TensorSlice &Slice) {
+        if (Slice.Tensor != From)
+          return;
+        if (Slice.isWhole())
+          Slice = To;
+        else
+          Slice.Tensor = To.Tensor;
       });
+      adjustReadCounts(Op, +1);
+      addTouches(Slot); // Uses RootsA = new roots.
+      for (TensorId T : S.RootsA)
+        NoteRoot(T);
+      recomputeSeedMask(Slot);
+      dirtyBoundaryGroup(Op);
+      markDirtyLoops(Slot);
     }
+    for (TensorId T : Affected)
+      seedTensor(T);
   }
 
   //===--- Pattern: self-copy elimination (Figure 10d) ---------------------===//
@@ -1589,47 +1644,82 @@ void cypress::assignExecUnits(IRModule &Module) {
 // Event scope repair (shared by copy elimination and resource allocation)
 //===----------------------------------------------------------------------===//
 
-void cypress::repairEventScopes(IRModule &Module) {
-  // Definition environment per event: the chain of loop ops entered to
-  // reach the defining block (empty = root block). Every event defined in
-  // one loop nest shares a chain, so chains are stored once per nest and
-  // events map to a chain index — no per-event vector copies.
-  std::vector<std::vector<const Operation *>> Chains;
-  Chains.emplace_back(); // Chain 0: the root block.
-  constexpr uint32_t NoChain = ~0u;
-  std::vector<uint32_t> ChainOf(Module.numEvents(), NoChain);
-  std::vector<const Operation *> Chain;
-  std::function<void(const IRBlock &, uint32_t)> Collect =
-      [&](const IRBlock &Block, uint32_t ChainId) {
-        for (const std::unique_ptr<Operation> &Op : Block.Ops) {
-          if (Op->Result != InvalidEventId &&
-              Op->Result < Module.numEvents())
-            ChainOf[Op->Result] = ChainId;
-          if (Op->Kind == OpKind::For || Op->Kind == OpKind::PFor) {
-            Chain.push_back(Op.get());
-            Chains.push_back(Chain);
-            Collect(Op->Body, static_cast<uint32_t>(Chains.size()) - 1);
-            Chain.pop_back();
-          }
-        }
-      };
-  Collect(Module.root(), 0);
+namespace {
 
-  std::vector<EventRef> Kept, Unique; // Pooled across ops (swap below).
-  std::function<void(IRBlock &)> Fix = [&](IRBlock &Block) {
+/// Pooled state for repairEventScopes: the repair runs once per pipeline
+/// stage AND once per copy-elimination fixpoint, so its tables are pooled
+/// per thread and the recursion is direct (no std::function dispatch).
+struct ScopeRepairScratch {
+  std::vector<std::vector<const Operation *>> Chains;
+  size_t NumChains = 0; ///< Live prefix of Chains (rest keep capacity).
+  std::vector<uint32_t> ChainOf;
+  std::vector<const Operation *> Chain;
+  std::vector<EventRef> Kept, Unique;
+
+  std::vector<const Operation *> &freshChain() {
+    if (NumChains == Chains.size())
+      Chains.emplace_back();
+    std::vector<const Operation *> &C = Chains[NumChains++];
+    C.clear();
+    return C;
+  }
+};
+
+ScopeRepairScratch &scopeRepairScratch() {
+  thread_local ScopeRepairScratch Scratch;
+  return Scratch;
+}
+
+constexpr uint32_t NoChain = ~0u;
+
+/// Definition environment per event: the chain of loop ops entered to
+/// reach the defining block (empty = root block). Every event defined in
+/// one loop nest shares a chain, so chains are stored once per nest and
+/// events map to a chain index — no per-event vector copies.
+class ScopeRepairer {
+public:
+  ScopeRepairer(IRModule &Module, ScopeRepairScratch &S)
+      : Module(Module), S(S) {}
+
+  void run() {
+    S.NumChains = 0;
+    S.freshChain(); // Chain 0: the root block.
+    S.ChainOf.assign(Module.numEvents(), NoChain);
+    S.Chain.clear();
+    collect(Module.root(), 0);
+    S.Chain.clear();
+    fix(Module.root());
+  }
+
+private:
+  void collect(const IRBlock &Block, uint32_t ChainId) {
+    for (const std::unique_ptr<Operation> &Op : Block.Ops) {
+      if (Op->Result != InvalidEventId && Op->Result < Module.numEvents())
+        S.ChainOf[Op->Result] = ChainId;
+      if (Op->Kind == OpKind::For || Op->Kind == OpKind::PFor) {
+        S.Chain.push_back(Op.get());
+        S.freshChain().assign(S.Chain.begin(), S.Chain.end());
+        collect(Op->Body, static_cast<uint32_t>(S.NumChains) - 1);
+        S.Chain.pop_back();
+      }
+    }
+  }
+
+  void fix(IRBlock &Block) {
     for (std::unique_ptr<Operation> &Op : Block.Ops) {
-      Kept.clear();
+      S.Kept.clear();
       for (EventRef &Ref : Op->Preconds) {
         if (Ref.Event >= Module.numEvents() ||
-            ChainOf[Ref.Event] == NoChain)
+            S.ChainOf[Ref.Event] == NoChain)
           continue; // Producer erased without rewiring: drop.
-        const std::vector<const Operation *> &Def = Chains[ChainOf[Ref.Event]];
+        const std::vector<const Operation *> &Def =
+            S.Chains[S.ChainOf[Ref.Event]];
         size_t Common = 0;
-        while (Common < Def.size() && Common < Chain.size() &&
-               Def[Common] == Chain[Common])
+        while (Common < Def.size() && Common < S.Chain.size() &&
+               Def[Common] == S.Chain[Common])
           ++Common;
         if (Common == Def.size()) {
-          Kept.push_back(std::move(Ref));
+          S.Kept.push_back(std::move(Ref));
           continue;
         }
         // The event lives inside loops the user is not in; wait for the
@@ -1644,13 +1734,13 @@ void cypress::repairEventScopes(IRModule &Module) {
         const EventType &Type = Module.event(Loop->Result).Type;
         for (size_t D = 0; D < Type.Dims.size(); ++D)
           Repl.Indices.push_back(EventIndex::broadcast());
-        Kept.push_back(std::move(Repl));
+        S.Kept.push_back(std::move(Repl));
       }
       // Deduplicate structurally identical references.
-      Unique.clear();
-      for (EventRef &Ref : Kept) {
+      S.Unique.clear();
+      for (EventRef &Ref : S.Kept) {
         bool Seen = false;
-        for (const EventRef &Have : Unique) {
+        for (const EventRef &Have : S.Unique) {
           if (Have.Event != Ref.Event || Have.IterLag != Ref.IterLag ||
               Have.Indices.size() != Ref.Indices.size())
             continue;
@@ -1670,18 +1760,25 @@ void cypress::repairEventScopes(IRModule &Module) {
           }
         }
         if (!Seen)
-          Unique.push_back(std::move(Ref));
+          S.Unique.push_back(std::move(Ref));
       }
-      Op->Preconds.swap(Unique);
+      Op->Preconds.swap(S.Unique);
       if (Op->Kind == OpKind::For || Op->Kind == OpKind::PFor) {
-        Chain.push_back(Op.get());
-        Fix(Op->Body);
-        Chain.pop_back();
+        S.Chain.push_back(Op.get());
+        fix(Op->Body);
+        S.Chain.pop_back();
       }
     }
-  };
-  Chain.clear();
-  Fix(Module.root());
+  }
+
+  IRModule &Module;
+  ScopeRepairScratch &S;
+};
+
+} // namespace
+
+void cypress::repairEventScopes(IRModule &Module) {
+  ScopeRepairer(Module, scopeRepairScratch()).run();
 }
 
 std::unique_ptr<Pass> cypress::createCopyEliminationPass() {

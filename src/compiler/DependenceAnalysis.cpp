@@ -215,10 +215,25 @@ public:
   IRBlock &block() { return *Blocks.back(); }
 
   EventId freshEvent(EventType Type = {}) {
-    // "e%u" built by concatenation: formatString's vsnprintf shows up in
-    // traversal profiles at this call rate.
-    return Module.addEvent("e" + std::to_string(++EventCounter),
-                           std::move(Type));
+    // "e%u" fits in the SSO buffer; assemble it in place so the traversal
+    // never touches the allocator for event names.
+    char Buf[16];
+    unsigned Len = formatTag(Buf, 'e', ++EventCounter);
+    return Module.addEvent(std::string(Buf, Len), std::move(Type));
+  }
+
+  /// Writes "<Prefix><Value>" into \p Buf (no terminator); returns length.
+  static unsigned formatTag(char (&Buf)[16], char Prefix, unsigned Value) {
+    char Digits[12];
+    unsigned N = 0;
+    do {
+      Digits[N++] = static_cast<char>('0' + Value % 10);
+      Value /= 10;
+    } while (Value);
+    Buf[0] = Prefix;
+    for (unsigned I = 0; I < N; ++I)
+      Buf[1 + I] = Digits[N - 1 - I];
+    return 1 + N;
   }
 
   Operation &emit(OpKind Kind) {
@@ -236,10 +251,11 @@ public:
 
   void noteLocal(TensorId Tensor) { scope().get(Tensor).Local = true; }
 
-  /// Dependencies for reading \p Tensor in the current scope; records the
-  /// external use when the tensor lives further out (the enclosing loop op
-  /// then carries the dependence, per Figure 8's for-loop wiring).
-  std::vector<EventRef> readDeps(TensorId Tensor) {
+  /// Dependencies for reading \p Tensor in the current scope appended onto
+  /// \p Deps (pooled by the caller); records the external use when the
+  /// tensor lives further out (the enclosing loop op then carries the
+  /// dependence, per Figure 8's for-loop wiring).
+  void appendReadDeps(TensorId Tensor, std::vector<EventRef> &Deps) {
     Scope &S = scope();
     TensorState *State = S.find(Tensor);
     if (!State || !State->Local)
@@ -247,27 +263,40 @@ public:
     // get() may have created the slot; re-find for the dependence check.
     State = S.find(Tensor);
     if (State && State->HasWrite)
-      return {State->LastWrite};
-    return {};
+      Deps.push_back(State->LastWrite);
   }
 
   /// Dependencies for writing \p Tensor (RAW on the last writer plus WAR on
-  /// all readers since).
-  std::vector<EventRef> writeDeps(TensorId Tensor) {
+  /// all readers since), appended onto \p Deps.
+  void appendWriteDeps(TensorId Tensor, std::vector<EventRef> &Deps) {
     Scope &S = scope();
     TensorState *State = S.find(Tensor);
     if (!State || !State->Local)
       S.get(Tensor).ExtWritten = true;
     State = S.find(Tensor);
-    std::vector<EventRef> Deps;
     if (!State)
-      return Deps;
+      return;
     if (State->HasWrite)
       Deps.push_back(State->LastWrite);
     for (const EventRef &R : State->Reads)
       Deps.push_back(R);
-    return Deps;
   }
+
+  /// Pooled scratch for dependence lists; cleared by each user before use.
+  std::vector<EventRef> DepScratch;
+
+  /// Per-compile dispatch memo (see recordLaunch); pointers into the const
+  /// MappingSpec/TaskRegistry stay valid for the whole traversal.
+  struct DispatchEntry {
+    const TaskMapping *Caller;
+    std::string Task;
+    const TaskMapping *Child;
+    const TaskVariant *Variant;
+  };
+  std::vector<DispatchEntry> DispatchCache;
+
+  /// Pooled buffer for assembling dotted tensor names.
+  std::string NameBuf;
 
   void recordRead(TensorId Tensor, EventRef Event) {
     scope().get(Tensor).Reads.push_back(std::move(Event));
@@ -281,54 +310,60 @@ public:
   }
 
   /// Runs \p Body inside a fresh scope whose ops are emitted into \p Into;
-  /// returns the external-use summary for the loop op's dependence wiring,
-  /// in first-use order (finishLoop re-sorts by tensor id).
-  std::vector<std::pair<TensorId, ExternalUse>>
-  withLoopScope(IRBlock &Into, const std::function<void()> &Body) {
+  /// pushes the external-use summary for the loop op's dependence wiring
+  /// onto the pooled ExternalStack in first-use order (finishLoop re-sorts
+  /// by tensor id) and returns the base index of this loop's entries.
+  size_t withLoopScope(IRBlock &Into, const std::function<void()> &Body) {
     Scope &Inner = Stack.push();
     Blocks.push_back(&Into);
     Body();
     Blocks.pop_back();
-    std::vector<std::pair<TensorId, ExternalUse>> External;
+    size_t Base = ExternalStack.size();
     for (size_t I = 0; I < Inner.Size; ++I) {
       const TensorState &State = Inner.Slots[I];
       if (State.ExtRead || State.ExtWritten)
-        External.emplace_back(State.Tensor,
-                              ExternalUse{State.ExtRead, State.ExtWritten});
+        ExternalStack.emplace_back(
+            State.Tensor, ExternalUse{State.ExtRead, State.ExtWritten});
     }
     Stack.pop();
-    return External;
+    return Base;
   }
 
   /// Wires a finished loop op into the enclosing scope: collects entry
-  /// dependencies for every external tensor the body touched and updates
-  /// outer versions with the loop's completion event. Iterates in tensor-id
-  /// order (the hashed table has none) so the loop's precondition list —
-  /// which prints in the IR and feeds the verifier's diagnostics — stays
-  /// deterministic.
-  void finishLoop(Operation &Loop,
-                  std::vector<std::pair<TensorId, ExternalUse>> External,
-                  EventRef LoopDone) {
-    std::vector<std::pair<TensorId, ExternalUse>> Ordered =
-        std::move(External);
-    std::sort(Ordered.begin(), Ordered.end(),
+  /// dependencies for every external tensor the body touched (the
+  /// ExternalStack entries from \p ExternalBase on, consumed here) and
+  /// updates outer versions with the loop's completion event. Iterates in
+  /// tensor-id order (the traversal order has none) so the loop's
+  /// precondition list — which prints in the IR and feeds the verifier's
+  /// diagnostics — stays deterministic.
+  void finishLoop(Operation &Loop, size_t ExternalBase, EventRef LoopDone) {
+    auto Begin = ExternalStack.begin() + static_cast<long>(ExternalBase);
+    std::sort(Begin, ExternalStack.end(),
               [](const std::pair<TensorId, ExternalUse> &A,
                  const std::pair<TensorId, ExternalUse> &B) {
                 return A.first < B.first;
               });
-    for (const auto &[Tensor, Use] : Ordered) {
-      // readDeps/writeDeps also propagate the external use outward, so
-      // grand-parent loops see it at their own exits.
-      std::vector<EventRef> Deps =
-          Use.Written ? writeDeps(Tensor) : readDeps(Tensor);
-      for (EventRef &Dep : Deps)
+    for (size_t I = ExternalBase; I < ExternalStack.size(); ++I) {
+      const auto [Tensor, Use] = ExternalStack[I];
+      // appendReadDeps/appendWriteDeps also propagate the external use
+      // outward, so grand-parent loops see it at their own exits.
+      DepScratch.clear();
+      if (Use.Written)
+        appendWriteDeps(Tensor, DepScratch);
+      else
+        appendReadDeps(Tensor, DepScratch);
+      for (EventRef &Dep : DepScratch)
         addPrecond(Loop, std::move(Dep));
       if (Use.Written)
         recordWrite(Tensor, LoopDone);
       else
         recordRead(Tensor, LoopDone);
     }
+    ExternalStack.resize(ExternalBase);
   }
+
+  /// Pooled loop-external summaries; stack discipline across nested loops.
+  std::vector<std::pair<TensorId, ExternalUse>> ExternalStack;
 
   static void addPrecond(Operation &Op, EventRef Ref) {
     if (Op.Preconds.empty())
@@ -509,7 +544,8 @@ void AnalysisContext::srange(ScalarExpr Extent,
   Operation &Loop = A.emit(OpKind::For);
   LoopVarId Var = A.module().freshLoopVar();
   Loop.LoopVar = Var;
-  Loop.LoopVarName = "k" + std::to_string(Var);
+  char Tag[16];
+  Loop.LoopVarName.assign(Tag, Analysis::formatTag(Tag, 'k', Var));
   Loop.LoopLo = ScalarExpr(0);
   Loop.LoopHi = Extent;
   Loop.ExecProc = Instance.Proc;
@@ -518,7 +554,7 @@ void AnalysisContext::srange(ScalarExpr Extent,
   A.module().event(Loop.Result).Producer = Loop.Id;
 
   A.pushPipeline(Instance.PipelineDepth);
-  std::vector<std::pair<TensorId, ExternalUse>> External = A.withLoopScope(
+  size_t External = A.withLoopScope(
       Loop.Body,
       [&] { Body(ScalarExpr::loopVar(Var, Loop.LoopVarName)); });
   A.popPipeline();
@@ -532,7 +568,7 @@ void AnalysisContext::srange(ScalarExpr Extent,
       }
     }
   }
-  A.finishLoop(Loop, std::move(External), EventRef::unit(Loop.Result));
+  A.finishLoop(Loop, External, EventRef::unit(Loop.Result));
 }
 
 void AnalysisContext::prange(
@@ -556,7 +592,8 @@ void AnalysisContext::prange(
   Operation &Loop = A.emit(OpKind::PFor);
   LoopVarId Var = A.module().freshLoopVar();
   Loop.LoopVar = Var;
-  Loop.LoopVarName = "i" + std::to_string(Var);
+  char Tag[16];
+  Loop.LoopVarName.assign(Tag, Analysis::formatTag(Tag, 'i', Var));
   Loop.LoopLo = ScalarExpr(0);
   Loop.LoopHi = ScalarExpr(Total);
   Loop.ExecProc = Instance.Proc;
@@ -582,8 +619,7 @@ void AnalysisContext::prange(
   bool SavedWarpSpec = A.PrangeChildWarpSpec;
   A.PrangeChildProc.reset();
   A.PrangeChildWarpSpec = false;
-  std::vector<std::pair<TensorId, ExternalUse>> External =
-      A.withLoopScope(Loop.Body, [&] { Body(Indices); });
+  size_t External = A.withLoopScope(Loop.Body, [&] { Body(Indices); });
   if (!A.PrangeChildProc) {
     A.fail("prange body launched no tasks; cannot infer processor level");
     return;
@@ -612,7 +648,7 @@ void AnalysisContext::prange(
   EventRef Done;
   Done.Event = Loop.Result;
   Done.Indices.push_back(EventIndex::broadcast());
-  A.finishLoop(Loop, std::move(External), Done);
+  A.finishLoop(Loop, External, Done);
 }
 
 //===----------------------------------------------------------------------===//
@@ -629,13 +665,31 @@ void Analysis::recordLaunch(AnalysisContext &Caller,
   const TaskRegistry &Registry = *Input.Registry;
   const MappingSpec &Mapping = *Input.Mapping;
 
-  ErrorOr<std::string> ChildName = Mapping.dispatch(Registry, CallerInst, Task);
-  if (!ChildName) {
-    fail(ChildName.diagnostic().message());
-    return;
+  // Dispatch + instance + variant resolution is a pure function of the
+  // (calling instance, task) pair, and launches repeat the same few pairs
+  // every loop iteration: memoize per compile (a short linear scan beats
+  // the rule walk plus two string-keyed map lookups).
+  const TaskMapping *ChildPtr = nullptr;
+  const TaskVariant *VariantPtr = nullptr;
+  for (const DispatchEntry &Entry : DispatchCache)
+    if (Entry.Caller == &CallerInst && Entry.Task == Task) {
+      ChildPtr = Entry.Child;
+      VariantPtr = Entry.Variant;
+      break;
+    }
+  if (!ChildPtr) {
+    ErrorOr<std::string> ChildName =
+        Mapping.dispatch(Registry, CallerInst, Task);
+    if (!ChildName) {
+      fail(ChildName.diagnostic().message());
+      return;
+    }
+    ChildPtr = &Mapping.instance(*ChildName);
+    VariantPtr = &Registry.variant(ChildPtr->Variant);
+    DispatchCache.push_back({&CallerInst, Task, ChildPtr, VariantPtr});
   }
-  const TaskMapping &Child = Mapping.instance(*ChildName);
-  const TaskVariant &Variant = Registry.variant(Child.Variant);
+  const TaskMapping &Child = *ChildPtr;
+  const TaskVariant &Variant = *VariantPtr;
 
   if (Variant.Params.size() != Args.size()) {
     fail(formatString("launch of %s passes %zu tensors but variant %s takes "
@@ -670,10 +724,14 @@ void Analysis::recordLaunch(AnalysisContext &Caller,
     const TensorSlice &Arg = Caller.slice(Args[I]);
     Shape ArgShape = Module.sliceShape(Arg);
     ElementType Elem = Module.tensor(Arg.Tensor).Type.Element;
-    TensorId Id = Module.addTensor(Child.Instance + "." +
-                                       Variant.Params[I].Name + "." +
-                                       std::to_string(++TempCounter),
-                                   TensorType{ArgShape, Elem},
+    // Assemble "<instance>.<param>.<n>" in the pooled buffer: one exact
+    // allocation for the stored name instead of a chain of temporaries.
+    NameBuf.assign(Child.Instance);
+    NameBuf += '.';
+    NameBuf += Variant.Params[I].Name;
+    char Tag[16];
+    NameBuf.append(Tag, formatTag(Tag, '.', ++TempCounter));
+    TensorId Id = Module.addTensor(NameBuf, TensorType{ArgShape, Elem},
                                    Child.Mems[I]);
     IRTensor &T = Module.tensor(Id);
     T.HomeProc = Child.Proc;
@@ -699,7 +757,9 @@ void Analysis::recordLaunch(AnalysisContext &Caller,
     Copy.BoundaryTensor = Fresh[I];
     Copy.Result = freshEvent();
     Module.event(Copy.Result).Producer = Copy.Id;
-    for (EventRef &Dep : readDeps(Arg.Tensor))
+    DepScratch.clear();
+    appendReadDeps(Arg.Tensor, DepScratch);
+    for (EventRef &Dep : DepScratch)
       addPrecond(Copy, std::move(Dep));
     recordRead(Arg.Tensor, EventRef::unit(Copy.Result));
     recordWrite(Fresh[I], EventRef::unit(Copy.Result));
@@ -722,10 +782,12 @@ void Analysis::recordLaunch(AnalysisContext &Caller,
     Call.Result = freshEvent();
     Module.event(Call.Result).Producer = Call.Id;
     for (size_t I = 0, E = Args.size(); I != E; ++I) {
-      std::vector<EventRef> Deps =
-          privilegeWrites(Variant.Params[I].Priv) ? writeDeps(Fresh[I])
-                                                  : readDeps(Fresh[I]);
-      for (EventRef &Dep : Deps)
+      DepScratch.clear();
+      if (privilegeWrites(Variant.Params[I].Priv))
+        appendWriteDeps(Fresh[I], DepScratch);
+      else
+        appendReadDeps(Fresh[I], DepScratch);
+      for (EventRef &Dep : DepScratch)
         addPrecond(Call, std::move(Dep));
     }
     for (size_t I = 0, E = Args.size(); I != E; ++I) {
@@ -758,9 +820,10 @@ void Analysis::recordLaunch(AnalysisContext &Caller,
     Copy.BoundaryTensor = Fresh[I];
     Copy.Result = freshEvent();
     Module.event(Copy.Result).Producer = Copy.Id;
-    for (EventRef &Dep : readDeps(Fresh[I]))
-      addPrecond(Copy, std::move(Dep));
-    for (EventRef &Dep : writeDeps(Arg.Tensor))
+    DepScratch.clear();
+    appendReadDeps(Fresh[I], DepScratch);
+    appendWriteDeps(Arg.Tensor, DepScratch);
+    for (EventRef &Dep : DepScratch)
       addPrecond(Copy, std::move(Dep));
     recordRead(Fresh[I], EventRef::unit(Copy.Result));
     recordWrite(Arg.Tensor, EventRef::unit(Copy.Result));

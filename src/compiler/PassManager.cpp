@@ -6,6 +6,7 @@
 
 #include "compiler/PassManager.h"
 
+#include "support/AllocCounter.h"
 #include "support/Format.h"
 
 #include <chrono>
@@ -40,7 +41,15 @@ ErrorOr<IRModule> PassPipeline::run(const CompileInput &Input,
 
   PipelineStats Stats;
   Clock::time_point PipelineStart = Clock::now();
+  // The counter is global but thread-local in what it counts, so enabling
+  // it here only perturbs other threads by the cost of a relaxed load per
+  // allocation; the per-pass diffs below see this thread alone.
+  bool WasCounting = allocCountingEnabled();
+  if (CountAllocs)
+    setAllocCounting(true);
   auto Finish = [&]() {
+    if (CountAllocs)
+      setAllocCounting(WasCounting);
     Stats.TotalMicros = microsSince(PipelineStart);
     if (StatsOut)
       *StatsOut = std::move(Stats);
@@ -51,9 +60,12 @@ ErrorOr<IRModule> PassPipeline::run(const CompileInput &Input,
     Stat.Name = P->name();
     State.Counters = PassCounters();
 
+    uint64_t AllocsBefore = CountAllocs ? threadAllocCount() : 0;
     Clock::time_point PassStart = Clock::now();
     ErrorOrVoid Result = P->run(State);
     Stat.Micros = microsSince(PassStart);
+    if (CountAllocs)
+      Stat.HeapAllocs = threadAllocCount() - AllocsBefore;
     Stat.Rewrites = State.Counters.Rewrites;
     Stat.WorklistPops = State.Counters.WorklistPops;
     Stat.OpsAfter = countOps(State.Module);

@@ -56,6 +56,10 @@ struct PassStat {
   size_t TensorsAfter = 0;  ///< Tensors in the module after the pass.
   uint64_t Rewrites = 0;    ///< Pattern rewrites the pass applied.
   uint64_t WorklistPops = 0;///< Worklist candidates the pass examined.
+  uint64_t HeapAllocs = 0;  ///< Heap allocations during the pass (only
+                            ///< when the pipeline's CountAllocs opt-in is
+                            ///< set and the AllocCounter hook is live;
+                            ///< zero otherwise).
 };
 
 /// Statistics for one full pipeline run.
@@ -126,6 +130,14 @@ public:
   void setVerifyEachPass(bool Enable) { VerifyEachPass = Enable; }
   bool verifyEachPass() const { return VerifyEachPass; }
 
+  /// Record each pass's heap-allocation count into PassStat::HeapAllocs
+  /// (see support/AllocCounter.h). Off by default: counting enables a
+  /// global allocator hook for the duration of run(), which perturbs other
+  /// threads' allocation costs, so only measurement harnesses
+  /// (bench_compile_time, the steady-state tests) should turn it on.
+  void setCountAllocs(bool Enable) { CountAllocs = Enable; }
+  bool countAllocs() const { return CountAllocs; }
+
   /// Dump the IR to the print stream after every pass. The environment
   /// variable CYPRESS_PRINT_IR_AFTER_ALL enables this too.
   void setPrintIRAfterAll(bool Enable) { PrintIRAfterAll = Enable; }
@@ -150,6 +162,7 @@ public:
 private:
   std::vector<std::unique_ptr<Pass>> Passes;
   bool VerifyEachPass = true;
+  bool CountAllocs = false;
   bool PrintIRAfterAll = false;
   std::ostream *PrintStream = nullptr; ///< nullptr = stderr.
 };

@@ -25,6 +25,11 @@
 /// the first writer of the later tensor waits on the last readers of the
 /// earlier one, preventing reuse hazards.
 ///
+/// All tables live in pooled thread-local scratch indexed densely by tensor
+/// id or range index (interference is a flat bit matrix — the shared-tensor
+/// count per block is small), so steady-state tuner sweeps neither hash nor
+/// allocate here.
+///
 //===----------------------------------------------------------------------===//
 
 #include "compiler/PassManager.h"
@@ -33,8 +38,6 @@
 #include "support/MathUtil.h"
 
 #include <algorithm>
-#include <map>
-#include <set>
 
 using namespace cypress;
 
@@ -48,8 +51,39 @@ struct LiveRange {
   size_t FirstUse = 0;   ///< Flattened position of the first def/use.
   size_t LastUse = 0;    ///< Flattened position of the last use.
   Operation *FirstWriter = nullptr;
-  std::vector<Operation *> LastReaders;
+  Operation *LastReader = nullptr; ///< Latest read position's op.
 };
+
+constexpr uint32_t NoRange = ~0u;
+
+/// Pooled per-run tables. LiveRange holds raw Operation pointers, so the
+/// scratch never outlives one run() call's module walk.
+struct AllocScratch {
+  std::vector<Operation *> Order;     ///< Flattened pre-order op sequence.
+  std::vector<LiveRange> Ranges;
+  std::vector<int64_t> WgExtent;      ///< By tensor id; 0 = no alloc seen.
+  std::vector<uint32_t> RangeOf;      ///< By tensor id; NoRange = none.
+  std::vector<uint8_t> Edge;          ///< N*N interference bit matrix.
+  std::vector<std::pair<size_t, size_t>> Auxiliary;
+  std::vector<size_t> BySize;
+  std::vector<int64_t> Offsets;
+  std::vector<std::pair<int64_t, int64_t>> Forbidden;
+  std::vector<uint8_t> RegCounted;    ///< By tensor id.
+  /// One op's tensor uses, merged across duplicate occurrences and sorted
+  /// by id so range discovery order matches the historical all-tensors
+  /// scan at each position.
+  struct Use {
+    TensorId Tensor;
+    bool Reads;
+    bool Writes;
+  };
+  std::vector<Use> Uses;
+};
+
+AllocScratch &allocScratch() {
+  thread_local AllocScratch Scratch;
+  return Scratch;
+}
 
 /// Flattens the block body (including loop bodies) into a linear order used
 /// for live-range construction. Ops inside loops conservatively extend live
@@ -62,37 +96,18 @@ void linearize(IRBlock &Block, std::vector<Operation *> &Out) {
   }
 }
 
-bool opUsesTensor(const Operation &Op, TensorId Tensor, bool &Reads,
-                  bool &Writes) {
-  Reads = Writes = false;
-  if (Op.Kind == OpKind::Alloc)
-    return Op.AllocTensor == Tensor;
-  if (Op.Kind == OpKind::Copy) {
-    Reads = Op.CopySrc.Tensor == Tensor;
-    Writes = Op.CopyDst.Tensor == Tensor;
-    return Reads || Writes;
-  }
-  if (Op.Kind == OpKind::Call) {
-    for (size_t I = 0, E = Op.Args.size(); I != E; ++I) {
-      if (Op.Args[I].Tensor != Tensor)
-        continue;
-      Reads = true; // Read-write args also read.
-      Writes = Writes || Op.ArgIsWritten[I];
-    }
-    return Reads || Writes;
-  }
-  return false;
-}
-
 class Allocator {
 public:
   Allocator(IRModule &Module, const MachineModel &Machine)
-      : Module(Module), Machine(Machine) {}
+      : Module(Module), Machine(Machine), S(allocScratch()) {}
 
   ErrorOr<SharedAllocation> run() {
+    S.Order.clear();
+    linearize(Module.root(), S.Order);
     if (ErrorOrVoid Regs = checkRegisterPressure(); !Regs)
       return Regs.diagnostic();
     collectRanges();
+    std::vector<LiveRange> &Ranges = S.Ranges;
     if (Ranges.empty())
       return SharedAllocation{};
 
@@ -102,20 +117,20 @@ public:
 
     // Complete interference graph: every unordered pair starts present.
     // Auxiliary edges are those whose live ranges do not truly overlap.
-    std::set<std::pair<size_t, size_t>> Edges;
-    std::vector<std::pair<size_t, size_t>> Auxiliary;
-    for (size_t I = 0; I < Ranges.size(); ++I) {
-      for (size_t J = I + 1; J < Ranges.size(); ++J) {
-        Edges.insert({I, J});
+    size_t N = Ranges.size();
+    S.Edge.assign(N * N, 1);
+    S.Auxiliary.clear();
+    for (size_t I = 0; I < N; ++I) {
+      for (size_t J = I + 1; J < N; ++J) {
         bool Overlap = Ranges[I].FirstUse <= Ranges[J].LastUse &&
                        Ranges[J].FirstUse <= Ranges[I].LastUse;
         if (!Overlap)
-          Auxiliary.push_back({I, J});
+          S.Auxiliary.push_back({I, J});
       }
     }
     // Remove the largest-combined-size auxiliary edges first: each removal
     // buys the most space, so total aliasing stays minimal.
-    std::sort(Auxiliary.begin(), Auxiliary.end(),
+    std::sort(S.Auxiliary.begin(), S.Auxiliary.end(),
               [&](const auto &A, const auto &B) {
                 int64_t SA = Ranges[A.first].Bytes + Ranges[A.second].Bytes;
                 int64_t SB = Ranges[B.first].Bytes + Ranges[B.second].Bytes;
@@ -125,18 +140,20 @@ public:
     size_t NextRelax = 0;
     SharedAllocation Result;
     while (true) {
-      std::optional<SharedAllocation> Attempt = tryAllocate(Edges, Budget);
+      std::optional<SharedAllocation> Attempt = tryAllocate(Budget);
       if (Attempt) {
         Result = std::move(*Attempt);
         break;
       }
-      if (NextRelax == Auxiliary.size())
+      if (NextRelax == S.Auxiliary.size())
         return Diagnostic(formatString(
             "shared memory allocation exceeds the per-block budget of %lld "
             "bytes even with maximal aliasing; map fewer tensors to shared "
             "memory or reduce tile sizes",
             static_cast<long long>(Budget)));
-      Edges.erase(Auxiliary[NextRelax++]);
+      auto [EI, EJ] = S.Auxiliary[NextRelax++];
+      S.Edge[EI * N + EJ] = 0;
+      S.Edge[EJ * N + EI] = 0;
     }
 
     insertWarEdges(Result);
@@ -156,35 +173,35 @@ private:
     // Live-range-insensitive sum: register tensors in our kernels are live
     // for essentially the whole block.
     int64_t PerThreadBytes = 0;
-    std::set<TensorId> Counted;
-    walkOps(Module.root(), [&](const Operation &Op) {
-      auto Count = [&](TensorId Id) {
-        const IRTensor &T = Module.tensor(Id);
-        if (T.Mem != Memory::Register || Counted.count(Id))
-          return;
-        Counted.insert(Id);
-        int64_t Threads = 1;
-        switch (T.HomeProc) {
-        case Processor::Warpgroup:
-          Threads = H100Constants::ThreadsPerWarp *
-                    H100Constants::WarpsPerWarpgroup;
-          break;
-        case Processor::Warp:
-          Threads = H100Constants::ThreadsPerWarp;
-          break;
-        default:
-          break;
-        }
-        PerThreadBytes += ceilDiv(T.Type.sizeBytes(), Threads);
-      };
-      if (Op.Kind == OpKind::Copy) {
-        Count(Op.CopySrc.Tensor);
-        Count(Op.CopyDst.Tensor);
-      } else if (Op.Kind == OpKind::Call) {
-        for (const TensorSlice &Slice : Op.Args)
+    S.RegCounted.assign(Module.tensors().size(), 0);
+    auto Count = [&](TensorId Id) {
+      const IRTensor &T = Module.tensor(Id);
+      if (T.Mem != Memory::Register || S.RegCounted[Id])
+        return;
+      S.RegCounted[Id] = 1;
+      int64_t Threads = 1;
+      switch (T.HomeProc) {
+      case Processor::Warpgroup:
+        Threads = H100Constants::ThreadsPerWarp *
+                  H100Constants::WarpsPerWarpgroup;
+        break;
+      case Processor::Warp:
+        Threads = H100Constants::ThreadsPerWarp;
+        break;
+      default:
+        break;
+      }
+      PerThreadBytes += ceilDiv(T.Type.sizeBytes(), Threads);
+    };
+    for (const Operation *Op : S.Order) {
+      if (Op->Kind == OpKind::Copy) {
+        Count(Op->CopySrc.Tensor);
+        Count(Op->CopyDst.Tensor);
+      } else if (Op->Kind == OpKind::Call) {
+        for (const TensorSlice &Slice : Op->Args)
           Count(Slice.Tensor);
       }
-    });
+    }
     if (PerThreadBytes > BytesPerThread)
       return Diagnostic(formatString(
           "register allocation needs %lld bytes per thread but the machine "
@@ -195,59 +212,78 @@ private:
     return ErrorOrVoid::success();
   }
 
-  void collectRanges() {
-    std::vector<Operation *> Order;
-    linearize(Module.root(), Order);
+  /// Appends \p Op's shared-memory tensor uses to S.Uses, merging duplicate
+  /// occurrences (a read-write call argument both reads and writes).
+  void gatherUses(Operation &Op) {
+    S.Uses.clear();
+    auto Note = [&](TensorId Tensor, bool Reads, bool Writes) {
+      if (Module.tensor(Tensor).Mem != Memory::Shared)
+        return;
+      for (AllocScratch::Use &U : S.Uses)
+        if (U.Tensor == Tensor) {
+          U.Reads |= Reads;
+          U.Writes |= Writes;
+          return;
+        }
+      S.Uses.push_back({Tensor, Reads, Writes});
+    };
+    if (Op.Kind == OpKind::Alloc) {
+      Note(Op.AllocTensor, false, false);
+    } else if (Op.Kind == OpKind::Copy) {
+      Note(Op.CopySrc.Tensor, true, false);
+      Note(Op.CopyDst.Tensor, false, true);
+    } else if (Op.Kind == OpKind::Call) {
+      for (size_t I = 0, E = Op.Args.size(); I != E; ++I)
+        Note(Op.Args[I].Tensor, true, Op.ArgIsWritten[I]);
+    }
+    // Range discovery order must match the historical per-position scan
+    // over the module tensor table, i.e. ascending tensor id.
+    std::sort(S.Uses.begin(), S.Uses.end(),
+              [](const AllocScratch::Use &A, const AllocScratch::Use &B) {
+                return A.Tensor < B.Tensor;
+              });
+  }
 
+  void collectRanges() {
     // Tensors allocated inside flattened warpgroup context have one
     // physical instance per warpgroup; their footprint scales accordingly.
-    std::map<TensorId, int64_t> WgExtent;
-    walkOps(Module.root(), [&](const Operation &Op) {
-      if (Op.Kind != OpKind::Alloc)
-        return;
+    S.WgExtent.assign(Module.tensors().size(), 0);
+    for (const Operation *Op : S.Order) {
+      if (Op->Kind != OpKind::Alloc)
+        continue;
       int64_t Extent = 1;
-      for (const EventDim &Dim : Op.VecContext)
+      for (const EventDim &Dim : Op->VecContext)
         if (Dim.Proc == Processor::Warpgroup)
           Extent = Dim.Extent;
-      WgExtent[Op.AllocTensor] = Extent;
-    });
+      S.WgExtent[Op->AllocTensor] = Extent;
+    }
 
-    std::map<TensorId, size_t> Seen;
-    for (size_t Pos = 0; Pos < Order.size(); ++Pos) {
-      Operation &Op = *Order[Pos];
-      for (const IRTensor &T : Module.tensors()) {
-        if (T.Mem != Memory::Shared)
-          continue;
-        bool Reads = false, Writes = false;
-        if (!opUsesTensor(Op, T.Id, Reads, Writes))
-          continue;
-        size_t Index;
-        if (auto It = Seen.find(T.Id); It != Seen.end()) {
-          Index = It->second;
-        } else {
-          Index = Ranges.size();
-          Seen.emplace(T.Id, Index);
+    S.Ranges.clear();
+    S.RangeOf.assign(Module.tensors().size(), NoRange);
+    for (size_t Pos = 0; Pos < S.Order.size(); ++Pos) {
+      Operation &Op = *S.Order[Pos];
+      gatherUses(Op);
+      for (const AllocScratch::Use &U : S.Uses) {
+        uint32_t Index = S.RangeOf[U.Tensor];
+        if (Index == NoRange) {
+          Index = static_cast<uint32_t>(S.Ranges.size());
+          S.RangeOf[U.Tensor] = Index;
+          const IRTensor &T = Module.tensor(U.Tensor);
           LiveRange R;
-          R.Tensor = T.Id;
-          int64_t Instances = 1;
-          if (auto WgIt = WgExtent.find(T.Id); WgIt != WgExtent.end())
-            Instances = WgIt->second;
+          R.Tensor = U.Tensor;
+          int64_t Instances =
+              S.WgExtent[U.Tensor] ? S.WgExtent[U.Tensor] : 1;
           R.Bytes =
               alignUp(T.Type.sizeBytes(), 128) * T.PipelineDepth * Instances;
           R.FirstUse = Pos;
-          Ranges.push_back(R);
+          S.Ranges.push_back(R);
         }
-        LiveRange &R = Ranges[Index];
+        LiveRange &R = S.Ranges[Index];
         R.LastUse = Pos;
-        if (Writes && !R.FirstWriter && Op.Kind != OpKind::Alloc)
+        if (U.Writes && !R.FirstWriter && Op.Kind != OpKind::Alloc)
           R.FirstWriter = &Op;
-        if (Reads && Op.Kind != OpKind::Alloc) {
-          // Maintain the set of current last readers (everything at the
-          // final read position; simplest: keep the latest reader only,
-          // plus collect all at the end).
-          R.LastReaders.clear();
-          R.LastReaders.push_back(&Op);
-        }
+        if (U.Reads && Op.Kind != OpKind::Alloc)
+          R.LastReader = &Op; // Latest read position wins.
       }
     }
   }
@@ -255,55 +291,52 @@ private:
   /// First-fit offset assignment honoring the interference graph: tensors
   /// connected by an edge must not overlap in addresses; unconnected
   /// tensors are packed greedily and may alias.
-  std::optional<SharedAllocation>
-  tryAllocate(const std::set<std::pair<size_t, size_t>> &Edges,
-              int64_t Budget) {
+  std::optional<SharedAllocation> tryAllocate(int64_t Budget) {
+    std::vector<LiveRange> &Ranges = S.Ranges;
+    size_t N = Ranges.size();
     // Sort by size descending for better packing.
-    std::vector<size_t> BydSize(Ranges.size());
-    for (size_t I = 0; I < BydSize.size(); ++I)
-      BydSize[I] = I;
-    std::sort(BydSize.begin(), BydSize.end(), [&](size_t A, size_t B) {
+    S.BySize.resize(N);
+    for (size_t I = 0; I < N; ++I)
+      S.BySize[I] = I;
+    std::sort(S.BySize.begin(), S.BySize.end(), [&](size_t A, size_t B) {
       if (Ranges[A].Bytes != Ranges[B].Bytes)
         return Ranges[A].Bytes > Ranges[B].Bytes;
       return A < B;
     });
 
-    std::vector<int64_t> Offsets(Ranges.size(), -1);
+    S.Offsets.assign(N, -1);
     int64_t High = 0;
-    for (size_t I : BydSize) {
+    for (size_t I : S.BySize) {
       // Collect forbidden intervals from already-placed neighbors.
-      std::vector<std::pair<int64_t, int64_t>> Forbidden;
-      for (size_t J = 0; J < Ranges.size(); ++J) {
-        if (J == I || Offsets[J] < 0)
+      S.Forbidden.clear();
+      for (size_t J = 0; J < N; ++J) {
+        if (J == I || S.Offsets[J] < 0 || !S.Edge[I * N + J])
           continue;
-        auto Key = std::minmax(I, J);
-        if (!Edges.count({Key.first, Key.second}))
-          continue;
-        Forbidden.push_back({Offsets[J], Offsets[J] + Ranges[J].Bytes});
+        S.Forbidden.push_back({S.Offsets[J], S.Offsets[J] + Ranges[J].Bytes});
       }
-      std::sort(Forbidden.begin(), Forbidden.end());
+      std::sort(S.Forbidden.begin(), S.Forbidden.end());
       int64_t Candidate = 0;
-      for (const auto &[Lo, Hi] : Forbidden) {
+      for (const auto &[Lo, Hi] : S.Forbidden) {
         if (Candidate + Ranges[I].Bytes <= Lo)
           break;
         Candidate = std::max(Candidate, Hi);
       }
       if (Candidate + Ranges[I].Bytes > Budget)
         return std::nullopt;
-      Offsets[I] = Candidate;
+      S.Offsets[I] = Candidate;
       High = std::max(High, Candidate + Ranges[I].Bytes);
     }
 
     SharedAllocation Result;
     Result.TotalBytes = High;
-    for (size_t I = 0; I < Ranges.size(); ++I)
-      Result.Entries.push_back({Ranges[I].Tensor, Offsets[I],
+    for (size_t I = 0; I < N; ++I)
+      Result.Entries.push_back({Ranges[I].Tensor, S.Offsets[I],
                                 Ranges[I].Bytes});
     // Record aliased pairs (address overlap).
-    for (size_t I = 0; I < Ranges.size(); ++I)
-      for (size_t J = I + 1; J < Ranges.size(); ++J) {
-        bool Overlap = Offsets[I] < Offsets[J] + Ranges[J].Bytes &&
-                       Offsets[J] < Offsets[I] + Ranges[I].Bytes;
+    for (size_t I = 0; I < N; ++I)
+      for (size_t J = I + 1; J < N; ++J) {
+        bool Overlap = S.Offsets[I] < S.Offsets[J] + Ranges[J].Bytes &&
+                       S.Offsets[J] < S.Offsets[I] + Ranges[I].Bytes;
         if (Overlap)
           Result.AliasedPairs.push_back(
               {Ranges[I].Tensor, Ranges[J].Tensor});
@@ -315,35 +348,31 @@ private:
   /// the earlier tensor's last readers (write-after-read on the shared
   /// physical buffer).
   void insertWarEdges(const SharedAllocation &Alloc) {
-    std::map<TensorId, size_t> Index;
-    for (size_t I = 0; I < Ranges.size(); ++I)
-      Index[Ranges[I].Tensor] = I;
     for (const auto &[TA, TB] : Alloc.AliasedPairs) {
-      LiveRange &A = Ranges[Index[TA]];
-      LiveRange &B = Ranges[Index[TB]];
+      LiveRange &A = S.Ranges[S.RangeOf[TA]];
+      LiveRange &B = S.Ranges[S.RangeOf[TB]];
       // Order by live range: earlier one's readers gate later's writer.
       LiveRange &Early = A.LastUse <= B.FirstUse ? A : B;
       LiveRange &Late = A.LastUse <= B.FirstUse ? B : A;
-      if (!Late.FirstWriter)
+      if (!Late.FirstWriter || !Early.LastReader)
         continue;
-      for (Operation *Reader : Early.LastReaders) {
-        if (Reader->Result == InvalidEventId)
-          continue;
-        EventRef Ref;
-        Ref.Event = Reader->Result;
-        const EventType &Type = Module.event(Reader->Result).Type;
-        for (const EventDim &Dim : Type.Dims) {
-          (void)Dim;
-          Ref.Indices.push_back(EventIndex::broadcast());
-        }
-        Late.FirstWriter->Preconds.push_back(std::move(Ref));
+      Operation *Reader = Early.LastReader;
+      if (Reader->Result == InvalidEventId)
+        continue;
+      EventRef Ref;
+      Ref.Event = Reader->Result;
+      const EventType &Type = Module.event(Reader->Result).Type;
+      for (const EventDim &Dim : Type.Dims) {
+        (void)Dim;
+        Ref.Indices.push_back(EventIndex::broadcast());
       }
+      Late.FirstWriter->Preconds.push_back(std::move(Ref));
     }
   }
 
   IRModule &Module;
   const MachineModel &Machine;
-  std::vector<LiveRange> Ranges;
+  AllocScratch &S;
 };
 
 } // namespace

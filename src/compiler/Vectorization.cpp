@@ -77,10 +77,22 @@ void substituteInPartitions(IRModule &Module, LoopVarId Var,
   }
 }
 
+/// Pooled per-thread buffers: flattening is called once per implicit pfor
+/// per compile, and tuner sweeps compile back to back.
+struct VectScratch {
+  std::vector<EventId> BodyEvents;
+  std::vector<EventDim> Inner;
+};
+
+VectScratch &vectScratch() {
+  thread_local VectScratch Scratch;
+  return Scratch;
+}
+
 class Vectorizer {
 public:
   Vectorizer(IRModule &Module, const MachineModel &Machine)
-      : Module(Module), Machine(Machine) {}
+      : Module(Module), Machine(Machine), S(vectScratch()) {}
 
   ErrorOrVoid run() {
     std::vector<EventDim> Context;
@@ -157,7 +169,8 @@ private:
     // included — nested implicit pfors were flattened already, so their
     // events now live directly in this body). Sorted vector: the member
     // tests below are the flattening loop's innermost operation.
-    std::vector<EventId> BodyEvents;
+    std::vector<EventId> &BodyEvents = S.BodyEvents;
+    BodyEvents.clear();
     for (std::unique_ptr<Operation> &Op : Loop->Body.Ops)
       if (Op->Result != InvalidEventId)
         BodyEvents.push_back(Op->Result);
@@ -201,9 +214,11 @@ private:
     }
 
     // Splice the body into the parent, annotating the flattened context.
-    std::vector<EventDim> Inner = Context;
+    // Annotate first, then insert the whole body with one tail shift
+    // (per-op inserts would shift the parent's tail once per body op).
+    std::vector<EventDim> &Inner = S.Inner;
+    Inner.assign(Context.begin(), Context.end());
     Inner.push_back(NewDim);
-    size_t At = Index;
     for (std::unique_ptr<Operation> &Op : Loop->Body.Ops) {
       // Entry ops (no intra-body precondition) inherit the loop's
       // preconditions.
@@ -219,9 +234,10 @@ private:
       Op->VecContext.assign(Inner.begin(), Inner.end());
       if (Op->Kind == OpKind::For)
         stampContext(Op->Body, Inner);
-      Block.Ops.insert(Block.Ops.begin() + static_cast<long>(At++),
-                       std::move(Op));
     }
+    Block.Ops.insert(Block.Ops.begin() + static_cast<long>(Index),
+                     std::make_move_iterator(Loop->Body.Ops.begin()),
+                     std::make_move_iterator(Loop->Body.Ops.end()));
   }
 
   void stampContext(IRBlock &Block, const std::vector<EventDim> &Context) {
@@ -308,6 +324,7 @@ private:
 
   IRModule &Module;
   [[maybe_unused]] const MachineModel &Machine;
+  VectScratch &S;
   std::optional<Diagnostic> Failure;
 };
 

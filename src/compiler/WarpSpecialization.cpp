@@ -28,15 +28,28 @@
 #include "compiler/PassManager.h"
 #include "compiler/Passes.h"
 
-#include <set>
-
 using namespace cypress;
 
 namespace {
 
+/// Pooled per-thread tables indexed by tensor id. The tensor table is
+/// small, so dense masks beat node-allocating sets, and the scratch keeps
+/// its capacity across the compiles of a tuner sweep.
+struct WsScratch {
+  std::vector<uint8_t> Buffered;        ///< PipelineDepth > 1 shared tiles.
+  std::vector<uint8_t> Shared;          ///< All shared tiles of the loop.
+  std::vector<Operation *> LastReader;  ///< Last body reader per tensor.
+};
+
+WsScratch &wsScratch() {
+  thread_local WsScratch Scratch;
+  return Scratch;
+}
+
 class WarpSpecializer {
 public:
-  explicit WarpSpecializer(IRModule &Module) : Module(Module) {}
+  explicit WarpSpecializer(IRModule &Module)
+      : Module(Module), S(wsScratch()) {}
 
   ErrorOrVoid run() {
     processBlock(Module.root(), /*InWarpSpec=*/false);
@@ -90,18 +103,20 @@ private:
     // 1. Identify the shared tiles of the loop body. Multi-buffered ones
     //    (PipelineDepth > 1) are hoisted and rotate through their buffers;
     //    depth-1 tiles stay in place but still need the WAR edge below.
-    std::set<TensorId> Buffered;
-    std::set<TensorId> AllShared;
+    S.Buffered.assign(Module.tensors().size(), 0);
+    S.Shared.assign(Module.tensors().size(), 0);
+    bool AnyShared = false;
     for (std::unique_ptr<Operation> &Op : Parent.Ops[LoopIndex]->Body.Ops)
       if (Op->Kind == OpKind::Alloc) {
         IRTensor &T = Module.tensor(Op->AllocTensor);
         if (T.Mem != Memory::Shared)
           continue;
-        AllShared.insert(T.Id);
+        S.Shared[T.Id] = 1;
+        AnyShared = true;
         if (T.PipelineDepth > 1)
-          Buffered.insert(T.Id);
+          S.Buffered[T.Id] = 1;
       }
-    if (AllShared.empty())
+    if (!AnyShared)
       return 0;
 
     // 2. Hoist their allocations before the loop: one allocation of
@@ -111,7 +126,7 @@ private:
     for (size_t I = 0; I < Parent.Ops[LoopIndex + Hoisted]->Body.Ops.size();) {
       IRBlock &Body = Parent.Ops[LoopIndex + Hoisted]->Body;
       Operation &Op = *Body.Ops[I];
-      if (Op.Kind == OpKind::Alloc && Buffered.count(Op.AllocTensor)) {
+      if (Op.Kind == OpKind::Alloc && S.Buffered[Op.AllocTensor]) {
         std::unique_ptr<Operation> Alloc = std::move(Body.Ops[I]);
         Body.Ops.erase(Body.Ops.begin() + static_cast<long>(I));
         Parent.Ops.insert(Parent.Ops.begin() + static_cast<long>(LoopIndex),
@@ -128,42 +143,35 @@ private:
     //    (k mod PIPE), like `sA[_, _, k % PIPE]` in Figure 1b.
     ScalarExpr Var = ScalarExpr::loopVar(Loop.LoopVar, Loop.LoopVarName);
     ScalarExpr BufIdx = Var.mod(ScalarExpr(Depth));
-    walkOps(Body, [&](Operation &Op) {
-      auto Fix = [&](TensorSlice &Slice) {
-        if (Buffered.count(Slice.Tensor))
-          Slice.BufferIndex = BufIdx;
-      };
-      if (Op.Kind == OpKind::Copy) {
-        Fix(Op.CopySrc);
-        Fix(Op.CopyDst);
-      } else if (Op.Kind == OpKind::Call) {
-        for (TensorSlice &Slice : Op.Args)
-          Fix(Slice);
-      }
-    });
+    rewriteBufferIndices(Body, BufIdx);
 
     // 4. Backward anti-dependence edges: a copy writing buffer X at
     //    iteration k reuses the physical buffer of iteration k - PIPE, so
     //    it must wait for X's consumers from that iteration (vacuously
     //    satisfied for k < PIPE). This is the `wait(cons[k % PIPE])` of
-    //    Figure 1b.
+    //    Figure 1b. One body pass records the last reader of every shared
+    //    tile; the writer loop then looks it up instead of rescanning.
+    S.LastReader.assign(Module.tensors().size(), nullptr);
+    for (std::unique_ptr<Operation> &Op : Body.Ops) {
+      if (Op->Result == InvalidEventId)
+        continue;
+      if (Op->Kind == OpKind::Copy) {
+        TensorId Src = Op->CopySrc.Tensor;
+        if (S.Shared[Src])
+          S.LastReader[Src] = Op.get();
+      } else if (Op->Kind == OpKind::Call) {
+        for (const TensorSlice &Slice : Op->Args)
+          if (S.Shared[Slice.Tensor])
+            S.LastReader[Slice.Tensor] = Op.get();
+      }
+    }
     for (std::unique_ptr<Operation> &Writer : Body.Ops) {
       if (Writer->Kind != OpKind::Copy)
         continue;
       TensorId Dst = Writer->CopyDst.Tensor;
-      if (!AllShared.count(Dst))
+      if (!S.Shared[Dst])
         continue;
-      Operation *LastReader = nullptr;
-      for (std::unique_ptr<Operation> &Op : Body.Ops) {
-        bool Reads = false;
-        if (Op->Kind == OpKind::Copy)
-          Reads = Op->CopySrc.Tensor == Dst;
-        else if (Op->Kind == OpKind::Call)
-          for (const TensorSlice &Slice : Op->Args)
-            Reads |= Slice.Tensor == Dst;
-        if (Reads && Op->Result != InvalidEventId)
-          LastReader = Op.get();
-      }
+      Operation *LastReader = S.LastReader[Dst];
       if (!LastReader)
         continue;
       EventRef Ref;
@@ -173,11 +181,31 @@ private:
         Ref.Indices.push_back(EventIndex::broadcast());
       // Depth-1 tiles reuse their single buffer every iteration; deeper
       // pipelines reuse PIPE iterations back.
-      Ref.IterLag =
-          Buffered.count(Dst) ? Depth : 1;
+      Ref.IterLag = S.Buffered[Dst] ? Depth : 1;
       Writer->Preconds.push_back(std::move(Ref));
     }
     return Hoisted;
+  }
+
+  /// Stamps `k % PIPE` buffer indices on every slice of a multi-buffered
+  /// tile, recursing into nested loop bodies (direct recursion: this runs
+  /// per pipelined loop, so std::function dispatch per op adds up).
+  void rewriteBufferIndices(IRBlock &Block, const ScalarExpr &BufIdx) {
+    for (std::unique_ptr<Operation> &Op : Block.Ops) {
+      auto Fix = [&](TensorSlice &Slice) {
+        if (S.Buffered[Slice.Tensor])
+          Slice.BufferIndex = BufIdx;
+      };
+      if (Op->Kind == OpKind::Copy) {
+        Fix(Op->CopySrc);
+        Fix(Op->CopyDst);
+      } else if (Op->Kind == OpKind::Call) {
+        for (TensorSlice &Slice : Op->Args)
+          Fix(Slice);
+      }
+      if (Op->Kind == OpKind::For || Op->Kind == OpKind::PFor)
+        rewriteBufferIndices(Op->Body, BufIdx);
+    }
   }
 
   void fail(std::string Message) {
@@ -186,6 +214,7 @@ private:
   }
 
   IRModule &Module;
+  WsScratch &S;
   std::optional<Diagnostic> Failure;
 };
 

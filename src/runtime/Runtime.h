@@ -61,20 +61,25 @@ public:
 
   /// Timing-only simulation (fast; used by the benchmarks and the
   /// autotuner's candidate evaluation). Thread-safe on a shared kernel.
-  ErrorOr<SimResult> runTiming(const SimConfig &Config = SimConfig()) const {
+  /// Passing \p Pool (e.g. a CompilerSession) shards this one kernel's
+  /// expansion across its workers with bit-identical results; see
+  /// simulate() for the nesting caveat.
+  ErrorOr<SimResult> runTiming(const SimConfig &Config = SimConfig(),
+                               SimWorkerPool *Pool = nullptr) const {
     SimHints Hints = simHints();
     return simulate(Module, Alloc, Config, Leaves, {},
-                    Hints.NumOps ? &Hints : nullptr);
+                    Hints.NumOps ? &Hints : nullptr, Pool);
   }
 
   /// Timing plus functional execution into \p EntryBuffers (one per entry
   /// argument, shapes matching the compile-time types).
   ErrorOr<SimResult>
   runFunctional(const std::vector<TensorData *> &EntryBuffers,
-                const SimConfig &Config = SimConfig()) const {
+                const SimConfig &Config = SimConfig(),
+                SimWorkerPool *Pool = nullptr) const {
     SimHints Hints = simHints();
     return simulate(Module, Alloc, Config, Leaves, EntryBuffers,
-                    Hints.NumOps ? &Hints : nullptr);
+                    Hints.NumOps ? &Hints : nullptr, Pool);
   }
 
   /// One CUDA emission: the generated text plus the printer's counters

@@ -102,6 +102,19 @@ void CompilerSession::runParallel(size_t Items,
     CurrentJob = nullptr;
 }
 
+size_t CompilerSession::parallelism() const {
+  unsigned WorkerCount = Config.Workers;
+  if (WorkerCount == 0)
+    WorkerCount =
+        std::max(1u, std::min(4u, std::thread::hardware_concurrency()));
+  return WorkerCount;
+}
+
+void CompilerSession::parallelFor(size_t Items,
+                                  const std::function<void(size_t)> &Fn) {
+  runParallel(Items, Fn);
+}
+
 //===----------------------------------------------------------------------===//
 // Cache key
 //===----------------------------------------------------------------------===//

@@ -79,7 +79,15 @@ struct CacheStats {
 /// persistent worker pool. The pool is created lazily on the first batched
 /// call and reused for the session's lifetime, so sweeping clients (the
 /// autotuner) never pay per-batch thread spawns.
-class CompilerSession {
+///
+/// The session is also a SimWorkerPool: the same persistent workers that
+/// compile a batch can shard a single kernel's timing simulation
+/// (`Kernel->runTiming(SimConfig(), &Session)`). Never call parallelFor —
+/// directly or through runTiming — from code already running on the
+/// pool's own workers (e.g. a compileAll PostCompile hook): batches are
+/// serialized on a lock the outer batch still holds, so the nested
+/// submission would deadlock.
+class CompilerSession : public SimWorkerPool {
 public:
   explicit CompilerSession(SessionConfig Config = SessionConfig());
   ~CompilerSession();
@@ -133,6 +141,14 @@ public:
   /// stands in for body content), the full mapping, the machine, and the
   /// entry argument types. Exposed for tests and cache introspection.
   static std::string cacheKey(const CompileInput &Input);
+
+  /// SimWorkerPool: the worker count compileAll batches resolve to (the
+  /// configured Workers, or the hardware-derived default).
+  size_t parallelism() const override;
+  /// SimWorkerPool: runs \p Fn over the session's pool, the calling
+  /// thread participating. See the class comment for the nesting caveat.
+  void parallelFor(size_t Items,
+                   const std::function<void(size_t)> &Fn) override;
 
   SessionStats stats() const;
   /// Hits, misses, and resident-kernel count in one locked snapshot.

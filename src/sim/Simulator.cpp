@@ -119,6 +119,11 @@ struct OpRec {
   int64_t MinCoord = std::numeric_limits<int64_t>::max();
   int64_t MaxCoord = std::numeric_limits<int64_t>::min();
   bool HasCost = false;
+  /// Dense slots are assigned by a static pre-walk, so an op can hold a
+  /// slot without ever being reached (a zero-trip enclosing loop). Events
+  /// produced by unreached ops must size their slabs as if the producer
+  /// were unknown, exactly as when slots were assigned at first visit.
+  bool Visited = false;
 };
 
 /// One executable instance of an operation. All variable-length payloads
@@ -161,6 +166,80 @@ struct LoopInst {
   EventId Event = InvalidEventId;
 };
 
+/// One top-level unit of expansion work: a bare Copy/Call directly in the
+/// grid body, or one iteration of a top-level sequential loop. The unit
+/// list is what the sharded expansion distributes — contiguous ranges of
+/// it expand independently into private buffers, and concatenating the
+/// shards in index order reproduces the sequential instance order
+/// byte-for-byte.
+struct TopUnit {
+  const Operation *Op = nullptr;
+  int64_t Iter = 0;       ///< Loop iteration value (loop units only).
+  uint32_t TopLoop = ~0u; ///< Global loop-instance id; ~0u for bare ops.
+};
+
+/// Per-op facts one shard accumulates privately; the merge folds them into
+/// the global dense op table. Everything here is order-independent: min
+/// and max commute, the cost is a pure function of the op, and Visited is
+/// a disjunction.
+struct OpAcc {
+  Cost C;
+  int64_t MinCoord = std::numeric_limits<int64_t>::max();
+  int64_t MaxCoord = std::numeric_limits<int64_t>::min();
+  bool HasCost = false;
+  bool Visited = false;
+};
+
+/// Private output buffers of one expansion shard, mirroring the arena
+/// layout of TimerScratch. Loop-path entries are encoded so the merge can
+/// renumber without a per-shard map: values below the top-loop count name
+/// a global (pre-created) top-level loop instance, values at or above it
+/// name this shard's local loop instances and are shifted by the shard's
+/// final base offset. Pooled inside TimerScratch so steady-state sharded
+/// runs allocate nothing.
+struct ShardBuf {
+  std::vector<InstRec> Insts;
+  std::vector<std::vector<uint32_t>> Streams; ///< Shard-local inst indices.
+  std::vector<int64_t> Coords;
+  std::vector<uint32_t> LoopPaths; ///< Encoded loop-instance ids.
+  std::vector<PrecondDesc> Preconds;
+  std::vector<SmemPre> SmemPres;
+  std::vector<LoopInst> Loops;       ///< Nested loop instances (local ids).
+  std::vector<int64_t> TopRemaining; ///< Contributions to top-level loops.
+  std::vector<OpAcc> Ops;
+  // Expansion cursor state (kept here so its capacity pools too).
+  std::vector<int64_t> CoordStack;
+  std::vector<uint32_t> LoopPath;
+  /// Loop-variable bindings are overwritten in place and deliberately NOT
+  /// erased on scope exit or between runs: each erase/re-emplace pair is a
+  /// map-node allocation, which would put an alloc on every top-level loop
+  /// iteration. The verifier guarantees expressions only reference
+  /// in-scope variables, so stale bindings are never read.
+  ScalarEnv Env;
+  std::optional<Diagnostic> Failure;
+
+  void reset(size_t NumAgents, size_t NumOps, size_t NumTopLoops) {
+    Insts.clear();
+    Coords.clear();
+    LoopPaths.clear();
+    Preconds.clear();
+    SmemPres.clear();
+    Loops.clear();
+    Streams.resize(NumAgents);
+    for (std::vector<uint32_t> &Stream : Streams)
+      Stream.clear();
+    TopRemaining.assign(NumTopLoops, 0);
+    Ops.assign(NumOps, OpAcc());
+    CoordStack.clear();
+    LoopPath.clear();
+    Env.ProcIndices[Processor::Block] = 0;
+    Env.ProcIndices[Processor::Warpgroup] = 0;
+    Env.ProcIndices[Processor::Warp] = 0;
+    Env.ProcIndices[Processor::Thread] = 0;
+    Failure.reset();
+  }
+};
+
 /// All per-run state of the timing simulator, pooled across runs: clear()
 /// resets sizes but keeps capacity, so steady-state simulation performs no
 /// allocation. One scratch exists per thread (runTiming is const and may be
@@ -180,12 +259,16 @@ struct TimerScratch {
   std::vector<LoopInst> Loops;
   std::vector<SmemAccess> Accesses;
   std::vector<uint32_t> ChainArena; ///< Enclosing-loop dense ids per op.
+  std::vector<TopUnit> Units;       ///< Top-level expansion work list.
+  std::vector<ShardBuf> Shards;     ///< Per-shard buffers (pooled).
   // Scheduler / race-detector scratch.
   std::vector<size_t> Cursor;
   std::vector<double> Ready;
   std::vector<uint32_t> RaceOrder, RaceActive;
 
-  void reset(size_t NumAgents, size_t NumEvents, const SimHints *Hints) {
+  /// Clears everything except the per-agent streams, which are sized once
+  /// the static pre-walk has counted the warpgroups (see buildStreams).
+  void reset(size_t NumEvents, const SimHints *Hints) {
     Insts.clear();
     Coords.clear();
     LoopPaths.clear();
@@ -203,9 +286,8 @@ struct TimerScratch {
     Loops.clear();
     Accesses.clear();
     ChainArena.clear();
-    Streams.resize(NumAgents);
-    for (std::vector<uint32_t> &Stream : Streams)
-      Stream.clear();
+    Units.clear();
+    // Shards are reset per run by the expansion (only the ones it uses).
     Events.assign(NumEvents, EventRec());
     if (Hints) {
       // IR statistics from the compile that produced the module (the pass
@@ -227,9 +309,9 @@ class BlockTimer {
 public:
   BlockTimer(const IRModule &Module, const SharedAllocation &Alloc,
              const SimConfig &Config, const Operation &Grid,
-             TimerScratch &S, const SimHints *Hints)
+             TimerScratch &S, const SimHints *Hints, SimWorkerPool *Pool)
       : Module(Module), Alloc(Alloc), Config(Config), Grid(Grid), S(S),
-        Hints(Hints) {
+        Hints(Hints), Pool(Pool) {
     Env.ProcIndices[Processor::Block] = 0;
     Env.ProcIndices[Processor::Warpgroup] = 0;
     Env.ProcIndices[Processor::Warp] = 0;
@@ -261,119 +343,253 @@ public:
 private:
   //===--- Stream construction --------------------------------------------===//
 
-  /// Number of compute warpgroup agents: the widest warpgroup dim seen.
-  int64_t numWarpgroups() const {
-    int64_t Count = 1;
-    walkOps(Grid.Body, [&](const Operation &Op) {
-      Count = std::max(Count, warpgroupExtent(Op));
-    });
-    return Count;
-  }
-
   void buildStreams() {
-    int64_t Wgs = numWarpgroups();
+    S.reset(Module.numEvents(), Hints);
+
+    // One static pre-walk over the grid body replaces the former
+    // warpgroup-count walk, the known-event walk, and the first-visit
+    // dense-id assignment of the dynamic expansion: it records every
+    // For/Copy/Call op's dense slot, depth, and enclosing-loop chain,
+    // takes the widest warpgroup extent, and marks the events produced
+    // inside the body (references to anything else are host-level and
+    // vacuously ready). Static ids are what let expansion shards run
+    // without shared mutable state.
+    indexOps(Grid.Body);
+
     // Agent 0 = DMA warp; agents 1..Wgs = compute warpgroups.
     NumAgents = 1 + static_cast<size_t>(Wgs);
-    S.reset(NumAgents, Module.numEvents(), Hints);
+    S.Streams.resize(NumAgents);
+    for (std::vector<uint32_t> &Stream : S.Streams)
+      Stream.clear();
 
-    // Events produced inside the grid body are the ones the timing model
-    // tracks; references to anything else (host-level events) are vacuously
-    // ready. Known-ness and replication are static, so they are recorded
-    // before expansion — expansion uses them to decide which warpgroup
-    // index expressions need evaluating.
-    walkOps(Grid.Body, [&](const Operation &Op) {
-      if (Op.Result == InvalidEventId)
-        return;
-      EventRec &Rec = S.Events[Op.Result];
-      Rec.Known = true;
-      Rec.WgReplicated = hasWarpgroupDim(Op);
-      S.KnownEvents.emplace_back(Op.Result, Op.Id);
-    });
-
-    expandBlock(Grid.Body);
+    buildUnits();
+    if (Failure)
+      return;
+    expandShards();
   }
 
-  /// Dense op-table slot for \p Op, assigned on first visit. Nesting is
-  /// static, so the op's depth and enclosing-loop chain are recorded once,
-  /// at slot creation.
-  uint32_t opIndex(const Operation &Op) {
+  /// The static pre-walk (see buildStreams). Mirrors walkOps order — op
+  /// before body, recursing into For and PFor alike — so the known-event
+  /// list is recorded in the same order as before. Dense slots are only
+  /// assigned to For/Copy/Call ops; ops under a PFor keep none, exactly
+  /// like the dynamic scheme (reaching a PFor fails the expansion, so
+  /// their slots could never have been created).
+  void indexOps(const IRBlock &Block) {
+    for (const std::unique_ptr<Operation> &Op : Block.Ops) {
+      Wgs = std::max(Wgs, warpgroupExtent(*Op));
+      if (Op->Result != InvalidEventId) {
+        EventRec &Rec = S.Events[Op->Result];
+        Rec.Known = true;
+        Rec.WgReplicated = hasWarpgroupDim(*Op);
+        S.KnownEvents.emplace_back(Op->Result, Op->Id);
+      }
+      switch (Op->Kind) {
+      case OpKind::Alloc:
+      case OpKind::MakePart:
+        break;
+      case OpKind::For:
+        LoopOpStack.push_back(assignDense(*Op));
+        indexOps(Op->Body);
+        LoopOpStack.pop_back();
+        break;
+      case OpKind::PFor:
+        indexOps(Op->Body);
+        break;
+      case OpKind::Copy:
+      case OpKind::Call:
+        assignDense(*Op);
+        break;
+      }
+    }
+  }
+
+  /// Dense op-table slot for \p Op. Nesting is static, so the op's depth
+  /// and enclosing-loop chain are recorded once, at slot creation.
+  uint32_t assignDense(const Operation &Op) {
     if (Op.Id >= S.OpDense.size())
       S.OpDense.resize(Op.Id + 1, ~0u);
-    uint32_t &Slot = S.OpDense[Op.Id];
-    if (Slot == ~0u) {
-      Slot = static_cast<uint32_t>(S.Ops.size());
-      S.Ops.emplace_back();
-      OpRec &Rec = S.Ops.back();
-      Rec.Depth = static_cast<uint32_t>(LoopOpStack.size());
-      Rec.ChainOff = static_cast<uint32_t>(S.ChainArena.size());
-      S.ChainArena.insert(S.ChainArena.end(), LoopOpStack.begin(),
-                          LoopOpStack.end());
-    }
+    uint32_t Slot = static_cast<uint32_t>(S.Ops.size());
+    S.OpDense[Op.Id] = Slot;
+    S.Ops.emplace_back();
+    OpRec &Rec = S.Ops.back();
+    Rec.Depth = static_cast<uint32_t>(LoopOpStack.size());
+    Rec.ChainOff = static_cast<uint32_t>(S.ChainArena.size());
+    S.ChainArena.insert(S.ChainArena.end(), LoopOpStack.begin(),
+                        LoopOpStack.end());
     return Slot;
   }
 
-  void expandBlock(const IRBlock &Block) {
-    for (const std::unique_ptr<Operation> &Op : Block.Ops) {
-      if (Failure)
-        return;
+  /// Flattens the grid body's top level into the unit work list: one unit
+  /// per bare Copy/Call and one per iteration of each top-level For. The
+  /// top-level loops' instances are created here (ids 0..NumTopLoops-1)
+  /// because their iterations may be split across shards — each shard
+  /// counts its body instances privately and the merge sums them.
+  void buildUnits() {
+    for (const std::unique_ptr<Operation> &Op : Grid.Body.Ops) {
       switch (Op->Kind) {
       case OpKind::Alloc:
       case OpKind::MakePart:
         break; // No runtime cost; addresses come from the allocator.
       case OpKind::For: {
-        uint32_t OpIdx = opIndex(*Op);
+        OpRec &Rec = S.Ops[S.OpDense[Op->Id]];
+        Rec.Visited = true;
         WgIndex->second = 0;
         int64_t Lo = Op->LoopLo.evaluate(Env);
         int64_t Hi = Op->LoopHi.evaluate(Env);
         if (Lo < Hi) {
-          OpRec &Rec = S.Ops[OpIdx];
           Rec.MinCoord = std::min(Rec.MinCoord, Lo);
           Rec.MaxCoord = std::max(Rec.MaxCoord, Hi - 1);
         }
         uint32_t LI = static_cast<uint32_t>(S.Loops.size());
         S.Loops.push_back({0, 0.0, Op->Result});
-        LoopPath.push_back(LI);
-        LoopOpStack.push_back(OpIdx);
-        auto [VarIt, Inserted] = Env.LoopVars.emplace(Op->LoopVar, 0);
-        (void)Inserted;
-        for (int64_t K = Lo; K < Hi; ++K) {
-          VarIt->second = K;
-          CoordStack.push_back(K);
-          expandBlock(Op->Body);
-          CoordStack.pop_back();
-        }
-        Env.LoopVars.erase(VarIt);
-        LoopOpStack.pop_back();
-        LoopPath.pop_back();
+        for (int64_t K = Lo; K < Hi; ++K)
+          S.Units.push_back({Op.get(), K, LI});
         break;
       }
       case OpKind::PFor:
         fail("nested parallel loops must be flattened before simulation");
         return;
       case OpKind::Copy:
-      case OpKind::Call: {
-        uint32_t OpIdx = opIndex(*Op);
-        bool Dma = Grid.WarpSpecialize && Op->DmaAgent;
-        if (hasWarpgroupDim(*Op)) {
-          for (int64_t Wg = 0; Wg < warpgroupExtent(*Op); ++Wg)
-            pushInstance(*Op, OpIdx, Wg,
-                         Dma ? 0 : 1 + static_cast<size_t>(Wg));
-        } else {
-          pushInstance(*Op, OpIdx, -1, Dma ? 0 : 1);
-        }
+      case OpKind::Call:
+        S.Units.push_back({Op.get(), 0, ~0u});
         break;
       }
+    }
+    NumTopLoops = static_cast<uint32_t>(S.Loops.size());
+  }
+
+  /// Splits the unit list into contiguous shards, expands each into its
+  /// private buffers (across the worker pool when one is available), and
+  /// merges in shard order. The shard count never changes results — only
+  /// which thread produced which contiguous slice — so any parallelism,
+  /// including none, yields bit-identical timing.
+  void expandShards() {
+    size_t NumUnits = S.Units.size();
+    size_t NumShards = 1;
+    if (Pool && NumUnits > 1)
+      NumShards = std::min(Pool->parallelism(), NumUnits);
+    if (S.Shards.size() < NumShards)
+      S.Shards.resize(NumShards);
+    for (size_t I = 0; I < NumShards; ++I) {
+      ShardBuf &B = S.Shards[I];
+      B.reset(NumAgents, S.Ops.size(), NumTopLoops);
+      if (Hints && Hints->NumOps) {
+        // The same IR statistics that pre-size the global tables, divided
+        // across the shards (each sees roughly 1/NumShards of the work).
+        size_t PerShard = Hints->NumOps / NumShards + 1;
+        B.Insts.reserve(PerShard);
+        B.Preconds.reserve(PerShard);
+        B.SmemPres.reserve(PerShard);
+      }
+    }
+    auto Work = [&](size_t Shard) {
+      expandUnitRange(S.Shards[Shard], NumUnits * Shard / NumShards,
+                      NumUnits * (Shard + 1) / NumShards);
+    };
+    if (NumShards > 1)
+      Pool->parallelFor(NumShards, Work);
+    else
+      Work(0);
+    mergeShards(NumShards);
+  }
+
+  /// Expands units [Begin, End) into \p B. Runs on a pool worker: reads
+  /// only immutable state (the IR, the allocation, the pre-walked dense
+  /// tables and event flags) and writes only \p B.
+  void expandUnitRange(ShardBuf &B, size_t Begin, size_t End) {
+    ScalarEnv &Env = B.Env;
+    auto WgIt = Env.ProcIndices.find(Processor::Warpgroup);
+    for (size_t U = Begin; U < End && !B.Failure; ++U) {
+      const TopUnit &Unit = S.Units[U];
+      B.CoordStack.clear();
+      B.LoopPath.clear();
+      if (Unit.TopLoop != ~0u) {
+        auto [VarIt, Inserted] =
+            Env.LoopVars.emplace(Unit.Op->LoopVar, Unit.Iter);
+        (void)Inserted;
+        VarIt->second = Unit.Iter;
+        B.CoordStack.push_back(Unit.Iter);
+        B.LoopPath.push_back(Unit.TopLoop);
+        expandShardBlock(B, Env, WgIt, Unit.Op->Body);
+      } else {
+        expandShardOp(B, Env, WgIt, *Unit.Op);
       }
     }
   }
 
-  /// Materializes one executable instance: interns its coordinates, loop
-  /// path, precondition descriptors, and shared-memory ranges, counts it
-  /// against every enclosing loop instance, and appends it to its agent's
-  /// stream. Everything environment-dependent is evaluated here, once.
-  void pushInstance(const Operation &Op, uint32_t OpIdx, int64_t Wg,
+  void expandShardBlock(ShardBuf &B, ScalarEnv &Env,
+                        std::map<Processor, int64_t>::iterator WgIt,
+                        const IRBlock &Block) {
+    for (const std::unique_ptr<Operation> &Op : Block.Ops) {
+      if (B.Failure)
+        return;
+      switch (Op->Kind) {
+      case OpKind::Alloc:
+      case OpKind::MakePart:
+        break; // No runtime cost; addresses come from the allocator.
+      case OpKind::For: {
+        OpAcc &Acc = B.Ops[S.OpDense[Op->Id]];
+        Acc.Visited = true;
+        WgIt->second = 0;
+        int64_t Lo = Op->LoopLo.evaluate(Env);
+        int64_t Hi = Op->LoopHi.evaluate(Env);
+        if (Lo < Hi) {
+          Acc.MinCoord = std::min(Acc.MinCoord, Lo);
+          Acc.MaxCoord = std::max(Acc.MaxCoord, Hi - 1);
+        }
+        // Encoded local id: shifted past the global top-level loops.
+        uint32_t LI = NumTopLoops + static_cast<uint32_t>(B.Loops.size());
+        B.Loops.push_back({0, 0.0, Op->Result});
+        B.LoopPath.push_back(LI);
+        auto [VarIt, Inserted] = Env.LoopVars.emplace(Op->LoopVar, 0);
+        (void)Inserted;
+        for (int64_t K = Lo; K < Hi; ++K) {
+          VarIt->second = K;
+          B.CoordStack.push_back(K);
+          expandShardBlock(B, Env, WgIt, Op->Body);
+          B.CoordStack.pop_back();
+        }
+        B.LoopPath.pop_back();
+        break;
+      }
+      case OpKind::PFor:
+        if (!B.Failure)
+          B.Failure = Diagnostic(
+              "nested parallel loops must be flattened before simulation");
+        return;
+      case OpKind::Copy:
+      case OpKind::Call:
+        expandShardOp(B, Env, WgIt, *Op);
+        break;
+      }
+    }
+  }
+
+  void expandShardOp(ShardBuf &B, ScalarEnv &Env,
+                     std::map<Processor, int64_t>::iterator WgIt,
+                     const Operation &Op) {
+    uint32_t OpIdx = S.OpDense[Op.Id];
+    bool Dma = Grid.WarpSpecialize && Op.DmaAgent;
+    if (hasWarpgroupDim(Op)) {
+      for (int64_t Wg = 0; Wg < warpgroupExtent(Op); ++Wg)
+        pushInstance(B, Env, WgIt, Op, OpIdx, Wg,
+                     Dma ? 0 : 1 + static_cast<size_t>(Wg));
+    } else {
+      pushInstance(B, Env, WgIt, Op, OpIdx, -1, Dma ? 0 : 1);
+    }
+  }
+
+  /// Materializes one executable instance into \p B: interns its
+  /// coordinates, loop path, precondition descriptors, and shared-memory
+  /// ranges, counts it against every enclosing loop instance, and appends
+  /// it to its agent's stream. Everything environment-dependent is
+  /// evaluated here, once.
+  void pushInstance(ShardBuf &B, ScalarEnv &Env,
+                    std::map<Processor, int64_t>::iterator WgIt,
+                    const Operation &Op, uint32_t OpIdx, int64_t Wg,
                     size_t Agent) {
-    OpRec &Info = S.Ops[OpIdx];
+    OpAcc &Info = B.Ops[OpIdx];
+    Info.Visited = true;
     if (!Info.HasCost) {
       Info.C = costOf(Op);
       Info.HasCost = true;
@@ -383,20 +599,28 @@ private:
     R.Op = &Op;
     R.Wg = static_cast<int32_t>(Wg);
     R.OpIdx = OpIdx;
-    R.Depth = static_cast<uint32_t>(CoordStack.size());
-    R.CoordOff = static_cast<uint32_t>(S.Coords.size());
-    S.Coords.insert(S.Coords.end(), CoordStack.begin(), CoordStack.end());
-    R.LoopOff = static_cast<uint32_t>(S.LoopPaths.size());
-    S.LoopPaths.insert(S.LoopPaths.end(), LoopPath.begin(), LoopPath.end());
+    R.Depth = static_cast<uint32_t>(B.CoordStack.size());
+    R.CoordOff = static_cast<uint32_t>(B.Coords.size());
+    B.Coords.insert(B.Coords.end(), B.CoordStack.begin(),
+                    B.CoordStack.end());
+    R.LoopOff = static_cast<uint32_t>(B.LoopPaths.size());
+    B.LoopPaths.insert(B.LoopPaths.end(), B.LoopPath.begin(),
+                       B.LoopPath.end());
 
     // Count every instance against every enclosing loop so the loop's
-    // completion event fires when all body instances have finished.
-    for (uint32_t LI : LoopPath)
-      ++S.Loops[LI].Remaining;
+    // completion event fires when all body instances have finished. The
+    // top-level loop a shard shares with its peers is counted privately
+    // and summed at merge time.
+    for (uint32_t LI : B.LoopPath) {
+      if (LI < NumTopLoops)
+        ++B.TopRemaining[LI];
+      else
+        ++B.Loops[LI - NumTopLoops].Remaining;
+    }
 
-    WgIndex->second = std::max<int64_t>(Wg, 0);
+    WgIt->second = std::max<int64_t>(Wg, 0);
 
-    R.PrecondOff = static_cast<uint32_t>(S.Preconds.size());
+    R.PrecondOff = static_cast<uint32_t>(B.Preconds.size());
     for (const EventRef &Ref : Op.Preconds) {
       PrecondDesc P;
       P.Event = Ref.Event;
@@ -417,16 +641,16 @@ private:
           }
         }
       }
-      S.Preconds.push_back(P);
+      B.Preconds.push_back(P);
     }
     R.PrecondCount =
-        static_cast<uint32_t>(S.Preconds.size()) - R.PrecondOff;
+        static_cast<uint32_t>(B.Preconds.size()) - R.PrecondOff;
 
     size_t IterHash = 0;
-    for (int64_t I : CoordStack)
+    for (int64_t I : B.CoordStack)
       IterHash = IterHash * 1000003u + static_cast<size_t>(I + 1);
 
-    R.SmemOff = static_cast<uint32_t>(S.SmemPres.size());
+    R.SmemOff = static_cast<uint32_t>(B.SmemPres.size());
     auto Record = [&](const TensorSlice &Slice, bool Write) {
       const IRTensor &T = Module.tensor(Slice.Tensor);
       if (T.Mem != Memory::Shared)
@@ -437,7 +661,7 @@ private:
       int64_t BufBytes = Entry->Bytes / std::max<int64_t>(T.PipelineDepth, 1);
       int64_t Buf = Slice.BufferIndex.evaluate(Env);
       int64_t Lo = Entry->Offset + Buf * BufBytes;
-      S.SmemPres.push_back({Slice.Tensor, Op.Id, Lo, Lo + BufBytes, IterHash,
+      B.SmemPres.push_back({Slice.Tensor, Op.Id, Lo, Lo + BufBytes, IterHash,
                             static_cast<int32_t>(Wg), Write});
     };
     if (Op.Kind == OpKind::Copy) {
@@ -447,10 +671,69 @@ private:
       for (size_t I = 0; I < Op.Args.size(); ++I)
         Record(Op.Args[I], Op.ArgIsWritten[I]);
     }
-    R.SmemCount = static_cast<uint32_t>(S.SmemPres.size()) - R.SmemOff;
+    R.SmemCount = static_cast<uint32_t>(B.SmemPres.size()) - R.SmemOff;
 
-    S.Insts.push_back(R);
-    S.Streams[Agent].push_back(static_cast<uint32_t>(S.Insts.size() - 1));
+    B.Insts.push_back(R);
+    B.Streams[Agent].push_back(static_cast<uint32_t>(B.Insts.size() - 1));
+  }
+
+  /// Concatenates the shard buffers into the global arenas in shard
+  /// order, fixing up offsets and renumbering shard-local loop instances
+  /// past the top-level ones. Because shards cover contiguous unit ranges
+  /// in order, the merged instance order is exactly the sequential
+  /// dynamic expansion order.
+  void mergeShards(size_t NumShards) {
+    for (size_t I = 0; I < NumShards && !Failure; ++I)
+      if (S.Shards[I].Failure)
+        Failure = S.Shards[I].Failure;
+    if (Failure)
+      return;
+    uint32_t LoopShift = 0; // Sum of earlier shards' local loop counts.
+    for (size_t SI = 0; SI < NumShards; ++SI) {
+      ShardBuf &B = S.Shards[SI];
+      for (size_t O = 0, E = B.Ops.size(); O != E; ++O) {
+        const OpAcc &Acc = B.Ops[O];
+        if (!Acc.Visited)
+          continue; // Shards only write facts about ops they reached.
+        OpRec &R = S.Ops[O];
+        R.Visited = true;
+        R.MinCoord = std::min(R.MinCoord, Acc.MinCoord);
+        R.MaxCoord = std::max(R.MaxCoord, Acc.MaxCoord);
+        if (Acc.HasCost && !R.HasCost) {
+          R.C = Acc.C;
+          R.HasCost = true;
+        }
+      }
+      for (uint32_t T = 0; T < NumTopLoops; ++T)
+        S.Loops[T].Remaining += B.TopRemaining[T];
+
+      uint32_t InstBase = static_cast<uint32_t>(S.Insts.size());
+      uint32_t CoordBase = static_cast<uint32_t>(S.Coords.size());
+      uint32_t LoopPathBase = static_cast<uint32_t>(S.LoopPaths.size());
+      uint32_t PrecondBase = static_cast<uint32_t>(S.Preconds.size());
+      uint32_t SmemBase = static_cast<uint32_t>(S.SmemPres.size());
+      for (const InstRec &Inst : B.Insts) {
+        InstRec R = Inst;
+        R.CoordOff += CoordBase;
+        R.LoopOff += LoopPathBase;
+        R.PrecondOff += PrecondBase;
+        R.SmemOff += SmemBase;
+        S.Insts.push_back(R);
+      }
+      S.Coords.insert(S.Coords.end(), B.Coords.begin(), B.Coords.end());
+      S.Preconds.insert(S.Preconds.end(), B.Preconds.begin(),
+                        B.Preconds.end());
+      S.SmemPres.insert(S.SmemPres.end(), B.SmemPres.begin(),
+                        B.SmemPres.end());
+      for (uint32_t Entry : B.LoopPaths)
+        S.LoopPaths.push_back(Entry < NumTopLoops ? Entry
+                                                  : Entry + LoopShift);
+      S.Loops.insert(S.Loops.end(), B.Loops.begin(), B.Loops.end());
+      for (size_t A = 0; A < NumAgents; ++A)
+        for (uint32_t Idx : B.Streams[A])
+          S.Streams[A].push_back(Idx + InstBase);
+      LoopShift += static_cast<uint32_t>(B.Loops.size());
+    }
   }
 
   //===--- Completion-time tables -----------------------------------------===//
@@ -467,6 +750,11 @@ private:
       EventRec &Rec = S.Events[Event];
       uint32_t Dense =
           ProducerId < S.OpDense.size() ? S.OpDense[ProducerId] : ~0u;
+      // A statically indexed producer that was never reached (zero-trip
+      // enclosing loop) sizes like an unknown one, as it did when slots
+      // were assigned at first dynamic visit.
+      if (Dense != ~0u && !S.Ops[Dense].Visited)
+        Dense = ~0u;
       Rec.Depth = 0;
       Rec.ChainOff = 0;
       Rec.CoordCount = 1;
@@ -495,7 +783,22 @@ private:
       fail("simulation iteration space too large for dense event tables");
       return;
     }
-    S.Times.assign(Total, std::numeric_limits<double>::quiet_NaN());
+    // The NaN fill of the completion-time arena is the one O(iteration
+    // space) initialization; chunk it across the pool when the arena is
+    // big enough for the fan-out to pay for itself. Disjoint ranges, so
+    // any chunk order produces the same bytes.
+    S.Times.resize(Total);
+    double *Data = S.Times.data();
+    const double NaN = std::numeric_limits<double>::quiet_NaN();
+    size_t Chunks = Pool ? Pool->parallelism() : 1;
+    if (Chunks > 1 && Total > (uint64_t(1) << 16)) {
+      Pool->parallelFor(Chunks, [&](size_t C) {
+        std::fill(Data + Total * C / Chunks,
+                  Data + Total * (C + 1) / Chunks, NaN);
+      });
+    } else {
+      std::fill(Data, Data + Total, NaN);
+    }
   }
 
   /// Strided linear index of the coordinate prefix Coords[0..Len) within
@@ -848,17 +1151,17 @@ private:
   const Operation &Grid;
   TimerScratch &S;
   const SimHints *Hints;
+  SimWorkerPool *Pool; ///< Null: expand in one shard on this thread.
 
   size_t NumAgents = 0;
+  int64_t Wgs = 1;          ///< Widest warpgroup dim (static pre-walk).
+  uint32_t NumTopLoops = 0; ///< Global loop instances from buildUnits.
 
-  /// Expansion state: the current loop-variable environment (maintained
-  /// incrementally; the cached Warpgroup entry is rewritten per instance),
-  /// iteration coordinates, and enclosing loop-instance ids.
+  /// Top-level environment for buildUnits' bound evaluation (per-shard
+  /// expansion keeps its own; see expandUnitRange).
   ScalarEnv Env;
   std::map<Processor, int64_t>::iterator WgIndex;
-  std::vector<int64_t> CoordStack;
-  std::vector<uint32_t> LoopPath;    ///< Enclosing loop-instance ids.
-  std::vector<uint32_t> LoopOpStack; ///< Enclosing For ops (dense ids).
+  std::vector<uint32_t> LoopOpStack; ///< Pre-walk: enclosing For dense ids.
 
   std::vector<std::string> Races;
 
@@ -1136,7 +1439,8 @@ ErrorOr<SimResult> cypress::simulate(const IRModule &Module,
                                      const SimConfig &Config,
                                      const LeafRegistry &Leaves,
                                      const std::vector<TensorData *> &EntryBuffers,
-                                     const SimHints *Hints) {
+                                     const SimHints *Hints,
+                                     SimWorkerPool *Pool) {
   SimResult Total;
   bool FoundGrid = false;
 
@@ -1148,7 +1452,8 @@ ErrorOr<SimResult> cypress::simulate(const IRModule &Module,
     Env.ProcIndices[Processor::Block] = 0;
     int64_t Blocks = Op->LoopHi.evaluate(Env) - Op->LoopLo.evaluate(Env);
 
-    BlockTimer Timer(Module, Alloc, Config, *Op, timerScratch(), Hints);
+    BlockTimer Timer(Module, Alloc, Config, *Op, timerScratch(), Hints,
+                     Pool);
     ErrorOr<SimResult> BlockResult = Timer.run();
     if (!BlockResult)
       return BlockResult.diagnostic();

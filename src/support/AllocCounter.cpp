@@ -1,0 +1,98 @@
+//===- AllocCounter.cpp - Opt-in per-thread heap-allocation counter --------===//
+//
+// Part of the Cypress reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/AllocCounter.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+// The replacement operators must not be defined when a sanitizer owns the
+// allocator: ASan/TSan/MSan interpose malloc and new themselves, and a
+// user-provided operator new would bypass their bookkeeping (poisoned
+// redzones, allocation stacks). The hook simply compiles out there and
+// allocCounterActive() reports it dead.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__) ||           \
+    defined(__SANITIZE_MEMORY__)
+#define CYPRESS_ALLOC_COUNTER_DISABLED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) ||     \
+    __has_feature(memory_sanitizer)
+#define CYPRESS_ALLOC_COUNTER_DISABLED 1
+#endif
+#endif
+
+namespace {
+
+std::atomic<bool> CountingEnabled{false};
+thread_local uint64_t ThreadAllocs = 0;
+
+} // namespace
+
+namespace cypress {
+
+void setAllocCounting(bool Enable) {
+  CountingEnabled.store(Enable, std::memory_order_relaxed);
+}
+
+bool allocCountingEnabled() {
+  return CountingEnabled.load(std::memory_order_relaxed);
+}
+
+uint64_t threadAllocCount() { return ThreadAllocs; }
+
+bool allocCounterActive() {
+#ifdef CYPRESS_ALLOC_COUNTER_DISABLED
+  return false;
+#else
+  return true;
+#endif
+}
+
+} // namespace cypress
+
+#ifndef CYPRESS_ALLOC_COUNTER_DISABLED
+
+namespace {
+
+void *countedAlloc(size_t Size) {
+  if (CountingEnabled.load(std::memory_order_relaxed))
+    ++ThreadAllocs;
+  // operator new must never return null for a successful zero-byte request.
+  void *Ptr = std::malloc(Size ? Size : 1);
+  if (!Ptr)
+    throw std::bad_alloc();
+  return Ptr;
+}
+
+} // namespace
+
+void *operator new(size_t Size) { return countedAlloc(Size); }
+void *operator new[](size_t Size) { return countedAlloc(Size); }
+
+void *operator new(size_t Size, const std::nothrow_t &) noexcept {
+  if (CountingEnabled.load(std::memory_order_relaxed))
+    ++ThreadAllocs;
+  return std::malloc(Size ? Size : 1);
+}
+void *operator new[](size_t Size, const std::nothrow_t &) noexcept {
+  if (CountingEnabled.load(std::memory_order_relaxed))
+    ++ThreadAllocs;
+  return std::malloc(Size ? Size : 1);
+}
+
+void operator delete(void *Ptr) noexcept { std::free(Ptr); }
+void operator delete[](void *Ptr) noexcept { std::free(Ptr); }
+void operator delete(void *Ptr, size_t) noexcept { std::free(Ptr); }
+void operator delete[](void *Ptr, size_t) noexcept { std::free(Ptr); }
+void operator delete(void *Ptr, const std::nothrow_t &) noexcept {
+  std::free(Ptr);
+}
+void operator delete[](void *Ptr, const std::nothrow_t &) noexcept {
+  std::free(Ptr);
+}
+
+#endif // !CYPRESS_ALLOC_COUNTER_DISABLED

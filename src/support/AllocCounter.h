@@ -1,0 +1,45 @@
+//===- AllocCounter.h - Opt-in per-thread heap-allocation counter ----------===//
+//
+// Part of the Cypress reproduction. MIT licensed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A counting-allocator hook: when enabled, the replacement global
+/// `operator new` bumps a thread-local counter, so instrumentation (the
+/// pass pipeline's per-pass HeapAllocs stat, bench_compile_time's alloc
+/// column, the steady-state tests) can measure exactly how many heap
+/// allocations a region of code performed on the current thread. The
+/// counter costs one relaxed atomic load per allocation when disabled,
+/// which is why it exists at all instead of wrapping every allocator.
+///
+/// The replacement operators are compiled out under ASan/TSan/MSan (the
+/// sanitizer runtimes own the allocator there); `allocCounterActive()`
+/// reports at runtime whether counting actually works, so tests can skip
+/// instead of asserting on a dead counter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CYPRESS_SUPPORT_ALLOCCOUNTER_H
+#define CYPRESS_SUPPORT_ALLOCCOUNTER_H
+
+#include <cstdint>
+
+namespace cypress {
+
+/// Globally enables or disables allocation counting. Cheap to toggle;
+/// affects all threads (each thread still counts into its own counter).
+void setAllocCounting(bool Enable);
+bool allocCountingEnabled();
+
+/// Allocations observed on the calling thread while counting was enabled.
+/// Monotonic; diff around a region to measure it.
+uint64_t threadAllocCount();
+
+/// True when the counting hook is live in this binary (false under
+/// sanitizers, where the replacement operators are compiled out).
+bool allocCounterActive();
+
+} // namespace cypress
+
+#endif // CYPRESS_SUPPORT_ALLOCCOUNTER_H
