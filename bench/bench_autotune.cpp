@@ -24,6 +24,27 @@ using namespace cypress::bench;
 
 namespace {
 
+/// One sweep's result plus the session kernel-cache delta it caused
+/// (CompilerSession::cacheStats() before/after): the observability
+/// counters the JSON summary blocks report alongside the tuner's own
+/// cost-cache hit/miss totals.
+struct SweepReport {
+  TuneResult Result;
+  CacheStats SessionDelta;
+};
+
+SweepReport runSweep(Tuner &Tuner, CompilerSession &Session,
+                     const KernelSearchSpec &Spec, const SimConfig &Sim) {
+  SweepReport Report;
+  CacheStats Before = Session.cacheStats();
+  Report.Result = Tuner.tune(Spec, MachineModel::h100(), Sim);
+  CacheStats After = Session.cacheStats();
+  Report.SessionDelta.Hits = After.Hits - Before.Hits;
+  Report.SessionDelta.Misses = After.Misses - Before.Misses;
+  Report.SessionDelta.Entries = After.Entries;
+  return Report;
+}
+
 void printSweep(const char *Title, const TuneResult &Result) {
   std::printf("== %s ==\n", Title);
   std::printf("%-34s %14s %10s %12s\n", "mapping", "status", "TFLOP/s",
@@ -40,7 +61,8 @@ void printSweep(const char *Title, const TuneResult &Result) {
 }
 
 void writeSweepJson(std::FILE *Out, const char *Kernel,
-                    const TuneResult &Result, bool Last) {
+                    const SweepReport &Report, bool Last) {
+  const TuneResult &Result = Report.Result;
   const TuneStats &Stats = Result.Stats;
   double SimMicros = 0.0;
   for (const CandidateResult &Row : Result.Landscape)
@@ -48,12 +70,20 @@ void writeSweepJson(std::FILE *Out, const char *Kernel,
   std::fprintf(Out, "    {\n      \"kernel\": \"%s\",\n", Kernel);
   std::fprintf(Out,
                "      \"stats\": {\"candidates\": %zu, \"pruned\": %zu, "
-               "\"cost_cache_hits\": %zu, \"kernel_cache_hits\": %zu, "
+               "\"evals\": %zu, "
+               "\"cost_cache_hits\": %zu, \"cost_cache_misses\": %zu, "
+               "\"kernel_cache_hits\": %zu, "
                "\"pipelines_run\": %zu, \"compile_errors\": %zu, "
                "\"sim_us_total\": %.6g},\n",
-               Stats.Candidates, Stats.Pruned, Stats.CostCacheHits,
+               Stats.Candidates, Stats.Pruned, Stats.Evals,
+               Stats.CostCacheHits, Stats.Evals - Stats.CostCacheHits,
                Stats.SessionHits, Stats.PipelinesRun, Stats.CompileErrors,
                SimMicros);
+  std::fprintf(Out,
+               "      \"session_cache\": {\"hits\": %zu, \"misses\": %zu, "
+               "\"entries\": %zu},\n",
+               Report.SessionDelta.Hits, Report.SessionDelta.Misses,
+               Report.SessionDelta.Entries);
   if (const CandidateResult *Best = Result.best())
     std::fprintf(Out,
                  "      \"best\": {\"mapping\": \"%s\", \"tflops\": %.6g},\n",
@@ -86,17 +116,18 @@ int main() {
 
   GemmConfig Gemm;
   Gemm.M = Gemm.N = Gemm.K = 4096;
-  TuneResult GemmResult = Tuner.tune(gemmSearchSpec(Gemm, gemmSweepAxes()),
-                                     MachineModel::h100(), Sim);
-  printSweep("Autotune: GEMM 4096^3 mapping landscape", GemmResult);
+  SweepReport GemmResult =
+      runSweep(Tuner, Session, gemmSearchSpec(Gemm, gemmSweepAxes()), Sim);
+  printSweep("Autotune: GEMM 4096^3 mapping landscape", GemmResult.Result);
 
   AttentionConfig Attn = fa2Config(4096);
-  TuneResult AttnResult =
-      Tuner.tune(attentionSearchSpec(Attn, {{"WGS", {2, 3}},
-                                            {"BR", {128, 192, 256}},
-                                            {"BC", {64, 128}}}),
-                 MachineModel::h100(), Sim);
-  printSweep("Autotune: Attention 4096 mapping landscape", AttnResult);
+  SweepReport AttnResult =
+      runSweep(Tuner, Session,
+               attentionSearchSpec(Attn, {{"WGS", {2, 3}},
+                                          {"BR", {128, 192, 256}},
+                                          {"BC", {64, 128}}}),
+               Sim);
+  printSweep("Autotune: Attention 4096 mapping landscape", AttnResult.Result);
 
   if (std::FILE *Out = benchJsonOpen("autotune")) {
     std::fprintf(Out, "{\n  \"machine\": \"%s\",\n  \"sweeps\": [\n",

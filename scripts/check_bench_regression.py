@@ -77,6 +77,32 @@ def metrics_autotune(doc):
             yield f"sweep {sweep['kernel']} compile_us", (compile_us, False)
 
 
+def metrics_autotune_guided(doc):
+    # The guided search is deterministic and simulated: the best-found
+    # TFLOP/s at the largest budget must reproduce *exactly* on any
+    # machine at any worker count, so it is gated with the "exact"
+    # convention — raw comparison, no drift normalization, zero
+    # tolerance. Gated as inverse throughput so that a drop in TFLOP/s
+    # shows up as a ratio above 1 like every wall-time regression. The
+    # per-budget wall-clock curves are single-shot search walls measured
+    # under worker-pool concurrency — report only.
+    for kernel in doc.get("kernels", []):
+        runs = kernel.get("runs", [])
+        if not runs:
+            continue
+        largest = max(runs, key=lambda run: run.get("budget_evals", 0))
+        best = largest.get("best") or {}
+        if best.get("tflops"):
+            yield (f"guided {kernel['kernel']} best inverse-tflops",
+                   (1e6 / best["tflops"], True, "exact"))
+        for run in runs:
+            curve = run.get("curve", [])
+            if curve:
+                yield (f"guided {kernel['kernel']} "
+                       f"budget{run.get('budget_evals', 0)} wall_ms",
+                       (curve[-1]["ms"], False))
+
+
 def metrics_emit(doc):
     # Emission is a one-shot latency (~20us per kernel, best of 5 batches
     # of 200): stable enough to report, but a string-building loop is much
@@ -91,6 +117,7 @@ EXTRACTORS = {
     "BENCH_sim_hotpath.json": metrics_sim_hotpath,
     "BENCH_compile_time.json": metrics_compile_time,
     "BENCH_autotune.json": metrics_autotune,
+    "BENCH_autotune_guided.json": metrics_autotune_guided,
     "BENCH_emit.json": metrics_emit,
 }
 
@@ -112,7 +139,7 @@ def main():
         else os.environ.get("CYPRESS_BENCH_TOLERANCE", "0.25")
     )
 
-    rows = []  # (file, key, baseline, fresh, ratio, gated)
+    rows = []  # (file, key, baseline, fresh, ratio, gated, exact)
     failures = []
     for name, extract in EXTRACTORS.items():
         baseline_path = os.path.join(baseline_dir, name)
@@ -125,9 +152,14 @@ def main():
         with open(fresh_path) as f:
             fresh = dict(extract(json.load(f)))
         for key, entry in baseline.items():
-            base_value, forced = (
-                entry if isinstance(entry, tuple) else (entry, None)
-            )
+            if not isinstance(entry, tuple):
+                entry = (entry, None)
+            base_value, forced = entry[0], entry[1]
+            # Third tuple element "exact" marks a deterministic metric:
+            # gated raw (no drift division, no tolerance band) and kept
+            # out of the drift estimate, where its guaranteed 1.00x would
+            # masquerade as a perfectly quiet machine.
+            exact = len(entry) > 2 and entry[2] == "exact"
             if key not in fresh:
                 failures.append(f"{name}: {key} missing from fresh run")
                 continue
@@ -141,7 +173,7 @@ def main():
                 gated = in_us >= NOISE_FLOOR_US
             else:
                 gated = forced
-            rows.append((name, key, base_value, value, ratio, gated))
+            rows.append((name, key, base_value, value, ratio, gated, exact))
 
     if not rows:
         print("error: no benchmark metrics compared")
@@ -150,28 +182,32 @@ def main():
     # Machine-drift estimate: the least-regressed gated metric. A uniformly
     # slower runner lifts this along with everything else; a code change
     # does not.
-    gated_ratios = [r[4] for r in rows if r[5]]
+    gated_ratios = [r[4] for r in rows if r[5] and not r[6]]
     drift = max(1.0, min(gated_ratios)) if gated_ratios else 1.0
     if drift > 1.0:
         print(f"-- machine-drift normalization: dividing ratios by "
               f"{drift:.2f} (slowest-common factor across metrics)")
 
-    for name, key, base_value, value, ratio, gated in rows:
-        adjusted = ratio / drift
+    for name, key, base_value, value, ratio, gated, exact in rows:
+        adjusted = ratio if exact else ratio / drift
+        # Exact metrics allow only float-formatting slack; everything else
+        # gets the configured tolerance band.
+        limit = 1.0 + (1e-9 if exact else tolerance)
         verdict = "ok"
-        if adjusted > 1.0 + tolerance:
+        if adjusted > limit:
             if gated:
                 verdict = "REGRESSION"
                 failures.append(
                     f"{name}: {key} regressed {base_value:.3g} -> "
                     f"{value:.3g} ({ratio:.2f}x raw, {adjusted:.2f}x "
-                    f"drift-adjusted, limit {1.0 + tolerance:.2f}x)"
+                    f"drift-adjusted, limit {limit:.2f}x)"
                 )
             else:
                 verdict = "informational (not gated)"
         print(
             f"   {name}: {key}: {base_value:.4g} -> {value:.4g} "
-            f"({ratio:.2f}x raw, {adjusted:.2f}x adjusted) {verdict}"
+            f"({ratio:.2f}x raw, {adjusted:.2f}x adjusted) "
+            f"{'[exact] ' if exact else ''}{verdict}"
         )
 
     compared = len(rows)

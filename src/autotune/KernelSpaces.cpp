@@ -38,6 +38,23 @@ std::vector<TuningAxis> cypress::gemmSweepAxes() {
           {"WGS", {1, 2}}};
 }
 
+std::vector<TuningAxis> cypress::gemmGuidedAxes() {
+  // 3*3*4*4*3 * 3*3*2*2 * 5 = 77,760 raw points. A 0 on the per-stream
+  // depth axes means "inherit PIPE"; a 0 on SMEM means "machine
+  // capacity" — so the legacy sweep grid embeds as the all-defaults
+  // hyperplane of this space.
+  return {{"U", {64, 128, 256}},
+          {"V", {64, 128, 256}},
+          {"W", {16, 32, 64, 128}},
+          {"PIPE", {2, 3, 4, 5}},
+          {"WGS", {1, 2, 4}},
+          {"PIPE_A", {0, 2, 3}},
+          {"PIPE_B", {0, 2, 3}},
+          {"TMA_A", {0, 1}},
+          {"TMA_B", {0, 1}},
+          {"SMEM", {0, 128, 160, 192, 224}}};
+}
+
 KernelSearchSpec cypress::gemmSearchSpec(GemmConfig Base,
                                          std::vector<TuningAxis> Axes) {
   KernelSearchSpec Spec;
@@ -59,6 +76,17 @@ KernelSearchSpec cypress::gemmSearchSpec(GemmConfig Base,
 
 std::vector<TuningAxis> cypress::attentionSweepAxes() {
   return {{"BR", {128, 192, 256}}, {"BC", {64, 128}}, {"PIPE", {2, 3}}};
+}
+
+std::vector<TuningAxis> cypress::attentionGuidedAxes() {
+  // 3*3*4*3 * 3*3 * 4 = 3,888 raw points.
+  return {{"BR", {128, 192, 256}},
+          {"BC", {32, 64, 128}},
+          {"WGS", {1, 2, 3, 4}},
+          {"PIPE", {2, 3, 4}},
+          {"PIPE_K", {0, 2, 3}},
+          {"PIPE_V", {0, 2, 3}},
+          {"SMEM", {0, 160, 192, 224}}};
 }
 
 KernelSearchSpec cypress::attentionSearchSpec(AttentionConfig Base,

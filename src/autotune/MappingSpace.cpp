@@ -47,39 +47,94 @@ std::string TuningPoint::str() const {
   return Out;
 }
 
+uint64_t TuningPoint::fingerprint() const {
+  // FNV-1a over the name bytes and value words, then a splitmix64-style
+  // finalizer: neighbouring points (one axis stepped by one position)
+  // differ in few input bits, and the avalanche keeps their hashes
+  // uncorrelated for the guided search's visited-set.
+  uint64_t H = 0xcbf29ce484222325ull;
+  auto Byte = [&H](uint8_t B) {
+    H ^= B;
+    H *= 0x100000001b3ull;
+  };
+  for (const auto &[Axis, Value] : Assignments) {
+    for (char C : Axis)
+      Byte(static_cast<uint8_t>(C));
+    Byte(0); // Name terminator: ("AB", 1) never matches ("A", ...).
+    uint64_t V = static_cast<uint64_t>(Value);
+    for (int I = 0; I < 8; ++I)
+      Byte(static_cast<uint8_t>(V >> (I * 8)));
+  }
+  H ^= H >> 30;
+  H *= 0xbf58476d1ce4e5b9ull;
+  H ^= H >> 27;
+  H *= 0x94d049bb133111ebull;
+  H ^= H >> 31;
+  return H;
+}
+
 MappingSpace::MappingSpace(const KernelSearchSpec &Spec,
-                           const MachineModel &Machine) {
-  assert(!Spec.Axes.empty() && "search space needs at least one axis");
-  size_t Total = 1;
-  for (const TuningAxis &Axis : Spec.Axes) {
+                           const MachineModel &Machine)
+    : Axes(Spec.Axes), Feasible(Spec.Feasible), Machine(&Machine) {
+  assert(!Axes.empty() && "search space needs at least one axis");
+  for (const TuningAxis &Axis : Axes) {
     assert(!Axis.Values.empty() && "tuning axis needs at least one value");
     Total *= Axis.Values.size();
   }
-  Candidates.reserve(Total);
+}
 
-  // Odometer enumeration: the last axis spins fastest, so the order is the
-  // nested sweep loop a user would have written by hand (and the order the
-  // pre-refactor examples/bench sweeps used).
-  std::vector<size_t> Digits(Spec.Axes.size(), 0);
-  for (size_t N = 0; N < Total; ++N) {
-    std::vector<std::pair<std::string, int64_t>> Values;
-    Values.reserve(Spec.Axes.size());
-    for (size_t I = 0; I < Spec.Axes.size(); ++I)
-      Values.emplace_back(Spec.Axes[I].Name, Spec.Axes[I].Values[Digits[I]]);
-
-    Candidate C;
-    C.Point = TuningPoint(std::move(Values));
-    if (Spec.Feasible) {
-      if (ErrorOrVoid Verdict = Spec.Feasible(C.Point, Machine); !Verdict)
-        C.Rejection = Verdict.diagnostic();
-    }
-    Feasible += C.feasible() ? 1 : 0;
-    Candidates.push_back(std::move(C));
-
-    for (size_t I = Spec.Axes.size(); I-- > 0;) {
-      if (++Digits[I] < Spec.Axes[I].Values.size())
-        break;
-      Digits[I] = 0;
-    }
+TuningPoint MappingSpace::pointAt(size_t Index) const {
+  assert(Index < Total && "flat index out of range");
+  // Mixed-radix decode, last axis fastest — the same order the eager
+  // odometer produced, so flat indices are stable across the refactor.
+  std::vector<std::pair<std::string, int64_t>> Values(Axes.size());
+  for (size_t I = Axes.size(); I-- > 0;) {
+    size_t Radix = Axes[I].Values.size();
+    Values[I] = {Axes[I].Name,
+                 Axes[I].Values[Index % Radix]};
+    Index /= Radix;
   }
+  return TuningPoint(std::move(Values));
+}
+
+MappingSpace::Candidate MappingSpace::candidateAt(size_t Index) const {
+  Candidate C;
+  C.Point = pointAt(Index);
+  if (Feasible)
+    if (ErrorOrVoid Verdict = Feasible(C.Point, *Machine); !Verdict)
+      C.Rejection = Verdict.diagnostic();
+  return C;
+}
+
+void MappingSpace::forEach(
+    const std::function<bool(size_t, const Candidate &)> &Visit) const {
+  for (size_t N = 0; N < Total; ++N)
+    if (!Visit(N, candidateAt(N)))
+      return;
+}
+
+const std::vector<MappingSpace::Candidate> &MappingSpace::candidates() const {
+  if (!Materialized) {
+    std::vector<Candidate> All;
+    All.reserve(Total);
+    size_t FeasibleSeen = 0;
+    for (size_t N = 0; N < Total; ++N) {
+      All.push_back(candidateAt(N));
+      FeasibleSeen += All.back().feasible() ? 1 : 0;
+    }
+    Materialized = std::move(All);
+    FeasibleTotal = FeasibleSeen;
+  }
+  return *Materialized;
+}
+
+size_t MappingSpace::feasibleCount() const {
+  if (!FeasibleTotal) {
+    size_t FeasibleSeen = 0;
+    // Cheaper than candidates(): counts without keeping the points.
+    for (size_t N = 0; N < Total; ++N)
+      FeasibleSeen += candidateAt(N).feasible() ? 1 : 0;
+    FeasibleTotal = FeasibleSeen;
+  }
+  return *FeasibleTotal;
 }

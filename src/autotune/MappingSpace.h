@@ -10,14 +10,17 @@
 /// specification, never the logical task description; this file makes that
 /// mapping space a first-class object. A KernelSearchSpec binds a kernel
 /// family to the tuner: named tunable axes (tile sizes, pipeline depth,
-/// warpgroup count) plus callables that turn one axis assignment — a
+/// warpgroup count, per-stream buffer depths, exec-unit assignment,
+/// occupancy caps) plus callables that turn one axis assignment — a
 /// TuningPoint — into a task registry, a MappingSpec, and entry argument
-/// types. MappingSpace enumerates the cartesian product of the axes and
-/// runs the spec's *static* feasibility check on every point, so
-/// candidates that can never allocate (shared-memory footprint over the
-/// MachineModel capacity, broken WGMMA band divisibility, register-file
-/// overflow) are rejected with a diagnostic before the pass pipeline ever
-/// runs.
+/// types. MappingSpace is a *lazy* view of the axes' cartesian product:
+/// points are decoded from a flat index on demand (mixed-radix, last axis
+/// fastest — the nested-sweep order), so spaces of 10^4..10^6 points cost
+/// O(axes) to construct and O(1) memory to search. The spec's *static*
+/// feasibility check runs per point, so candidates that can never allocate
+/// (shared-memory footprint over the MachineModel capacity, broken WGMMA
+/// band divisibility, register-file overflow) are rejected with a
+/// diagnostic before the pass pipeline ever runs.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -67,6 +70,13 @@ public:
   /// "U=128 V=256 PIPE=3 WGS=2" — the landscape-row label.
   std::string str() const;
 
+  /// Content hash over axis names and values (FNV-1a with a final
+  /// avalanche). Visited-sets during guided search key on this instead of
+  /// str(): one 64-bit word per point instead of a heap string. Equal
+  /// points always collide; distinct points collide with probability
+  /// ~2^-64, negligible against 10^6-point spaces.
+  uint64_t fingerprint() const;
+
   /// Points compare by content (axis order and values), which makes them
   /// usable as keys and comparable across tuner runs.
   bool operator==(const TuningPoint &Other) const {
@@ -103,8 +113,10 @@ struct KernelSearchSpec {
       Feasible;
 };
 
-/// The enumerated space: every point of the axes' cartesian product,
-/// tagged with its static-feasibility verdict.
+/// A lazy view of the axes' cartesian product with indexed random access.
+/// Construction copies the axes and the feasibility callable but touches
+/// no points; pointAt / candidateAt decode a flat index on demand. The
+/// MachineModel must outlive the space (feasibility checks run lazily).
 class MappingSpace {
 public:
   struct Candidate {
@@ -115,22 +127,47 @@ public:
     bool feasible() const { return !Rejection.has_value(); }
   };
 
-  /// Enumerates \p Spec's axes and prunes against \p Machine. The spec
-  /// must outlive the space only for this call; candidates are
-  /// self-contained.
   MappingSpace(const KernelSearchSpec &Spec, const MachineModel &Machine);
 
-  /// All candidates in enumeration (nested-sweep) order, pruned ones
-  /// included with their rejection diagnostics.
-  const std::vector<Candidate> &candidates() const { return Candidates; }
+  /// Product of the axis cardinalities (feasible and pruned alike).
+  size_t size() const { return Total; }
+  const std::vector<TuningAxis> &axes() const { return Axes; }
 
-  size_t size() const { return Candidates.size(); }
-  size_t feasibleCount() const { return Feasible; }
-  size_t prunedCount() const { return Candidates.size() - Feasible; }
+  /// The point at flat index \p Index in enumeration (nested-sweep) order:
+  /// the last axis spins fastest, matching the loop nest a user would have
+  /// written by hand. O(axes); no feasibility check.
+  TuningPoint pointAt(size_t Index) const;
+
+  /// pointAt plus the static-feasibility verdict.
+  Candidate candidateAt(size_t Index) const;
+
+  /// Streams every candidate in enumeration order without materializing
+  /// the space. Return false from \p Visit to stop early.
+  void forEach(const std::function<bool(size_t, const Candidate &)> &Visit)
+      const;
+
+  /// All candidates in enumeration order, pruned ones included with their
+  /// rejection diagnostics. Materializes (and caches) the whole product —
+  /// only call on spaces small enough to evaluate exhaustively.
+  const std::vector<Candidate> &candidates() const;
+
+  /// Number of statically feasible points. Lazily computed by one full
+  /// scan on first call, then cached — like candidates(), avoid on huge
+  /// spaces unless the count is genuinely needed.
+  size_t feasibleCount() const;
+  size_t prunedCount() const { return size() - feasibleCount(); }
 
 private:
-  std::vector<Candidate> Candidates;
-  size_t Feasible = 0;
+  std::vector<TuningAxis> Axes;
+  std::function<ErrorOrVoid(const TuningPoint &, const MachineModel &)>
+      Feasible;
+  const MachineModel *Machine = nullptr;
+  size_t Total = 1;
+
+  /// Lazily-filled caches; mutable because the accessors are logically
+  /// const views of an immutable space.
+  mutable std::optional<std::vector<Candidate>> Materialized;
+  mutable std::optional<size_t> FeasibleTotal;
 };
 
 } // namespace cypress

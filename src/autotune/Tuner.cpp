@@ -7,10 +7,12 @@
 #include "autotune/Tuner.h"
 
 #include "support/Format.h"
+#include "support/Random.h"
 
 #include <algorithm>
 #include <chrono>
 #include <deque>
+#include <unordered_set>
 
 using namespace cypress;
 
@@ -47,6 +49,56 @@ std::string simFingerprint(const SimConfig &Sim) {
       Sim.SimtLatency);
 }
 
+/// Content seed for the guided search's PRNG: the kernel name and the axis
+/// grid. Pure function of the spec, so repeat runs (and runs in different
+/// processes) draw the identical sample sequence.
+uint64_t specSeed(const KernelSearchSpec &Spec) {
+  uint64_t H = 0xcbf29ce484222325ull;
+  auto Byte = [&H](uint8_t B) {
+    H ^= B;
+    H *= 0x100000001b3ull;
+  };
+  for (char C : Spec.KernelName)
+    Byte(static_cast<uint8_t>(C));
+  for (const TuningAxis &Axis : Spec.Axes) {
+    Byte(0);
+    for (char C : Axis.Name)
+      Byte(static_cast<uint8_t>(C));
+    for (int64_t Value : Axis.Values) {
+      uint64_t V = static_cast<uint64_t>(Value);
+      for (int I = 0; I < 8; ++I)
+        Byte(static_cast<uint8_t>(V >> (I * 8)));
+    }
+  }
+  return H;
+}
+
+/// Evaluated candidates by TFLOP/s descending, then errors, then pruned;
+/// stable within ties and groups so the reported best is deterministic and
+/// matches what a hand-written nested sweep taking the first strict
+/// maximum would pick.
+void rankLandscape(std::vector<CandidateResult> &Landscape) {
+  auto ClassOf = [](const CandidateResult &Row) {
+    switch (Row.Status) {
+    case CandidateStatus::Evaluated:
+      return 0;
+    case CandidateStatus::CompileError:
+    case CandidateStatus::SimError:
+      return 1;
+    case CandidateStatus::Pruned:
+      return 2;
+    }
+    cypressUnreachable("unknown candidate status");
+  };
+  std::stable_sort(Landscape.begin(), Landscape.end(),
+                   [&](const CandidateResult &A, const CandidateResult &B) {
+                     int CA = ClassOf(A), CB = ClassOf(B);
+                     if (CA != CB)
+                       return CA < CB;
+                     return CA == 0 && A.TFlops > B.TFlops;
+                   });
+}
+
 } // namespace
 
 size_t Tuner::costCacheSize() const {
@@ -69,21 +121,12 @@ TaskRegistry &Tuner::registryFor(const KernelSearchSpec &Spec) {
   return *Slot;
 }
 
-TuneResult Tuner::tune(const KernelSearchSpec &Spec,
-                       const MachineModel &Machine, const SimConfig &Sim) {
-  MappingSpace Space(Spec, Machine);
-
-  TuneResult Result;
-  Result.Stats.Candidates = Space.size();
-  Result.Stats.Pruned = Space.prunedCount();
-  Result.Landscape.reserve(Space.size());
-
-  // One registry per kernel family, shared across sweeps: tuning only
-  // edits the mapping, never the logical description (Section 5.4), and a
-  // stable registry identity is what makes candidate cache keys stable.
-  TaskRegistry &Registry = registryFor(Spec);
-
-  const std::string SimKey = simFingerprint(Sim);
+std::vector<CandidateResult>
+Tuner::evaluateBatch(const KernelSearchSpec &Spec, TaskRegistry &Registry,
+                     const MachineModel &Machine, const SimConfig &Sim,
+                     const std::string &SimKey,
+                     std::vector<TuningPoint> Points, TuneStats &Stats) {
+  std::vector<CandidateResult> Rows(Points.size());
 
   // The deque keeps pending candidates' mappings at stable addresses for
   // the CompileInput pointers handed to the session (argument types are
@@ -96,19 +139,13 @@ TuneResult Tuner::tune(const KernelSearchSpec &Spec,
   std::vector<PendingEval> Pending;
   std::vector<CompilerSession::Request> Requests;
 
-  for (const MappingSpace::Candidate &Cand : Space.candidates()) {
-    CandidateResult Row;
-    Row.Point = Cand.Point;
-    if (!Cand.feasible()) {
-      Row.Status = CandidateStatus::Pruned;
-      Row.Detail = Cand.Rejection->message();
-      Result.Landscape.push_back(std::move(Row));
-      continue;
-    }
+  for (size_t P = 0; P < Points.size(); ++P) {
+    CandidateResult &Row = Rows[P];
+    Row.Point = std::move(Points[P]);
 
-    Mappings.push_back(Spec.BuildMapping(Cand.Point));
+    Mappings.push_back(Spec.BuildMapping(Row.Point));
     CompileInput Input{&Registry, &Mappings.back(), &Machine,
-                       Spec.BuildArgs(Cand.Point)};
+                       Spec.BuildArgs(Row.Point)};
     // One serialization per candidate: the session key doubles as the
     // cost-cache key's prefix and rides along in the request.
     std::string SessionKey = CompilerSession::cacheKey(Input);
@@ -128,16 +165,14 @@ TuneResult Tuner::tune(const KernelSearchSpec &Spec,
             Eval.Kernel ? Eval.Kernel->stats().TotalMicros : 0.0;
         Row.SimulateMicros = Eval.SimulateMicros;
         Row.CostCacheHit = true;
-        ++Result.Stats.CostCacheHits;
-        Result.Landscape.push_back(std::move(Row));
+        ++Stats.CostCacheHits;
         continue;
       }
     }
 
-    Pending.push_back({Result.Landscape.size(), std::move(CostKey)});
+    Pending.push_back({P, std::move(CostKey)});
     Requests.push_back(
         {std::move(Input), Spec.KernelName, std::move(SessionKey)});
-    Result.Landscape.push_back(std::move(Row)); // Filled in below.
   }
 
   // Compile and evaluate every fresh candidate through the session's
@@ -145,11 +180,11 @@ TuneResult Tuner::tune(const KernelSearchSpec &Spec,
   // right on the worker that compiled it, so candidate A's simulation
   // overlaps candidate B's pass pipeline. Evaluations land in positional
   // slots and are merged (and cost-cached) sequentially below, so the
-  // resulting landscape is identical to a sequential sweep. The per-request
-  // hit flags attribute kernel-cache effectiveness to this sweep exactly,
-  // immune to concurrent session clients and duplicate keys within the
-  // batch.
-  Result.Stats.Compiled = Requests.size();
+  // resulting rows are identical to a sequential sweep at any worker
+  // count. The per-request hit flags attribute kernel-cache effectiveness
+  // to this batch exactly, immune to concurrent session clients and
+  // duplicate keys within the batch.
+  Stats.Compiled += Requests.size();
   std::vector<CachedEval> Evals(Requests.size());
   auto Evaluate =
       [&](size_t I,
@@ -177,13 +212,15 @@ TuneResult Tuner::tune(const KernelSearchSpec &Spec,
       };
   std::vector<uint8_t> Hits;
   Session->compileAll(Requests, &Hits, Evaluate);
+  size_t BatchHits = 0;
   for (uint8_t Hit : Hits)
-    Result.Stats.SessionHits += Hit ? 1 : 0;
-  Result.Stats.PipelinesRun = Requests.size() - Result.Stats.SessionHits;
+    BatchHits += Hit ? 1 : 0;
+  Stats.SessionHits += BatchHits;
+  Stats.PipelinesRun += Requests.size() - BatchHits;
 
   for (size_t I = 0; I < Pending.size(); ++I) {
     CachedEval &Eval = Evals[I];
-    CandidateResult &Row = Result.Landscape[Pending[I].Row];
+    CandidateResult &Row = Rows[Pending[I].Row];
     Row.Status = Eval.Status;
     Row.Detail = Eval.Detail;
     Row.TFlops = Eval.TFlops;
@@ -196,33 +233,245 @@ TuneResult Tuner::tune(const KernelSearchSpec &Spec,
     CostCache.emplace(std::move(Pending[I].CostKey), std::move(Eval));
   }
 
-  for (const CandidateResult &Row : Result.Landscape)
-    Result.Stats.CompileErrors +=
+  for (const CandidateResult &Row : Rows)
+    Stats.CompileErrors +=
         Row.Status == CandidateStatus::CompileError ? 1 : 0;
-  Result.Stats.Session = Session->cacheStats();
+  Stats.Evals += Rows.size();
+  return Rows;
+}
 
-  // Rank: evaluated candidates by TFLOP/s descending, then errors, then
-  // pruned. stable_sort keeps enumeration order within ties and groups, so
-  // the reported best is deterministic and matches what a hand-written
-  // nested sweep taking the first strict maximum would pick.
-  auto ClassOf = [](const CandidateResult &Row) {
-    switch (Row.Status) {
-    case CandidateStatus::Evaluated:
-      return 0;
-    case CandidateStatus::CompileError:
-    case CandidateStatus::SimError:
-      return 1;
-    case CandidateStatus::Pruned:
-      return 2;
+TuneResult Tuner::tune(const KernelSearchSpec &Spec,
+                       const MachineModel &Machine, const SimConfig &Sim) {
+  MappingSpace Space(Spec, Machine);
+
+  TuneResult Result;
+  Result.Stats.Candidates = Space.size();
+  if (Space.size() > ExhaustiveCandidateCap) {
+    // Refuse rather than materialize: like the simulator's event-slot
+    // cap, a diagnostic beats an out-of-memory kill.
+    Result.Error = formatString(
+        "mapping space has %zu candidates, over the exhaustive sweep cap "
+        "of %zu; search it with tuneBudgeted() or raise "
+        "Tuner::ExhaustiveCandidateCap",
+        Space.size(), ExhaustiveCandidateCap);
+    return Result;
+  }
+
+  // One registry per kernel family, shared across sweeps: tuning only
+  // edits the mapping, never the logical description (Section 5.4), and a
+  // stable registry identity is what makes candidate cache keys stable.
+  TaskRegistry &Registry = registryFor(Spec);
+
+  std::vector<TuningPoint> Feasible;
+  std::vector<CandidateResult> PrunedRows;
+  for (const MappingSpace::Candidate &Cand : Space.candidates()) {
+    if (Cand.feasible()) {
+      Feasible.push_back(Cand.Point);
+      continue;
     }
-    cypressUnreachable("unknown candidate status");
+    CandidateResult Row;
+    Row.Point = Cand.Point;
+    Row.Status = CandidateStatus::Pruned;
+    Row.Detail = Cand.Rejection->message();
+    PrunedRows.push_back(std::move(Row));
+  }
+  Result.Stats.Pruned = PrunedRows.size();
+
+  Result.Landscape =
+      evaluateBatch(Spec, Registry, Machine, Sim, simFingerprint(Sim),
+                    std::move(Feasible), Result.Stats);
+  Result.Landscape.reserve(Space.size());
+  for (CandidateResult &Row : PrunedRows)
+    Result.Landscape.push_back(std::move(Row));
+
+  Result.Stats.Session = Session->cacheStats();
+  rankLandscape(Result.Landscape);
+  return Result;
+}
+
+TuneResult Tuner::tuneBudgeted(const KernelSearchSpec &Spec,
+                               const MachineModel &Machine,
+                               const TuneBudget &Budget,
+                               const SimConfig &Sim) {
+  const auto Start = std::chrono::steady_clock::now();
+  auto ElapsedMs = [&Start] {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - Start)
+        .count();
   };
-  std::stable_sort(Result.Landscape.begin(), Result.Landscape.end(),
-                   [&](const CandidateResult &A, const CandidateResult &B) {
-                     int CA = ClassOf(A), CB = ClassOf(B);
-                     if (CA != CB)
-                       return CA < CB;
-                     return CA == 0 && A.TFlops > B.TFlops;
-                   });
+
+  MappingSpace Space(Spec, Machine);
+  TaskRegistry &Registry = registryFor(Spec);
+  const std::string SimKey = simFingerprint(Sim);
+
+  TuneResult Result;
+  Result.Stats.Candidates = Space.size();
+
+  auto BestTFlops = [&Result]() {
+    double Best = 0.0;
+    for (const CandidateResult &Row : Result.Landscape)
+      if (Row.Status == CandidateStatus::Evaluated)
+        Best = std::max(Best, Row.TFlops);
+    return Best;
+  };
+
+  // Small space under a covering budget: brute force is affordable and
+  // strictly better than sampling, so sweep it. (feasibleCount is a full
+  // scan — only taken on spaces already known to be small.)
+  if (Space.size() <= SmallSpaceThreshold &&
+      (Budget.MaxEvals == 0 || Budget.MaxEvals >= Space.feasibleCount())) {
+    std::vector<TuningPoint> Feasible;
+    for (const MappingSpace::Candidate &Cand : Space.candidates())
+      if (Cand.feasible())
+        Feasible.push_back(Cand.Point);
+    Result.Stats.Pruned = Space.prunedCount();
+    Result.Landscape = evaluateBatch(Spec, Registry, Machine, Sim, SimKey,
+                                     std::move(Feasible), Result.Stats);
+    Result.Stats.Rounds = 1;
+    rankLandscape(Result.Landscape);
+    Result.Curve.push_back({Result.Stats.Evals, BestTFlops(), ElapsedMs()});
+    Result.Stats.Session = Session->cacheStats();
+    return Result;
+  }
+
+  // -- Guided anytime search ---------------------------------------------
+  //
+  // Successive halving over shrinking batched rounds: round 0 is broad
+  // uniform exploration, later rounds spend half their (halved) size on
+  // single-axis mutations of the elite points and the rest on fresh
+  // samples. Every draw happens on this thread between batches, so the
+  // visit sequence is a pure function of the spec content.
+  SplitMix64 Rng(specSeed(Spec));
+  std::unordered_set<uint64_t> Visited;
+  Visited.reserve(256);
+
+  // How many consecutive flat indices the fallback scan may examine when
+  // rejection sampling stalls (heavily-pruned or nearly-exhausted spaces).
+  // Bounded so a 10^6-point space with no feasible points terminates in
+  // one scan's worth of static checks, not a hang.
+  constexpr size_t ScanCap = 1 << 16;
+
+  // Samples up to Want fresh feasible points into Batch; marks everything
+  // it touches visited and counts statically-rejected draws as pruned.
+  auto SampleRandom = [&](std::vector<TuningPoint> &Batch, size_t Want) {
+    size_t Found = 0;
+    size_t Attempts = 0;
+    const size_t MaxAttempts = 64 * Want + 256;
+    auto Consider = [&](size_t Index) {
+      MappingSpace::Candidate Cand = Space.candidateAt(Index);
+      if (!Visited.insert(Cand.Point.fingerprint()).second)
+        return;
+      if (!Cand.feasible()) {
+        ++Result.Stats.Pruned;
+        return;
+      }
+      Batch.push_back(std::move(Cand.Point));
+      ++Found;
+    };
+    while (Found < Want && Attempts < MaxAttempts) {
+      ++Attempts;
+      Consider(static_cast<size_t>(Rng.nextBelow(Space.size())));
+    }
+    if (Found < Want) {
+      // Deterministic bounded sweep from a random start so progress never
+      // depends on rejection-sampling luck.
+      size_t Base = static_cast<size_t>(Rng.nextBelow(Space.size()));
+      for (size_t Off = 0; Off < std::min(Space.size(), ScanCap) &&
+                           Found < Want;
+           ++Off)
+        Consider((Base + Off) % Space.size());
+    }
+  };
+
+  // Single-axis neighbours of the elite points, elite-major then
+  // axis-major then +1/-1 — a fixed order, so the mutation set is as
+  // deterministic as the uniform draws.
+  auto CollectMutations = [&](std::vector<TuningPoint> &Batch, size_t Want) {
+    std::vector<const CandidateResult *> Elites;
+    for (const CandidateResult &Row : Result.Landscape)
+      if (Row.Status == CandidateStatus::Evaluated)
+        Elites.push_back(&Row);
+    std::stable_sort(Elites.begin(), Elites.end(),
+                     [](const CandidateResult *A, const CandidateResult *B) {
+                       return A->TFlops > B->TFlops;
+                     });
+    if (Elites.size() > 4)
+      Elites.resize(4);
+
+    const std::vector<TuningAxis> &Axes = Space.axes();
+    for (const CandidateResult *Elite : Elites) {
+      for (size_t I = 0; I < Axes.size() && Batch.size() < Want; ++I) {
+        const std::vector<int64_t> &Values = Axes[I].Values;
+        int64_t Current = Elite->Point.values()[I].second;
+        size_t Pos = 0;
+        while (Pos < Values.size() && Values[Pos] != Current)
+          ++Pos;
+        for (int Step : {1, -1}) {
+          if (Batch.size() >= Want)
+            break;
+          size_t Next = Pos + static_cast<size_t>(Step);
+          if (Step < 0 && Pos == 0)
+            continue;
+          if (Next >= Values.size())
+            continue;
+          std::vector<std::pair<std::string, int64_t>> Assign =
+              Elite->Point.values();
+          Assign[I].second = Values[Next];
+          TuningPoint Mutant(std::move(Assign));
+          if (!Visited.insert(Mutant.fingerprint()).second)
+            continue;
+          if (Spec.Feasible) {
+            if (ErrorOrVoid Verdict = Spec.Feasible(Mutant, Machine);
+                !Verdict) {
+              ++Result.Stats.Pruned;
+              continue;
+            }
+          }
+          Batch.push_back(std::move(Mutant));
+        }
+      }
+    }
+  };
+
+  size_t RoundSize = Budget.MaxEvals > 0
+                         ? std::max<size_t>(1, Budget.MaxEvals / 2)
+                         : 64;
+  const size_t MinRound = Budget.MaxEvals > 0 ? size_t(1) : size_t(8);
+
+  while (true) {
+    size_t Left = Budget.MaxEvals == 0
+                      ? RoundSize
+                      : (Budget.MaxEvals > Result.Stats.Evals
+                             ? Budget.MaxEvals - Result.Stats.Evals
+                             : 0);
+    size_t Want = std::min(RoundSize, Left);
+    if (Want == 0)
+      break;
+    // Anytime contract: always complete at least one round, so even a
+    // tiny wall budget returns a best-effort candidate.
+    if (Result.Stats.Rounds > 0 && Budget.WallClockMs > 0 &&
+        ElapsedMs() >= Budget.WallClockMs)
+      break;
+
+    std::vector<TuningPoint> Batch;
+    Batch.reserve(Want);
+    if (Result.Stats.Rounds > 0)
+      CollectMutations(Batch, (Want + 1) / 2);
+    SampleRandom(Batch, Want - Batch.size());
+    if (Batch.empty())
+      break; // Space exhausted (or nothing feasible within reach).
+
+    std::vector<CandidateResult> Rows = evaluateBatch(
+        Spec, Registry, Machine, Sim, SimKey, std::move(Batch), Result.Stats);
+    for (CandidateResult &Row : Rows)
+      Result.Landscape.push_back(std::move(Row));
+
+    ++Result.Stats.Rounds;
+    Result.Curve.push_back({Result.Stats.Evals, BestTFlops(), ElapsedMs()});
+    RoundSize = std::max(MinRound, RoundSize / 2);
+  }
+
+  Result.Stats.Session = Session->cacheStats();
+  rankLandscape(Result.Landscape);
   return Result;
 }

@@ -80,27 +80,62 @@ struct CandidateResult {
   std::shared_ptr<const CompiledKernel> Kernel;
 };
 
-/// Search-effort accounting for one tune() call. PipelinesRun is the
-/// number the acceptance bar cares about: full pass-pipeline executions,
-/// i.e. candidates minus pruned minus every flavor of cache hit.
+/// Search-effort accounting for one tune() / tuneBudgeted() call.
+/// PipelinesRun is the number the acceptance bar cares about: full
+/// pass-pipeline executions, i.e. evaluations minus every flavor of cache
+/// hit.
 struct TuneStats {
   size_t Candidates = 0;    ///< Full cartesian-product size.
-  size_t Pruned = 0;        ///< Rejected before compilation.
+  /// Rejected before compilation. For tune() this is the whole space's
+  /// pruned count; for a guided search it counts only the sampled points
+  /// that failed the static check (they consume no evaluation budget).
+  size_t Pruned = 0;
+  size_t Evals = 0;         ///< Feasible candidates submitted for timing.
   size_t CostCacheHits = 0; ///< Evaluations replayed from the cost cache.
   size_t Compiled = 0;      ///< Candidates handed to the session.
   size_t SessionHits = 0;   ///< Of those, served from the kernel cache.
   size_t PipelinesRun = 0;  ///< Full pass-pipeline executions.
   size_t CompileErrors = 0;
+  size_t Rounds = 0;        ///< Search rounds of a budgeted run.
   /// Session-wide cache snapshot after the run (monotonic counters).
   CacheStats Session;
 };
 
+/// Wall-clock and/or evaluation budget for tuneBudgeted. Zero means
+/// unlimited for either field; an all-zero budget searches until the space
+/// stops yielding new candidates.
+struct TuneBudget {
+  /// Stop at the first round boundary at or past this many milliseconds.
+  /// Rounds are never interrupted mid-flight, so a wall-limited run's
+  /// visit sequence is always a prefix of the unlimited run's.
+  double WallClockMs = 0.0;
+  /// Maximum evaluations. Cost-cache hits count — budget consumption must
+  /// not depend on cache warmth, or warm reruns would visit a different
+  /// sequence than cold ones.
+  size_t MaxEvals = 0;
+};
+
 /// The ranked landscape: evaluated candidates first, best TFLOP/s leading
 /// (ties keep enumeration order), then compile/sim errors, then pruned
-/// candidates, each group in enumeration order.
+/// candidates, each group in enumeration order. A budgeted search's
+/// landscape holds only the points it visited (sampled-and-pruned points
+/// are counted in Stats.Pruned but not listed), and adds the
+/// best-found-vs-budget curve.
 struct TuneResult {
   std::vector<CandidateResult> Landscape;
   TuneStats Stats;
+
+  /// One best-so-far sample per budgeted-search round.
+  struct CurvePoint {
+    size_t Evals = 0;        ///< Cumulative evaluations after the round.
+    double BestTFlops = 0.0; ///< Best evaluated throughput so far.
+    double ElapsedMs = 0.0;  ///< Wall clock since the search began.
+  };
+  std::vector<CurvePoint> Curve;
+
+  /// Set when the tuner refused to run: an exhaustive tune() over a space
+  /// larger than Tuner::ExhaustiveCandidateCap. The landscape is empty.
+  std::string Error;
 
   /// The best evaluated candidate, or nullptr if nothing compiled.
   const CandidateResult *best() const {
@@ -137,6 +172,40 @@ public:
   TuneResult tune(const KernelSearchSpec &Spec, const MachineModel &Machine,
                   const SimConfig &Sim = SimConfig());
 
+  /// Anytime search under \p Budget: spends the evaluation budget on
+  /// shrinking rounds of batched evaluations (successive halving), seeding
+  /// each round with single-axis mutations of the elite points found so
+  /// far plus fresh uniform samples, with a visited-set keyed on
+  /// TuningPoint fingerprints so no point is timed twice. The space is
+  /// never materialized, so 10^4..10^6-point spaces are searched in memory
+  /// proportional to the points actually visited.
+  ///
+  /// Deterministic by construction: the PRNG is seeded from the spec's
+  /// content (kernel name + axes), batches merge positionally, and round
+  /// decisions depend only on simulated TFLOP/s — so the best point and
+  /// the whole visit sequence are identical at any worker count, on repeat
+  /// runs, and regardless of cost-cache warmth. A wall-clock budget
+  /// truncates at round boundaries only, making a time-limited run a
+  /// prefix of the unlimited one.
+  ///
+  /// Small spaces are swept exhaustively instead (no sampling noise where
+  /// brute force is affordable): when the space has at most
+  /// SmallSpaceThreshold points and the budget covers every feasible one.
+  TuneResult tuneBudgeted(const KernelSearchSpec &Spec,
+                          const MachineModel &Machine,
+                          const TuneBudget &Budget,
+                          const SimConfig &Sim = SimConfig());
+
+  /// tune() refuses spaces with more candidates than this, returning
+  /// TuneResult::Error instead of materializing the product (the analogue
+  /// of the simulator's event-slot cap): exhaustive sweeps over 10^5+
+  /// points are almost always a mistake — use tuneBudgeted().
+  size_t ExhaustiveCandidateCap = 1 << 16;
+
+  /// Spaces at most this big fall back from tuneBudgeted to an exhaustive
+  /// sweep when the budget covers them (see tuneBudgeted).
+  size_t SmallSpaceThreshold = 256;
+
   CompilerSession &session() { return *Session; }
 
   /// Entries in the content-keyed cost cache (kernel identity + simulator
@@ -158,6 +227,15 @@ private:
   /// The shared registry for \p Spec's kernel family (created on first
   /// use).
   TaskRegistry &registryFor(const KernelSearchSpec &Spec);
+
+  /// Compiles and times \p Points (one batched pass over the session's
+  /// worker pool, cost-cache consulted per point), returning one
+  /// positional row per point and accumulating effort into \p Stats.
+  std::vector<CandidateResult>
+  evaluateBatch(const KernelSearchSpec &Spec, TaskRegistry &Registry,
+                const MachineModel &Machine, const SimConfig &Sim,
+                const std::string &SimKey, std::vector<TuningPoint> Points,
+                TuneStats &Stats);
 
   std::unique_ptr<CompilerSession> OwnedSession; ///< Only for Tuner().
   CompilerSession *Session = nullptr;

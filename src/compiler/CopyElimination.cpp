@@ -1625,12 +1625,16 @@ void assignExecUnitsIn(IRModule &Module, IRBlock &Block) {
     }
     if (Op->Kind != OpKind::Copy)
       continue;
-    Memory Src = Module.tensor(Op->CopySrc.Tensor).Mem;
-    Memory Dst = Module.tensor(Op->CopyDst.Tensor).Mem;
+    const IRTensor &SrcT = Module.tensor(Op->CopySrc.Tensor);
+    const IRTensor &DstT = Module.tensor(Op->CopyDst.Tensor);
     // Bulk global<->shared transfers ride the TMA on Hopper (Section 2.2);
     // everything else (register traffic, shared<->shared staging) is SIMT.
-    bool Tma = (Src == Memory::Global && Dst == Memory::Shared) ||
-               (Src == Memory::Shared && Dst == Memory::Global);
+    // A mapping may pin a tensor's copies to SIMT (SimtCopyParams): those
+    // transfers then run on the consumer warps — the exec-unit assignment
+    // axis the autotuner sweeps.
+    bool Tma = ((SrcT.Mem == Memory::Global && DstT.Mem == Memory::Shared) ||
+                (SrcT.Mem == Memory::Shared && DstT.Mem == Memory::Global)) &&
+               !SrcT.ForceSimtCopy && !DstT.ForceSimtCopy;
     Op->Unit = Tma ? ExecUnit::TMA : ExecUnit::SIMT;
   }
 }

@@ -737,6 +737,15 @@ void Analysis::recordLaunch(AnalysisContext &Caller,
     T.HomeProc = Child.Proc;
     T.PipelineDepth =
         (Child.Mems[I] == Memory::Shared) ? currentPipelineDepth() : 1;
+    // The mapping may pin this parameter's multi-buffering depth (the
+    // per-tensor pipeline axis); absent entries keep the loop's depth.
+    if (Child.Mems[I] == Memory::Shared && !Child.ArgPipeline.empty())
+      if (auto It = Child.ArgPipeline.find(Variant.Params[I].Name);
+          It != Child.ArgPipeline.end())
+        T.PipelineDepth = It->second;
+    for (const std::string &Simt : Child.SimtCopyParams)
+      if (Simt == Variant.Params[I].Name)
+        T.ForceSimtCopy = true;
     Operation &Alloc = emit(OpKind::Alloc);
     Alloc.AllocTensor = Id;
     Alloc.ExecProc = Child.Proc;

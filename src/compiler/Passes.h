@@ -130,9 +130,12 @@ struct SharedAllocation {
 /// and removing auxiliary edges (allowing aliasing) only until the
 /// allocation fits, then inserting WAR event edges between aliased users
 /// (Figure 11). Fails with an out-of-memory diagnostic if even full
-/// aliasing cannot fit.
+/// aliasing cannot fit. \p LimitBytes tightens the budget below the
+/// machine's per-block capacity (TaskMapping::SharedLimitBytes — the
+/// mapping-level occupancy knob); 0 means the full capacity.
 ErrorOr<SharedAllocation> runResourceAllocation(IRModule &Module,
-                                                const MachineModel &Machine);
+                                                const MachineModel &Machine,
+                                                int64_t LimitBytes = 0);
 
 /// Stage 5 (Section 4.2.5): for block bodies whose mapping requested warp
 /// specialization, partitions the dependence graph into a data-movement

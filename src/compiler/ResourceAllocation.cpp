@@ -98,8 +98,9 @@ void linearize(IRBlock &Block, std::vector<Operation *> &Out) {
 
 class Allocator {
 public:
-  Allocator(IRModule &Module, const MachineModel &Machine)
-      : Module(Module), Machine(Machine), S(allocScratch()) {}
+  Allocator(IRModule &Module, const MachineModel &Machine, int64_t LimitBytes)
+      : Module(Module), Machine(Machine), LimitBytes(LimitBytes),
+        S(allocScratch()) {}
 
   ErrorOr<SharedAllocation> run() {
     S.Order.clear();
@@ -111,9 +112,12 @@ public:
     if (Ranges.empty())
       return SharedAllocation{};
 
+    // The mapping may tighten the budget below the machine capacity
+    // (TaskMapping::SharedLimitBytes, plumbed through as LimitBytes); the
+    // machine capacity is the hard ceiling either way.
     int64_t Budget = Machine.memory(Memory::Shared).CapacityBytes;
-    // (A per-mapping budget override would arrive through the grid pfor's
-    // instance; the machine capacity is the hard ceiling either way.)
+    if (LimitBytes > 0)
+      Budget = std::min(Budget, LimitBytes);
 
     // Complete interference graph: every unordered pair starts present.
     // Auxiliary edges are those whose live ranges do not truly overlap.
@@ -372,14 +376,16 @@ private:
 
   IRModule &Module;
   const MachineModel &Machine;
+  int64_t LimitBytes;
   AllocScratch &S;
 };
 
 } // namespace
 
 ErrorOr<SharedAllocation>
-cypress::runResourceAllocation(IRModule &Module, const MachineModel &Machine) {
-  return Allocator(Module, Machine).run();
+cypress::runResourceAllocation(IRModule &Module, const MachineModel &Machine,
+                               int64_t LimitBytes) {
+  return Allocator(Module, Machine, LimitBytes).run();
 }
 
 std::unique_ptr<Pass> cypress::createResourceAllocationPass() {
@@ -389,8 +395,16 @@ std::unique_ptr<Pass> cypress::createResourceAllocationPass() {
   return std::make_unique<FunctionPass>(
       "resource-allocation",
       [](PipelineState &State) -> ErrorOrVoid {
+        // The tightest positive per-instance limit governs the whole
+        // kernel: shared memory is one per-block arena, so the strictest
+        // instance wins.
+        int64_t Limit = 0;
+        for (const TaskMapping &TM : State.Input->Mapping->instances())
+          if (TM.SharedLimitBytes > 0)
+            Limit = Limit ? std::min(Limit, TM.SharedLimitBytes)
+                          : TM.SharedLimitBytes;
         ErrorOr<SharedAllocation> Alloc =
-            runResourceAllocation(State.Module, *State.Input->Machine);
+            runResourceAllocation(State.Module, *State.Input->Machine, Limit);
         if (!Alloc)
           return Alloc.diagnostic();
         State.Alloc = std::move(*Alloc);

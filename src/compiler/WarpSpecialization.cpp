@@ -98,8 +98,6 @@ private:
   /// Pipelines the loop at Parent.Ops[LoopIndex]; returns how many hoisted
   /// allocations were inserted before it (the loop's new position shift).
   size_t pipelineLoop(IRBlock &Parent, size_t LoopIndex) {
-    int64_t Depth = Parent.Ops[LoopIndex]->ForPipeline;
-
     // 1. Identify the shared tiles of the loop body. Multi-buffered ones
     //    (PipelineDepth > 1) are hoisted and rotate through their buffers;
     //    depth-1 tiles stay in place but still need the WAR edge below.
@@ -140,10 +138,12 @@ private:
     IRBlock &Body = Loop.Body;
 
     // 3. Rewrite uses: slices of buffered tensors select buffer
-    //    (k mod PIPE), like `sA[_, _, k % PIPE]` in Figure 1b.
+    //    (k mod PIPE), like `sA[_, _, k % PIPE]` in Figure 1b. The depth
+    //    is per tensor (IRTensor::PipelineDepth): tiles usually inherit the
+    //    loop's mapped depth, but a TaskMapping::ArgPipeline override may
+    //    rotate one stream through fewer or more buffers than another.
     ScalarExpr Var = ScalarExpr::loopVar(Loop.LoopVar, Loop.LoopVarName);
-    ScalarExpr BufIdx = Var.mod(ScalarExpr(Depth));
-    rewriteBufferIndices(Body, BufIdx);
+    rewriteBufferIndices(Body, Var);
 
     // 4. Backward anti-dependence edges: a copy writing buffer X at
     //    iteration k reuses the physical buffer of iteration k - PIPE, so
@@ -180,21 +180,25 @@ private:
       for (size_t D = 0, E = Type.Dims.size(); D != E; ++D)
         Ref.Indices.push_back(EventIndex::broadcast());
       // Depth-1 tiles reuse their single buffer every iteration; deeper
-      // pipelines reuse PIPE iterations back.
-      Ref.IterLag = S.Buffered[Dst] ? Depth : 1;
+      // pipelines reuse their own tensor's PIPE iterations back.
+      Ref.IterLag =
+          S.Buffered[Dst] ? Module.tensor(Dst).PipelineDepth : 1;
       Writer->Preconds.push_back(std::move(Ref));
     }
     return Hoisted;
   }
 
   /// Stamps `k % PIPE` buffer indices on every slice of a multi-buffered
-  /// tile, recursing into nested loop bodies (direct recursion: this runs
-  /// per pipelined loop, so std::function dispatch per op adds up).
-  void rewriteBufferIndices(IRBlock &Block, const ScalarExpr &BufIdx) {
+  /// tile (PIPE = the tile's own PipelineDepth; scalar exprs are interned,
+  /// so tiles sharing a depth share one index expression), recursing into
+  /// nested loop bodies (direct recursion: this runs per pipelined loop,
+  /// so std::function dispatch per op adds up).
+  void rewriteBufferIndices(IRBlock &Block, const ScalarExpr &Var) {
     for (std::unique_ptr<Operation> &Op : Block.Ops) {
       auto Fix = [&](TensorSlice &Slice) {
         if (S.Buffered[Slice.Tensor])
-          Slice.BufferIndex = BufIdx;
+          Slice.BufferIndex = Var.mod(
+              ScalarExpr(Module.tensor(Slice.Tensor).PipelineDepth));
       };
       if (Op->Kind == OpKind::Copy) {
         Fix(Op->CopySrc);
@@ -204,7 +208,7 @@ private:
           Fix(Slice);
       }
       if (Op->Kind == OpKind::For || Op->Kind == OpKind::PFor)
-        rewriteBufferIndices(Op->Body, BufIdx);
+        rewriteBufferIndices(Op->Body, Var);
     }
   }
 

@@ -61,6 +61,10 @@ struct IRTensor {
   Processor HomeProc = Processor::Host;
   /// True for kernel arguments (pre-existing global allocations).
   bool IsEntryArg = false;
+  /// Mapping request (TaskMapping::SimtCopyParams): copies into or out of
+  /// this tensor run on the SIMT units even when they would qualify for
+  /// the TMA. Exec-unit assignment consults this flag.
+  bool ForceSimtCopy = false;
 };
 
 struct IRPartition;

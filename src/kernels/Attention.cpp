@@ -129,6 +129,10 @@ ErrorOrVoid AttentionConfig::validate(const MachineModel &Machine) const {
   if (Batch <= 0 || Heads <= 0 || SeqLen <= 0 || HeadDim <= 0 || BR <= 0 ||
       BC <= 0 || WGS <= 0 || Pipe <= 0)
     return Diagnostic("attention problem sizes and tunables must be positive");
+  if (PipeK < 0 || PipeV < 0 || SharedLimitKB < 0)
+    return Diagnostic(
+        "attention per-stream pipeline depths and the shared-memory limit "
+        "must be non-negative (0 = default)");
   // The host task tiles the row-stacked [Batch*Heads*SeqLen, D] tensors by
   // BR-row query blocks (blocks may straddle head boundaries — Heads is
   // chosen so the panel indexing still lands on whole heads), and the main
@@ -165,23 +169,33 @@ ErrorOrVoid AttentionConfig::validate(const MachineModel &Machine) const {
           static_cast<long long>(RegisterBytes)));
   }
 
-  // Shared lower bound: the Q tile is live across the whole main loop and
-  // truly interferes with the K/V pipeline buffers. K and V may alias
-  // *each other* (the allocator serializes them with write-after-read
-  // edges when space is tight), and the output staging tile may alias any
-  // of the loop buffers, so only the larger of K/V counts and staging only
-  // matters if it exceeds everything else.
+  // Shared lower bound, mirroring the allocator's aliasing on this
+  // mapping: the Q tile is live across the qk launch and truly interferes
+  // with the K pipeline buffers, so they sum. The V pipeline feeds the
+  // later pv launch and its buffers fully alias the Q+K region (the
+  // allocator serializes the two groups with write-after-read edges), so
+  // the loop bound is max(Q + K-deep, V-deep), and the output staging
+  // tile only matters if it exceeds everything else.
   int64_t SharedBytes = Machine.capacityBytes(Memory::Shared);
+  if (SharedLimitKB > 0) {
+    int64_t Limit = SharedLimitKB * 1024;
+    SharedBytes = SharedBytes > 0 ? std::min(SharedBytes, Limit) : Limit;
+  }
   if (SharedBytes > 0) {
+    int64_t DepthK = PipeK > 0 ? PipeK : Pipe;
+    int64_t DepthV = PipeV > 0 ? PipeV : Pipe;
     int64_t QBytes = alignUp(BR * HeadDim * 2, 128);
-    int64_t LoopBytes = alignUp(BC * HeadDim * 2, 128) * Pipe;
+    int64_t TileBytes = alignUp(BC * HeadDim * 2, 128);
+    int64_t LoopBytes = std::max(QBytes + TileBytes * DepthK,
+                                 TileBytes * DepthV);
     int64_t StagingBytes = WGS * alignUp((BR / WGS) * HeadDim * 2, 128);
-    int64_t Need = std::max(QBytes + LoopBytes, StagingBytes);
+    int64_t Need = std::max(LoopBytes, StagingBytes);
     if (Need > SharedBytes)
       return Diagnostic(formatString(
-          "shared memory needs at least %lld bytes (Q tile plus a "
-          "%lld-deep K/V pipeline) but the machine provides %lld per block",
-          static_cast<long long>(Need), static_cast<long long>(Pipe),
+          "shared memory needs at least %lld bytes (Q tile plus "
+          "%lld/%lld-deep K/V pipelines) but the budget is %lld per block",
+          static_cast<long long>(Need), static_cast<long long>(DepthK),
+          static_cast<long long>(DepthV),
           static_cast<long long>(SharedBytes)));
   }
   return ErrorOrVoid::success();
@@ -207,6 +221,12 @@ ErrorOrVoid cypress::applyTunable(AttentionConfig &Config,
     Config.Pipe = Value;
   else if (Name == "STAGE")
     Config.StageScores = Value != 0;
+  else if (Name == "PIPE_K")
+    Config.PipeK = Value;
+  else if (Name == "PIPE_V")
+    Config.PipeV = Value;
+  else if (Name == "SMEM")
+    Config.SharedLimitKB = Value;
   else
     return Diagnostic(formatString("attention has no tunable named %s",
                                    Name.c_str()));
@@ -476,6 +496,8 @@ MappingSpec cypress::attentionMapping(const AttentionConfig &Config) {
                 "fa_pv_block",  "fa_out_block", "fa_stage_block"};
     TM.WarpSpecialize = true;
     TM.PipelineDepth = Config.Pipe;
+    if (Config.SharedLimitKB > 0)
+      TM.SharedLimitBytes = Config.SharedLimitKB * 1024;
     Instances.push_back(TM);
   }
 
@@ -489,6 +511,10 @@ MappingSpec cypress::attentionMapping(const AttentionConfig &Config) {
 
   Block("fa_qk_block", "fa_qk_block",
         {Memory::None, Memory::None, Memory::Shared}, {"fa_qk_wg"});
+  // The K tile staged at this boundary may rotate through its own buffer
+  // count, decoupled from the loop depth (and likewise V below).
+  if (Config.PipeK > 0)
+    Instances.back().ArgPipeline["K"] = Config.PipeK;
   Wg("fa_qk_wg", "fa_qk_wg_leaf",
      {Memory::Register, Memory::Shared, Memory::Shared});
 
@@ -501,6 +527,8 @@ MappingSpec cypress::attentionMapping(const AttentionConfig &Config) {
 
   Block("fa_pv_block", "fa_pv_block",
         {Memory::None, Memory::None, Memory::Shared}, {"fa_pv_wg"});
+  if (Config.PipeV > 0)
+    Instances.back().ArgPipeline["V"] = Config.PipeV;
   Wg("fa_pv_wg", "fa_pv_wg_leaf",
      {Memory::Register, Memory::Register, Memory::Shared});
 

@@ -224,6 +224,10 @@ ErrorOrVoid GemmConfig::validate(const MachineModel &Machine) const {
   if (M <= 0 || N <= 0 || K <= 0 || L <= 0 || U <= 0 || V <= 0 || W <= 0 ||
       WGS <= 0 || Pipe <= 0)
     return Diagnostic("gemm problem sizes and tunables must be positive");
+  if (PipeA < 0 || PipeB < 0 || SharedLimitKB < 0)
+    return Diagnostic(
+        "gemm per-stream pipeline depths and the shared-memory limit must "
+        "be non-negative (0 = default)");
   if (M % U != 0 || N % V != 0 || K % W != 0)
     return Diagnostic(formatString(
         "tile %lldx%lld (K-tile %lld) does not divide the %lldx%lldx%lld "
@@ -257,22 +261,32 @@ ErrorOrVoid GemmConfig::validate(const MachineModel &Machine) const {
   // Shared-memory lower bound. The A/B pipeline buffers are concurrently
   // live across the whole K-loop, so they can never alias each other; the
   // output staging tile may alias them (its live range starts after the
-  // loop), so the bound is the max of the two groups, not their sum.
+  // loop), so the bound is the max of the two groups, not their sum. Each
+  // stream is sized by its own effective depth (ArgPipeline override or
+  // the loop depth), exactly as the allocator multiplies per-tensor
+  // PipelineDepth. A SharedLimitKB cap tightens the budget the same way
+  // the allocator's LimitBytes does.
   int64_t SharedBytes = Machine.capacityBytes(Memory::Shared);
+  if (SharedLimitKB > 0) {
+    int64_t Limit = SharedLimitKB * 1024;
+    SharedBytes = SharedBytes > 0 ? std::min(SharedBytes, Limit) : Limit;
+  }
   if (SharedBytes > 0) {
-    int64_t LoopBytes =
-        (alignUp(U * W * 2, 128) + alignUp(W * V * 2, 128)) * Pipe;
+    int64_t DepthA = PipeA > 0 ? PipeA : Pipe;
+    int64_t DepthB = PipeB > 0 ? PipeB : Pipe;
+    int64_t LoopBytes = alignUp(U * W * 2, 128) * DepthA +
+                        alignUp(W * V * 2, 128) * DepthB;
     int64_t StagingBytes = WGS * alignUp((U / WGS) * V * 2, 128);
     int64_t Need = std::max(LoopBytes, StagingBytes);
     if (Need > SharedBytes)
       return Diagnostic(formatString(
-          "shared memory needs at least %lld bytes (%lld-deep pipeline of "
-          "%lldx%lld and %lldx%lld tiles) but the machine provides %lld per "
-          "block",
-          static_cast<long long>(Need), static_cast<long long>(Pipe),
-          static_cast<long long>(U), static_cast<long long>(W),
-          static_cast<long long>(W), static_cast<long long>(V),
-          static_cast<long long>(SharedBytes)));
+          "shared memory needs at least %lld bytes (%lld/%lld-deep "
+          "pipelines of %lldx%lld and %lldx%lld tiles) but the budget is "
+          "%lld per block",
+          static_cast<long long>(Need), static_cast<long long>(DepthA),
+          static_cast<long long>(DepthB), static_cast<long long>(U),
+          static_cast<long long>(W), static_cast<long long>(W),
+          static_cast<long long>(V), static_cast<long long>(SharedBytes)));
   }
   return ErrorOrVoid::success();
 }
@@ -299,6 +313,16 @@ ErrorOrVoid cypress::applyTunable(GemmConfig &Config, const std::string &Name,
     Config.Pipe = Value;
   else if (Name == "WSPEC")
     Config.WarpSpecialize = Value != 0;
+  else if (Name == "PIPE_A")
+    Config.PipeA = Value;
+  else if (Name == "PIPE_B")
+    Config.PipeB = Value;
+  else if (Name == "TMA_A")
+    Config.TmaA = Value != 0;
+  else if (Name == "TMA_B")
+    Config.TmaB = Value != 0;
+  else if (Name == "SMEM")
+    Config.SharedLimitKB = Value;
   else
     return Diagnostic(formatString("gemm has no tunable named %s",
                                    Name.c_str()));
@@ -328,6 +352,8 @@ MappingSpec cypress::gemmMapping(const GemmConfig &Config) {
     TM.Calls = {"clear_block", "gemm_tile", "store_block"};
     TM.WarpSpecialize = Config.WarpSpecialize;
     TM.PipelineDepth = Config.Pipe;
+    if (Config.SharedLimitKB > 0)
+      TM.SharedLimitBytes = Config.SharedLimitKB * 1024;
     Instances.push_back(TM);
   }
   {
@@ -338,6 +364,16 @@ MappingSpec cypress::gemmMapping(const GemmConfig &Config) {
     TM.Mems = {Memory::None, Memory::Shared, Memory::Shared};
     TM.Tunables = {{"WGS", Config.WGS}};
     TM.Calls = {"gemm_wg"};
+    // Per-stream knobs: the A/B tiles staged at this launch boundary may
+    // rotate through their own buffer count or pin their loads to SIMT.
+    if (Config.PipeA > 0)
+      TM.ArgPipeline["A"] = Config.PipeA;
+    if (Config.PipeB > 0)
+      TM.ArgPipeline["B"] = Config.PipeB;
+    if (!Config.TmaA)
+      TM.SimtCopyParams.push_back("A");
+    if (!Config.TmaB)
+      TM.SimtCopyParams.push_back("B");
     Instances.push_back(TM);
   }
   {

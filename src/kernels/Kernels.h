@@ -49,6 +49,20 @@ struct GemmConfig {
   int64_t WGS = 2; ///< Consumer warpgroups per block.
   int64_t Pipe = 3;
   bool WarpSpecialize = true;
+  /// Per-stream pipeline-depth overrides for the A and B shared tiles
+  /// (TaskMapping::ArgPipeline). 0 keeps the loop depth \c Pipe; a positive
+  /// value rotates that stream through its own buffer count.
+  int64_t PipeA = 0;
+  int64_t PipeB = 0;
+  /// Execution-unit assignment for the A/B tile loads: true issues them on
+  /// the TMA engine (the default), false pins them to SIMT copies
+  /// (TaskMapping::SimtCopyParams).
+  bool TmaA = true;
+  bool TmaB = true;
+  /// Caps the allocator's per-block shared-memory budget, in KiB
+  /// (TaskMapping::SharedLimitBytes — the occupancy knob). 0 = machine
+  /// capacity.
+  int64_t SharedLimitKB = 0;
 
   /// Static mapping feasibility against \p Machine, checked before any
   /// compilation. Rejects (with a diagnostic naming the violated
@@ -70,8 +84,9 @@ struct GemmConfig {
 };
 
 /// Assigns the tunable named \p Name ("M", "N", "K", "L", "U", "V", "W",
-/// "WGS", "PIPE", "WSPEC") on \p Config; errors on unknown names. The
-/// autotuner applies search-space axis values through this.
+/// "WGS", "PIPE", "WSPEC", "PIPE_A", "PIPE_B", "TMA_A", "TMA_B", "SMEM")
+/// on \p Config; errors on unknown names. The autotuner applies
+/// search-space axis values through this.
 ErrorOrVoid applyTunable(GemmConfig &Config, const std::string &Name,
                          int64_t Value);
 
@@ -122,6 +137,13 @@ struct AttentionConfig {
   /// FA3 restructuring: stage the score tile so the next Q.K^T overlaps
   /// the current softmax (Section 5.3).
   bool StageScores = false;
+  /// Per-stream pipeline-depth overrides for the K and V shared tiles
+  /// (TaskMapping::ArgPipeline). 0 keeps the loop depth \c Pipe.
+  int64_t PipeK = 0;
+  int64_t PipeV = 0;
+  /// Caps the allocator's per-block shared-memory budget, in KiB. 0 =
+  /// machine capacity.
+  int64_t SharedLimitKB = 0;
 
   /// Static mapping feasibility against \p Machine (see
   /// GemmConfig::validate): block divisibility, the WGMMA band rule on
@@ -132,7 +154,8 @@ struct AttentionConfig {
 };
 
 /// Assigns the tunable named \p Name ("BATCH", "HEADS", "SEQ", "D", "BR",
-/// "BC", "WGS", "PIPE", "STAGE") on \p Config; errors on unknown names.
+/// "BC", "WGS", "PIPE", "STAGE", "PIPE_K", "PIPE_V", "SMEM") on \p Config;
+/// errors on unknown names.
 ErrorOrVoid applyTunable(AttentionConfig &Config, const std::string &Name,
                          int64_t Value);
 

@@ -53,6 +53,11 @@ std::string MappingSpec::fingerprint() const {
     OS << "}c{";
     for (const std::string &Call : Inst.Calls)
       OS << Call << ',';
+    OS << "}a{";
+    for (const auto &[Key, Value] : Inst.ArgPipeline)
+      OS << Key << '=' << Value << ',';
+    for (const std::string &Param : Inst.SimtCopyParams)
+      OS << Param << "=simt,";
     OS << '}' << (Inst.Entrypoint ? 'E' : '-')
        << (Inst.WarpSpecialize ? 'W' : '-') << 'p' << Inst.PipelineDepth
        << 's' << Inst.SharedLimitBytes << ' ';
@@ -127,6 +132,31 @@ ErrorOrVoid MappingSpec::validate(const TaskRegistry &Registry,
       return Diagnostic(formatString("instance %s has pipeline depth %lld",
                                      TM.Instance.c_str(),
                                      static_cast<long long>(TM.PipelineDepth)));
+
+    // Per-parameter knobs must name real parameters of the variant: a typo
+    // here would silently leave the default behavior in place.
+    auto HasParam = [&](const std::string &Name) {
+      for (const TaskParam &Param : Variant.Params)
+        if (Param.Name == Name)
+          return true;
+      return false;
+    };
+    for (const auto &[Param, Depth] : TM.ArgPipeline) {
+      if (!HasParam(Param))
+        return Diagnostic(formatString(
+            "instance %s pipelines unknown parameter %s of variant %s",
+            TM.Instance.c_str(), Param.c_str(), TM.Variant.c_str()));
+      if (Depth < 1)
+        return Diagnostic(formatString(
+            "instance %s gives parameter %s pipeline depth %lld",
+            TM.Instance.c_str(), Param.c_str(),
+            static_cast<long long>(Depth)));
+    }
+    for (const std::string &Param : TM.SimtCopyParams)
+      if (!HasParam(Param))
+        return Diagnostic(formatString(
+            "instance %s pins copies of unknown parameter %s of variant %s",
+            TM.Instance.c_str(), Param.c_str(), TM.Variant.c_str()));
 
     for (const std::string &Callee : TM.Calls) {
       if (!hasInstance(Callee))

@@ -60,6 +60,20 @@ struct TaskMapping {
   /// Upper bound on shared-memory usage for the resource allocator
   /// (Section 4.2.4); 0 = the machine's full per-block capacity.
   int64_t SharedLimitBytes = 0;
+  /// Per-parameter override of the multi-buffering depth used when the
+  /// named argument is staged into shared memory, keyed by the variant's
+  /// parameter name. Absent parameters inherit the enclosing pipelined
+  /// loop's depth (the historical behavior); an entry must be >= 1. This
+  /// is the mapping-level knob behind the autotuner's PIPE_A/PIPE_B axes:
+  /// deep-pipeline one stream while keeping the other shallow.
+  std::map<std::string, int64_t> ArgPipeline;
+  /// Variant parameter names whose launch-boundary copies are pinned to
+  /// the SIMT units instead of the TMA. Normally exec-unit assignment
+  /// routes bulk global<->shared traffic through the TMA; pinning a
+  /// parameter here makes its staging copies compete with the consumer
+  /// warpgroups instead — a real exec-unit assignment axis (warp
+  /// specialization only offloads TMA copies to the DMA agent).
+  std::vector<std::string> SimtCopyParams;
 };
 
 /// A full mapping specification plus lookup and validation.

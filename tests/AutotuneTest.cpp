@@ -19,6 +19,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unordered_set>
+
 using namespace cypress;
 
 namespace {
@@ -363,6 +365,247 @@ TEST(Tuner, CompileErrorsAreReportedWithPassProvenance) {
             std::string::npos);
   EXPECT_EQ(Result.best(), nullptr);
   EXPECT_EQ(Result.Stats.CompileErrors, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Lazy enumeration and the guided spaces
+//===----------------------------------------------------------------------===//
+
+TEST(MappingSpace, LazyEnumerationMatchesMaterializedPointForPoint) {
+  // The lazy index decode must reproduce the eager odometer exactly:
+  // same points, same order, same verdicts — flat indices are part of the
+  // guided search's determinism contract.
+  GemmConfig Base = smallGemm();
+  KernelSearchSpec Spec = gemmSearchSpec(Base, gemmGuidedAxes());
+  MappingSpace Space(Spec, MachineModel::h100());
+  const std::vector<MappingSpace::Candidate> &All = Space.candidates();
+  ASSERT_EQ(All.size(), Space.size());
+  size_t Feasible = 0;
+  std::unordered_set<uint64_t> Fingerprints;
+  Fingerprints.reserve(Space.size());
+  for (size_t I = 0; I < Space.size(); ++I) {
+    MappingSpace::Candidate Lazy = Space.candidateAt(I);
+    ASSERT_EQ(Lazy.Point, All[I].Point) << "index " << I;
+    ASSERT_EQ(Lazy.feasible(), All[I].feasible()) << "index " << I;
+    Feasible += Lazy.feasible() ? 1 : 0;
+    // Distinct points must get distinct 64-bit fingerprints (the guided
+    // search's visited-set would silently skip points on a collision).
+    EXPECT_TRUE(Fingerprints.insert(Lazy.Point.fingerprint()).second)
+        << "fingerprint collision at index " << I;
+  }
+  EXPECT_EQ(Space.feasibleCount(), Feasible);
+  // Equal points hash equal, across separately-built instances.
+  EXPECT_EQ(Space.pointAt(7).fingerprint(),
+            Space.candidateAt(7).Point.fingerprint());
+}
+
+TEST(MappingSpace, GuidedSpacesClearTheScaleFloors) {
+  // The tentpole's space-size bar: >= 10^4 statically feasible gemm
+  // points and >= 10^3 attention points on H100.
+  KernelSearchSpec Gemm = gemmSearchSpec(GemmConfig(), gemmGuidedAxes());
+  MappingSpace GemmSpace(Gemm, MachineModel::h100());
+  EXPECT_GE(GemmSpace.size(), 10000u);
+  EXPECT_GE(GemmSpace.feasibleCount(), 10000u);
+
+  KernelSearchSpec Attn =
+      attentionSearchSpec(fa2Config(4096), attentionGuidedAxes());
+  MappingSpace AttnSpace(Attn, MachineModel::h100());
+  EXPECT_GE(AttnSpace.feasibleCount(), 1000u);
+}
+
+TEST(MappingSpace, GemmStreamAxisPrunesAgreeWithTheCompiler) {
+  // Same soundness bar as CapacityPrunesAgreeWithTheCompiler, for every
+  // new axis: per-stream pipeline depths (PIPE_A/PIPE_B), exec-unit
+  // assignment (TMA_A/TMA_B), and the shared-memory cap (SMEM). A
+  // capacity rejection must imply a pipeline rejection, and every
+  // feasible point must compile — including SIMT-pinned copies and
+  // per-stream depths the allocator sizes individually.
+  GemmConfig Base = smallGemm();
+  KernelSearchSpec Spec = gemmSearchSpec(
+      Base, {{"U", {128}}, {"V", {256}}, {"PIPE", {2}}, {"WGS", {2}},
+             {"PIPE_A", {0, 5}}, {"PIPE_B", {0, 5}}, {"TMA_A", {0, 1}},
+             {"TMA_B", {0, 1}}, {"SMEM", {0, 64}}});
+  MappingSpace Space(Spec, MachineModel::h100());
+  ASSERT_GT(Space.prunedCount(), 0u);
+  ASSERT_GT(Space.feasibleCount(), 0u);
+  for (const MappingSpace::Candidate &Cand : Space.candidates()) {
+    TaskRegistry Registry;
+    Spec.Register(Registry);
+    MappingSpec Mapping = Spec.BuildMapping(Cand.Point);
+    std::vector<TensorType> Args = Spec.BuildArgs(Cand.Point);
+    CompileInput Input{&Registry, &Mapping, &MachineModel::h100(), Args};
+    ErrorOr<std::unique_ptr<CompiledKernel>> Kernel =
+        compileKernel(Input, "gemm");
+    if (Cand.feasible()) {
+      EXPECT_TRUE(Kernel) << Cand.Point.str() << ": "
+                          << Kernel.diagnostic().message();
+    } else if (Cand.Rejection->message().find("WGMMA") == std::string::npos) {
+      EXPECT_FALSE(Kernel) << Cand.Point.str()
+                           << " pruned for a capacity reason ("
+                           << Cand.Rejection->message()
+                           << ") but the pipeline accepted it";
+    }
+  }
+}
+
+TEST(MappingSpace, AttentionStreamAxisPrunesAgreeWithTheCompiler) {
+  // The attention analogue: PIPE_K/PIPE_V overrides and the SMEM cap.
+  KernelSearchSpec Spec = attentionSearchSpec(
+      fa2Config(2048),
+      {{"BC", {64, 128}}, {"PIPE", {2}}, {"PIPE_K", {0, 6}},
+       {"PIPE_V", {0, 6}}, {"SMEM", {0, 96}}});
+  MappingSpace Space(Spec, MachineModel::h100());
+  ASSERT_GT(Space.prunedCount(), 0u);
+  ASSERT_GT(Space.feasibleCount(), 0u);
+  for (const MappingSpace::Candidate &Cand : Space.candidates()) {
+    TaskRegistry Registry;
+    Spec.Register(Registry);
+    MappingSpec Mapping = Spec.BuildMapping(Cand.Point);
+    std::vector<TensorType> Args = Spec.BuildArgs(Cand.Point);
+    CompileInput Input{&Registry, &Mapping, &MachineModel::h100(), Args};
+    ErrorOr<std::unique_ptr<CompiledKernel>> Kernel =
+        compileKernel(Input, "fa");
+    if (Cand.feasible()) {
+      EXPECT_TRUE(Kernel) << Cand.Point.str() << ": "
+                          << Kernel.diagnostic().message();
+    } else if (Cand.Rejection->message().find("WGMMA") == std::string::npos) {
+      EXPECT_FALSE(Kernel) << Cand.Point.str()
+                           << " pruned for a capacity reason ("
+                           << Cand.Rejection->message()
+                           << ") but the pipeline accepted it";
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Budgeted anytime search
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The full visit record of a budgeted run: every landscape row's point in
+/// ranked order plus the curve's evaluation counts. Two runs with the same
+/// signature visited the same points in the same batches and agreed on
+/// every comparison.
+std::string visitSignature(const TuneResult &Result) {
+  std::string Sig;
+  for (const CandidateResult &Row : Result.Landscape) {
+    Sig += Row.Point.str();
+    Sig += '|';
+  }
+  for (const TuneResult::CurvePoint &C : Result.Curve) {
+    Sig += std::to_string(C.Evals);
+    Sig += ';';
+  }
+  return Sig;
+}
+
+} // namespace
+
+TEST(Tuner, GuidedSearchIsDeterministicAcrossWorkerCountsAndReruns) {
+  // The determinism contract, pinned the way SimulatorParityTest pins
+  // sharding: identical best and identical visit sequence at 1, 2, and 8
+  // workers, on repeat runs, and with a warm cost cache.
+  KernelSearchSpec Spec = gemmSearchSpec(GemmConfig(), gemmGuidedAxes());
+  TuneBudget Budget;
+  Budget.MaxEvals = 32;
+
+  std::string Reference;
+  std::string BestPoint;
+  double BestTFlops = 0.0;
+  for (unsigned Workers : {1u, 2u, 8u}) {
+    SessionConfig Config;
+    Config.Workers = Workers;
+    CompilerSession Session(Config);
+    Tuner Tuner(Session);
+    TuneResult Cold =
+        Tuner.tuneBudgeted(Spec, MachineModel::h100(), Budget);
+    ASSERT_NE(Cold.best(), nullptr);
+    if (Reference.empty()) {
+      Reference = visitSignature(Cold);
+      BestPoint = Cold.best()->Point.str();
+      BestTFlops = Cold.best()->TFlops;
+    }
+    EXPECT_EQ(visitSignature(Cold), Reference) << Workers << " workers";
+    EXPECT_EQ(Cold.best()->Point.str(), BestPoint);
+    EXPECT_DOUBLE_EQ(Cold.best()->TFlops, BestTFlops);
+
+    // Warm rerun on the same tuner: every evaluation replays from the
+    // cost cache, and the visit sequence must not move an inch.
+    TuneResult Warm =
+        Tuner.tuneBudgeted(Spec, MachineModel::h100(), Budget);
+    EXPECT_EQ(Warm.Stats.CostCacheHits, Warm.Stats.Evals);
+    EXPECT_EQ(Warm.Stats.PipelinesRun, 0u);
+    EXPECT_EQ(visitSignature(Warm), Reference);
+  }
+}
+
+TEST(Tuner, GuidedFindsLegacyBestWithHalfThePipelines) {
+  // The acceptance bar on the legacy 24-point grid: within 1% of the
+  // exhaustive best while running at most half the pipelines.
+  KernelSearchSpec Spec = gemmSearchSpec(GemmConfig(), gemmSweepAxes());
+
+  CompilerSession ExhaustiveSession;
+  Tuner Exhaustive(ExhaustiveSession);
+  TuneResult Full = Exhaustive.tune(Spec, MachineModel::h100());
+  ASSERT_NE(Full.best(), nullptr);
+
+  CompilerSession GuidedSession;
+  Tuner Guided(GuidedSession);
+  TuneBudget Budget;
+  Budget.MaxEvals = Full.Stats.PipelinesRun / 2;
+  TuneResult Result =
+      Guided.tuneBudgeted(Spec, MachineModel::h100(), Budget);
+  ASSERT_NE(Result.best(), nullptr);
+  EXPECT_LE(Result.Stats.PipelinesRun, Full.Stats.PipelinesRun / 2);
+  EXPECT_GE(Result.best()->TFlops, 0.99 * Full.best()->TFlops);
+  ASSERT_FALSE(Result.Curve.empty());
+  EXPECT_EQ(Result.Curve.back().Evals, Result.Stats.Evals);
+}
+
+TEST(Tuner, BudgetedFallsBackToExhaustiveOnSmallSpaces) {
+  // Spaces brute force can afford get brute force: same landscape and
+  // best as tune(), one round, full coverage.
+  KernelSearchSpec Spec = gemmSearchSpec(smallGemm(), smallAxes());
+  CompilerSession Session;
+  Tuner Tuner(Session);
+  TuneResult Exhaustive = Tuner.tune(Spec, MachineModel::h100());
+  TuneResult Budgeted =
+      Tuner.tuneBudgeted(Spec, MachineModel::h100(), TuneBudget());
+  ASSERT_NE(Budgeted.best(), nullptr);
+  EXPECT_EQ(Budgeted.Stats.Rounds, 1u);
+  EXPECT_EQ(Budgeted.Stats.Evals,
+            Exhaustive.Stats.Candidates - Exhaustive.Stats.Pruned);
+  EXPECT_EQ(Budgeted.best()->Point, Exhaustive.best()->Point);
+  EXPECT_DOUBLE_EQ(Budgeted.best()->TFlops, Exhaustive.best()->TFlops);
+}
+
+TEST(Tuner, WallClockBudgetStillCompletesOneRound) {
+  // The anytime contract: even an already-expired wall budget yields a
+  // best-effort candidate from one completed round.
+  KernelSearchSpec Spec = gemmSearchSpec(GemmConfig(), gemmGuidedAxes());
+  CompilerSession Session;
+  Tuner Tuner(Session);
+  TuneBudget Budget;
+  Budget.WallClockMs = 0.0001;
+  TuneResult Result = Tuner.tuneBudgeted(Spec, MachineModel::h100(), Budget);
+  EXPECT_EQ(Result.Stats.Rounds, 1u);
+  ASSERT_NE(Result.best(), nullptr);
+  EXPECT_GT(Result.best()->TFlops, 0.0);
+}
+
+TEST(Tuner, ExhaustiveTuneRefusesOversizedSpaces) {
+  // tune() on a 77k-point space must return the cap diagnostic instead of
+  // materializing and sweeping it (the analogue of the simulator's
+  // event-slot cap).
+  KernelSearchSpec Spec = gemmSearchSpec(GemmConfig(), gemmGuidedAxes());
+  CompilerSession Session;
+  Tuner Tuner(Session);
+  TuneResult Result = Tuner.tune(Spec, MachineModel::h100());
+  EXPECT_TRUE(Result.Landscape.empty());
+  EXPECT_EQ(Result.best(), nullptr);
+  EXPECT_NE(Result.Error.find("tuneBudgeted"), std::string::npos);
+  EXPECT_EQ(Result.Stats.PipelinesRun, 0u);
 }
 
 TEST(Tuner, AttentionSweepFindsThePaperTuning) {
