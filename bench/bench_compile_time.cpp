@@ -24,6 +24,7 @@
 #include "BenchUtil.h"
 #include "compiler/PassManager.h"
 #include "support/AllocCounter.h"
+#include "support/Cancel.h"
 
 #include <benchmark/benchmark.h>
 
@@ -78,14 +79,74 @@ void printBreakdown(std::FILE *Out,
   }
 }
 
+/// Cost of the cooperative cancellation checkpoints (support/Cancel.h):
+/// the same full-pipeline gemm compile with a far-future deadline armed
+/// (every inter-pass and worklist checkpoint live) vs without any
+/// Cancellation (the null fast path). Reported, never gated — the
+/// interesting number is the overhead percentage, which should stay in
+/// the noise.
+struct CheckpointOverhead {
+  double PlainMicros = 0.0;
+  double DeadlineMicros = 0.0;
+
+  double overheadPct() const {
+    return PlainMicros > 0.0
+               ? (DeadlineMicros - PlainMicros) / PlainMicros * 100.0
+               : 0.0;
+  }
+};
+
+CheckpointOverhead measureCheckpointOverhead() {
+  TaskRegistry Registry;
+  MappingSpec Mapping;
+  std::vector<TensorType> Args;
+  CompileInput Input = gemmInput(Registry, Mapping, Args);
+  PassPipeline Pipeline = PassPipeline::defaultPipeline();
+
+  auto RunOnce = [&](const Cancellation *Cancel) {
+    PipelineStats Stats;
+    ErrorOr<IRModule> Module = Pipeline.run(Input, nullptr, &Stats, Cancel);
+    if (!Module) {
+      std::fprintf(stderr, "error: checkpoint bench: %s\n",
+                   Module.diagnostic().str().c_str());
+      return 0.0;
+    }
+    return Stats.TotalMicros;
+  };
+
+  // Interleave the two variants (plain, armed, plain, armed, ...) so OS
+  // jitter hits both equally — at ~50 us per compile, back-to-back batches
+  // would let one scheduling hiccup masquerade as checkpoint cost.
+  Cancellation Armed(Deadline::afterMillis(1e9));
+  CheckpointOverhead Result;
+  for (int I = 0; I < 4 * (bench::kQuietBestOf + 1); ++I) {
+    double Plain = RunOnce(nullptr);
+    double WithDeadline = RunOnce(&Armed);
+    if (I == 0 || Plain <= 0.0 || WithDeadline <= 0.0)
+      continue; // Warmup (and bail-outs keep zeros out of the min).
+    if (Result.PlainMicros == 0.0 || Plain < Result.PlainMicros)
+      Result.PlainMicros = Plain;
+    if (Result.DeadlineMicros == 0.0 ||
+        WithDeadline < Result.DeadlineMicros)
+      Result.DeadlineMicros = WithDeadline;
+  }
+  return Result;
+}
+
 /// BENCH_compile_time.json via the same CYPRESS_BENCH_JSON convention as
 /// the Table drivers (value = directory, "1" = cwd).
-void maybeWriteJson(const std::vector<KernelBreakdown> &Breakdowns) {
+void maybeWriteJson(const std::vector<KernelBreakdown> &Breakdowns,
+                    const CheckpointOverhead &Checkpoint) {
   std::FILE *Out = bench::benchJsonOpen("compile_time");
   if (!Out)
     return;
-  std::fprintf(Out, "{\n  \"host_contention\": %.3f,\n  \"kernels\": [\n",
-               bench::hostContention());
+  std::fprintf(Out, "{\n  \"host_contention\": %.3f,\n", bench::hostContention());
+  std::fprintf(Out,
+               "  \"checkpoint_overhead\": {\"plain_us\": %.3f, "
+               "\"deadline_us\": %.3f, \"overhead_pct\": %.2f},\n",
+               Checkpoint.PlainMicros, Checkpoint.DeadlineMicros,
+               Checkpoint.overheadPct());
+  std::fprintf(Out, "  \"kernels\": [\n");
   for (size_t I = 0; I < Breakdowns.size(); ++I) {
     const KernelBreakdown &B = Breakdowns[I];
     std::fprintf(Out, "    {\"kernel\": \"%s\", \"total_us\": %.3f,\n",
@@ -160,7 +221,15 @@ void reportPerPassBreakdown(std::FILE *Out) {
   }
 
   printBreakdown(Out, Breakdowns);
-  maybeWriteJson(Breakdowns);
+
+  CheckpointOverhead Checkpoint = measureCheckpointOverhead();
+  std::fprintf(Out,
+               "cancellation checkpoints (gemm_4096 pipeline): %.1f us "
+               "plain, %.1f us with armed deadline (%+.2f%%)\n\n",
+               Checkpoint.PlainMicros, Checkpoint.DeadlineMicros,
+               Checkpoint.overheadPct());
+
+  maybeWriteJson(Breakdowns, Checkpoint);
 }
 
 //===----------------------------------------------------------------------===//

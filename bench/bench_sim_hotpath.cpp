@@ -49,11 +49,13 @@ struct HotpathRow {
 /// (BenchUtil.h) that makes the CI regression gate stable on shared
 /// runners and the committed baselines comparable across benches.
 HotpathRow timeKernel(const char *Name, const OwnedKernel &Owned, int Runs,
-                      int Batches = kQuietBestOf) {
+                      int Batches = kQuietBestOf,
+                      const Cancellation *Cancel = nullptr) {
   HotpathRow Row{Name, Runs, 0.0, 0.0, 0.0};
   if (!Owned.Kernel)
     return Row;
-  ErrorOr<SimResult> Warm = Owned.Kernel->runTiming();
+  ErrorOr<SimResult> Warm = Owned.Kernel->runTiming(SimConfig(), nullptr,
+                                                    Cancel);
   if (!Warm) {
     std::fprintf(stderr, "error: %s: %s\n", Name,
                  Warm.diagnostic().message().c_str());
@@ -64,7 +66,7 @@ HotpathRow timeKernel(const char *Name, const OwnedKernel &Owned, int Runs,
   for (int Batch = 0; Batch < Batches; ++Batch) {
     Clock::time_point Start = Clock::now();
     for (int I = 0; I < Runs; ++I)
-      if (!Owned.Kernel->runTiming())
+      if (!Owned.Kernel->runTiming(SimConfig(), nullptr, Cancel))
         return Row;
     double Micros = millisSince(Start) * 1000.0 / Runs;
     if (Batch == 0 || Micros < Row.MicrosPerRun)
@@ -103,6 +105,24 @@ int main() {
   for (const HotpathRow &Row : Rows)
     std::printf("%-14s %8d %14.1f %16.1f %10.1f\n", Row.Name, Row.Runs,
                 Row.MicrosPerRun, Row.BlockCycles, Row.TFlops);
+
+  // Cancellation-checkpoint overhead on the simulator hot path: the same
+  // gemm timing run with a far-future deadline armed (per-shard and
+  // per-relaxation-step strided polls live) vs the nullptr fast path
+  // measured above. Reported, never gated; the percentage is the claim
+  // docs/BENCHMARKS.md records.
+  Cancellation Armed(Deadline::afterMillis(1e9));
+  HotpathRow GemmDeadline =
+      timeKernel("gemm_4096", GemmKernel, Runs, kQuietBestOf, &Armed);
+  double CheckpointPct =
+      Rows[0].MicrosPerRun > 0.0
+          ? (GemmDeadline.MicrosPerRun - Rows[0].MicrosPerRun) /
+                Rows[0].MicrosPerRun * 100.0
+          : 0.0;
+  std::printf("\ncancellation checkpoints (gemm_4096): %.1f us/run plain, "
+              "%.1f us/run with armed deadline (%+.2f%%)\n",
+              Rows[0].MicrosPerRun, GemmDeadline.MicrosPerRun,
+              CheckpointPct);
 
   // The mapping_explorer grid, end to end: enumerate + prune + compile +
   // simulate on a cold session (no kernel- or cost-cache reuse), exactly
@@ -158,7 +178,13 @@ int main() {
                    Rows[I].BlockCycles, Rows[I].TFlops,
                    I + 1 < sizeof(Rows) / sizeof(Rows[0]) ? "," : "");
     std::fprintf(Out,
-                 "  ],\n  \"sweep\": {\"candidates\": %zu, \"pruned\": %zu, "
+                 "  ],\n  \"checkpoint_overhead\": {\"plain_us_per_run\": "
+                 "%.6g, \"deadline_us_per_run\": %.6g, \"overhead_pct\": "
+                 "%.2f},\n",
+                 Rows[0].MicrosPerRun, GemmDeadline.MicrosPerRun,
+                 CheckpointPct);
+    std::fprintf(Out,
+                 "  \"sweep\": {\"candidates\": %zu, \"pruned\": %zu, "
                  "\"pipelines_run\": %zu, \"wall_ms\": %.6g, "
                  "\"compile_us\": %.6g, \"sim_us\": %.6g}\n}\n",
                  Sweep.Stats.Candidates, Sweep.Stats.Pruned,

@@ -6,12 +6,15 @@
 
 #include "autotune/Tuner.h"
 
+#include "support/FaultInjection.h"
 #include "support/Format.h"
 #include "support/Random.h"
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <deque>
+#include <limits>
 #include <unordered_set>
 
 using namespace cypress;
@@ -125,7 +128,8 @@ std::vector<CandidateResult>
 Tuner::evaluateBatch(const KernelSearchSpec &Spec, TaskRegistry &Registry,
                      const MachineModel &Machine, const SimConfig &Sim,
                      const std::string &SimKey,
-                     std::vector<TuningPoint> Points, TuneStats &Stats) {
+                     std::vector<TuningPoint> Points,
+                     const CompileOptions &Options, TuneStats &Stats) {
   std::vector<CandidateResult> Rows(Points.size());
 
   // The deque keeps pending candidates' mappings at stable addresses for
@@ -154,6 +158,15 @@ Tuner::evaluateBatch(const KernelSearchSpec &Spec, TaskRegistry &Registry,
     {
       std::lock_guard<std::mutex> Lock(CostMutex);
       auto It = CostCache.find(CostKey);
+      // Self-healing replay: an evaluated entry carrying NaN throughput is
+      // corrupt (only the cost-corrupt fault site can write one) — discard
+      // it and re-evaluate rather than rank garbage.
+      if (It != CostCache.end() &&
+          It->second.Status == CandidateStatus::Evaluated &&
+          std::isnan(It->second.TFlops)) {
+        CostCache.erase(It);
+        It = CostCache.end();
+      }
       if (It != CostCache.end()) {
         const CachedEval &Eval = It->second;
         Row.Status = Eval.Status;
@@ -193,25 +206,29 @@ Tuner::evaluateBatch(const KernelSearchSpec &Spec, TaskRegistry &Registry,
         if (!Compiled) {
           Eval.Status = CandidateStatus::CompileError;
           Eval.Detail = Compiled.diagnostic().str();
+          Eval.Transient = Compiled.diagnostic().isTransient();
           return;
         }
         Eval.Kernel = *Compiled;
         Eval.SharedBytes = Eval.Kernel->sharedPlan().TotalBytes;
         auto SimStart = std::chrono::steady_clock::now();
-        ErrorOr<SimResult> Timing = Eval.Kernel->runTiming(Sim);
+        Cancellation RunCancel(Options.DeadlineAt, Options.Cancel);
+        ErrorOr<SimResult> Timing = Eval.Kernel->runTiming(
+            Sim, nullptr, RunCancel.active() ? &RunCancel : nullptr);
         Eval.SimulateMicros = std::chrono::duration<double, std::micro>(
                                   std::chrono::steady_clock::now() - SimStart)
                                   .count();
         if (!Timing) {
           Eval.Status = CandidateStatus::SimError;
           Eval.Detail = Timing.diagnostic().str();
+          Eval.Transient = Timing.diagnostic().isTransient();
         } else {
           Eval.Status = CandidateStatus::Evaluated;
           Eval.TFlops = Timing->TFlops;
         }
       };
   std::vector<uint8_t> Hits;
-  Session->compileAll(Requests, &Hits, Evaluate);
+  Session->compileAll(Requests, &Hits, Evaluate, Options);
   size_t BatchHits = 0;
   for (uint8_t Hit : Hits)
     BatchHits += Hit ? 1 : 0;
@@ -229,6 +246,18 @@ Tuner::evaluateBatch(const KernelSearchSpec &Spec, TaskRegistry &Registry,
     Row.CompileMicros = Eval.Kernel ? Eval.Kernel->stats().TotalMicros : 0.0;
     Row.SimulateMicros = Eval.SimulateMicros;
 
+    // Transient outcomes (deadline, cancellation, shedding, injected
+    // worker faults) are quarantined: the row keeps its diagnostic, but
+    // nothing is memoized — a later sweep must re-evaluate the point.
+    if (Eval.Transient) {
+      ++Stats.Quarantined;
+      continue;
+    }
+    // Keyed on the point's content (not the uid-bearing cost key) so a
+    // probabilistic clause corrupts the same candidates in every run.
+    if (Eval.Status == CandidateStatus::Evaluated &&
+        faultFires(FaultSite::CostCorrupt, Row.Point.str()))
+      Eval.TFlops = std::numeric_limits<double>::quiet_NaN();
     std::lock_guard<std::mutex> Lock(CostMutex);
     CostCache.emplace(std::move(Pending[I].CostKey), std::move(Eval));
   }
@@ -279,12 +308,13 @@ TuneResult Tuner::tune(const KernelSearchSpec &Spec,
 
   Result.Landscape =
       evaluateBatch(Spec, Registry, Machine, Sim, simFingerprint(Sim),
-                    std::move(Feasible), Result.Stats);
+                    std::move(Feasible), CompileOptions(), Result.Stats);
   Result.Landscape.reserve(Space.size());
   for (CandidateResult &Row : PrunedRows)
     Result.Landscape.push_back(std::move(Row));
 
   Result.Stats.Session = Session->cacheStats();
+  Result.Partial = Result.Stats.Quarantined > 0;
   rankLandscape(Result.Landscape);
   return Result;
 }
@@ -307,6 +337,20 @@ TuneResult Tuner::tuneBudgeted(const KernelSearchSpec &Spec,
   TuneResult Result;
   Result.Stats.Candidates = Space.size();
 
+  // The search-level cancellation surface: checked at round boundaries
+  // here, and threaded through every compile and timing run as Options.
+  Cancellation Stop(Budget.DeadlineAt, Budget.Cancel);
+  CancelCheck StopCheck(Stop);
+  CompileOptions Options{Budget.DeadlineAt, Budget.Cancel};
+
+  // Already expired or cancelled on entry: nothing was searched, and
+  // best-so-far is legitimately empty.
+  if (StopCheck.enabled() && StopCheck.shouldStopNow()) {
+    Result.Partial = true;
+    Result.Stats.Session = Session->cacheStats();
+    return Result;
+  }
+
   auto BestTFlops = [&Result]() {
     double Best = 0.0;
     for (const CandidateResult &Row : Result.Landscape)
@@ -325,12 +369,14 @@ TuneResult Tuner::tuneBudgeted(const KernelSearchSpec &Spec,
       if (Cand.feasible())
         Feasible.push_back(Cand.Point);
     Result.Stats.Pruned = Space.prunedCount();
-    Result.Landscape = evaluateBatch(Spec, Registry, Machine, Sim, SimKey,
-                                     std::move(Feasible), Result.Stats);
+    Result.Landscape =
+        evaluateBatch(Spec, Registry, Machine, Sim, SimKey,
+                      std::move(Feasible), Options, Result.Stats);
     Result.Stats.Rounds = 1;
     rankLandscape(Result.Landscape);
     Result.Curve.push_back({Result.Stats.Evals, BestTFlops(), ElapsedMs()});
     Result.Stats.Session = Session->cacheStats();
+    Result.Partial = Result.Stats.Quarantined > 0;
     return Result;
   }
 
@@ -452,6 +498,12 @@ TuneResult Tuner::tuneBudgeted(const KernelSearchSpec &Spec,
     if (Result.Stats.Rounds > 0 && Budget.WallClockMs > 0 &&
         ElapsedMs() >= Budget.WallClockMs)
       break;
+    // Deadline / cancellation: return best-so-far, marked Partial.
+    if (Result.Stats.Rounds > 0 && StopCheck.enabled() &&
+        StopCheck.shouldStopNow()) {
+      Result.Partial = true;
+      break;
+    }
 
     std::vector<TuningPoint> Batch;
     Batch.reserve(Want);
@@ -461,8 +513,9 @@ TuneResult Tuner::tuneBudgeted(const KernelSearchSpec &Spec,
     if (Batch.empty())
       break; // Space exhausted (or nothing feasible within reach).
 
-    std::vector<CandidateResult> Rows = evaluateBatch(
-        Spec, Registry, Machine, Sim, SimKey, std::move(Batch), Result.Stats);
+    std::vector<CandidateResult> Rows =
+        evaluateBatch(Spec, Registry, Machine, Sim, SimKey, std::move(Batch),
+                      Options, Result.Stats);
     for (CandidateResult &Row : Rows)
       Result.Landscape.push_back(std::move(Row));
 
@@ -472,6 +525,7 @@ TuneResult Tuner::tuneBudgeted(const KernelSearchSpec &Spec,
   }
 
   Result.Stats.Session = Session->cacheStats();
+  Result.Partial = Result.Partial || Result.Stats.Quarantined > 0;
   rankLandscape(Result.Landscape);
   return Result;
 }

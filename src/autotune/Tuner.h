@@ -97,6 +97,11 @@ struct TuneStats {
   size_t PipelinesRun = 0;  ///< Full pass-pipeline executions.
   size_t CompileErrors = 0;
   size_t Rounds = 0;        ///< Search rounds of a budgeted run.
+  /// Evaluations that failed transiently (deadline, cancellation, load
+  /// shedding, injected worker faults — see Diagnostic::isTransient):
+  /// quarantined into the landscape with their diagnostics but never
+  /// written to the cost cache, so a later sweep re-evaluates them.
+  size_t Quarantined = 0;
   /// Session-wide cache snapshot after the run (monotonic counters).
   CacheStats Session;
 };
@@ -113,6 +118,18 @@ struct TuneBudget {
   /// not depend on cache warmth, or warm reruns would visit a different
   /// sequence than cold ones.
   size_t MaxEvals = 0;
+  /// Hard wall-clock deadline for the whole search. Checked at round
+  /// boundaries like WallClockMs, but it also rides along on every
+  /// compile and timing run, so a round in flight when it expires sheds
+  /// its remaining candidates with structured diagnostics (quarantined —
+  /// see TuneStats::Quarantined) instead of finishing them. The search
+  /// returns best-so-far marked TuneResult::Partial. Inactive (the
+  /// default) costs nothing.
+  Deadline DeadlineAt;
+  /// Optional caller-held token: fire it to abandon the search; in-flight
+  /// work exits at its next checkpoint and the tuner returns best-so-far
+  /// marked Partial.
+  const CancelToken *Cancel = nullptr;
 };
 
 /// The ranked landscape: evaluated candidates first, best TFLOP/s leading
@@ -136,6 +153,12 @@ struct TuneResult {
   /// Set when the tuner refused to run: an exhaustive tune() over a space
   /// larger than Tuner::ExhaustiveCandidateCap. The landscape is empty.
   std::string Error;
+
+  /// True when the search degraded gracefully instead of completing: the
+  /// deadline expired or the cancel token fired (best-so-far landscape),
+  /// or some candidates failed transiently and were quarantined. The
+  /// rows that are present are still exact.
+  bool Partial = false;
 
   /// The best evaluated candidate, or nullptr if nothing compiled.
   const CandidateResult *best() const {
@@ -222,6 +245,9 @@ private:
     int64_t SharedBytes = 0;
     double SimulateMicros = 0.0;
     std::shared_ptr<const CompiledKernel> Kernel;
+    /// Failure with a transient Diagnostic code: reported in the row but
+    /// never inserted into the cost cache (see Diagnostic::isTransient).
+    bool Transient = false;
   };
 
   /// The shared registry for \p Spec's kernel family (created on first
@@ -231,11 +257,12 @@ private:
   /// Compiles and times \p Points (one batched pass over the session's
   /// worker pool, cost-cache consulted per point), returning one
   /// positional row per point and accumulating effort into \p Stats.
+  /// \p Options bounds every compile and timing run in the batch.
   std::vector<CandidateResult>
   evaluateBatch(const KernelSearchSpec &Spec, TaskRegistry &Registry,
                 const MachineModel &Machine, const SimConfig &Sim,
                 const std::string &SimKey, std::vector<TuningPoint> Points,
-                TuneStats &Stats);
+                const CompileOptions &Options, TuneStats &Stats);
 
   std::unique_ptr<CompilerSession> OwnedSession; ///< Only for Tuner().
   CompilerSession *Session = nullptr;

@@ -107,8 +107,12 @@ using StorageKey = std::vector<int64_t>;
 class CpuLowered {
 public:
   CpuLowered(const IRModule &Module, const LeafRegistry &Leaves,
-             const std::vector<TensorData *> &EntryBuffers)
-      : Module(Module), Leaves(Leaves), EntryBuffers(EntryBuffers) {}
+             const std::vector<TensorData *> &EntryBuffers,
+             const Cancellation *Cancel)
+      : Module(Module), Leaves(Leaves), EntryBuffers(EntryBuffers) {
+    if (Cancel)
+      Check = CancelCheck(*Cancel);
+  }
 
   ErrorOr<LoweredStats> run() {
     AllocContext.assign(Module.tensors().size(), nullptr);
@@ -261,6 +265,10 @@ private:
       }
       case OpKind::Copy:
       case OpKind::Call: {
+        if (Check.enabled() && Check.shouldStop()) {
+          fail(Check.diagnostic("lowered-execution unroll"));
+          return;
+        }
         if (Op->Result != InvalidEventId)
           Events[Op->Result].Depth =
               static_cast<uint32_t>(CoordStack.size());
@@ -377,7 +385,9 @@ private:
 
   /// Round-robin over agents: each runs until its next instruction blocks
   /// on an unmet event. A full round with no progress is a deadlock — the
-  /// compiled schedule could not execute on hardware either.
+  /// compiled schedule could not execute on hardware either. The cancel
+  /// checkpoint sits after the deadlock check: a genuinely stuck schedule
+  /// always reports the deadlock diagnostic, never a deadline.
   void schedule() {
     while (true) {
       bool Progress = false;
@@ -397,20 +407,25 @@ private:
       }
       if (Failure || !Pending)
         return;
-      if (!Progress) {
-        for (size_t Agent = 0; Agent < NumAgents; ++Agent) {
-          if (Cursor[Agent] >= Streams[Agent].size())
-            continue;
-          const Instance &Inst = Insts[Streams[Agent][Cursor[Agent]]];
-          fail(formatString(
-              "lowered-execution deadlock: agent %zu blocked at %s "
-              "(event producer missing or never scheduled)",
-              Agent,
-              Inst.Op->Kind == OpKind::Copy
-                  ? "copy"
-                  : Inst.Op->Callee.c_str()));
+      if (Progress) {
+        if (Check.enabled() && Check.shouldStop()) {
+          fail(Check.diagnostic("lowered-execution agent schedule"));
           return;
         }
+        continue;
+      }
+      for (size_t Agent = 0; Agent < NumAgents; ++Agent) {
+        if (Cursor[Agent] >= Streams[Agent].size())
+          continue;
+        const Instance &Inst = Insts[Streams[Agent][Cursor[Agent]]];
+        fail(formatString(
+            "lowered-execution deadlock: agent %zu blocked at %s "
+            "(event producer missing or never scheduled)",
+            Agent,
+            Inst.Op->Kind == OpKind::Copy
+                ? "copy"
+                : Inst.Op->Callee.c_str()));
+        return;
       }
     }
   }
@@ -571,9 +586,15 @@ private:
       Failure = Diagnostic(std::move(Message));
   }
 
+  void fail(Diagnostic Diag) {
+    if (!Failure)
+      Failure = std::move(Diag);
+  }
+
   const IRModule &Module;
   const LeafRegistry &Leaves;
   const std::vector<TensorData *> &EntryBuffers;
+  CancelCheck Check; ///< Inert (enabled() == false) without a Cancellation.
   LoweredStats Stats;
   std::optional<Diagnostic> Failure;
 
@@ -598,11 +619,12 @@ private:
 
 ErrorOr<LoweredStats>
 cypress::runCpuLowered(const IRModule &Module, const LeafRegistry &Leaves,
-                       const std::vector<TensorData *> &EntryBuffers) {
+                       const std::vector<TensorData *> &EntryBuffers,
+                       const Cancellation *Cancel) {
   if (EntryBuffers.size() != Module.entryArgs().size())
     return Diagnostic(formatString(
         "lowered execution needs one buffer per entry argument "
         "(%zu given, %zu expected)",
         EntryBuffers.size(), Module.entryArgs().size()));
-  return CpuLowered(Module, Leaves, EntryBuffers).run();
+  return CpuLowered(Module, Leaves, EntryBuffers, Cancel).run();
 }

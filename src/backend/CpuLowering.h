@@ -28,6 +28,7 @@
 
 #include "ir/IR.h"
 #include "sim/LeafRegistry.h"
+#include "support/Cancel.h"
 #include "support/Error.h"
 #include "tensor/TensorData.h"
 
@@ -50,9 +51,16 @@ struct LoweredStats {
 /// the compile-time types). Fails with a diagnostic on a schedule deadlock
 /// (an event wait no agent can satisfy — i.e. the compiler emitted an
 /// unexecutable kernel), an unregistered leaf, or a malformed copy.
+/// \p Cancel (when active) is polled at unroll and scheduler-round
+/// boundaries; an expired deadline or fired token stops the run with the
+/// checkpoint's structured diagnostic instead of letting a stalled
+/// schedule spin forever. A genuinely stuck schedule still surfaces as
+/// the deadlock diagnostic — progress detection runs before the
+/// checkpoint, so an injected stall never masquerades as a deadline.
 ErrorOr<LoweredStats>
 runCpuLowered(const IRModule &Module, const LeafRegistry &Leaves,
-              const std::vector<TensorData *> &EntryBuffers);
+              const std::vector<TensorData *> &EntryBuffers,
+              const Cancellation *Cancel = nullptr);
 
 } // namespace cypress
 

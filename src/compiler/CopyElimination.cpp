@@ -256,8 +256,10 @@ GraphScratch &graphScratch() {
 
 class CopyEliminator {
 public:
-  CopyEliminator(IRModule &Module, PassCounters *Counters)
-      : Module(Module), Counters(Counters), S(graphScratch()) {}
+  CopyEliminator(IRModule &Module, PassCounters *Counters,
+                 CancelCheck *Cancel)
+      : Module(Module), Counters(Counters), Cancel(Cancel),
+        S(graphScratch()) {}
 
   ErrorOrVoid run() {
     build();
@@ -269,7 +271,7 @@ public:
       // pattern to its own local fixpoint inside the round.
       auto Drive = [&](bool (CopyEliminator::*Pattern)()) {
         unsigned Guard = 0;
-        while ((this->*Pattern)() && ++Guard < 10000)
+        while (!stopRequested() && (this->*Pattern)() && ++Guard < 10000)
           Changed = true;
       };
       Drive(&CopyEliminator::copyPropagation);
@@ -279,6 +281,13 @@ public:
       Drive(&CopyEliminator::redundantStoreElimination);
       Drive(&CopyEliminator::spillHoisting);
       Drive(&CopyEliminator::deadCopyElimination);
+      // The checkpoint fires *between* rewrites (each pattern call is one
+      // whole rewrite), so stopping here leaves the module well-formed —
+      // just less optimized than a full fixpoint run would make it. The
+      // structured diagnostic still aborts the compile: a half-optimized
+      // kernel must never be mistaken for the real compilation result.
+      if (stopRequested())
+        return Cancel->diagnostic("copy-elimination worklist");
       if (!Changed)
         break;
     }
@@ -646,7 +655,15 @@ private:
   void bumpPop() {
     if (Counters)
       ++Counters->WorklistPops;
+    // Every pop advances the checkpoint's stride counter; once it fires
+    // it stays latched and the pattern loops drain out via stopRequested.
+    if (Cancel)
+      Cancel->shouldStop();
   }
+
+  /// True once the request's cancellation checkpoint has fired (polling at
+  /// worklist-pop granularity, see bumpPop).
+  bool stopRequested() { return Cancel && Cancel->shouldStop(); }
   void bumpRewrite() {
     if (Counters)
       ++Counters->Rewrites;
@@ -1601,6 +1618,7 @@ private:
 
   IRModule &Module;
   PassCounters *Counters;
+  CancelCheck *Cancel;
   GraphScratch &S;
   SlotWorklist (&Work)[NumPatterns] = S.Work; ///< Alias into S.
 };
@@ -1608,8 +1626,9 @@ private:
 } // namespace
 
 ErrorOrVoid cypress::runCopyElimination(IRModule &Module,
-                                        PassCounters *Counters) {
-  return CopyEliminator(Module, Counters).run();
+                                        PassCounters *Counters,
+                                        CancelCheck *Cancel) {
+  return CopyEliminator(Module, Counters, Cancel).run();
 }
 
 //===----------------------------------------------------------------------===//
@@ -1788,7 +1807,8 @@ void cypress::repairEventScopes(IRModule &Module) {
 std::unique_ptr<Pass> cypress::createCopyEliminationPass() {
   return std::make_unique<FunctionPass>(
       "copy-elimination", [](PipelineState &State) {
-        return runCopyElimination(State.Module, &State.Counters);
+        return runCopyElimination(State.Module, &State.Counters,
+                                  State.Cancel);
       });
 }
 

@@ -7,11 +7,14 @@
 #include "compiler/PassManager.h"
 
 #include "support/AllocCounter.h"
+#include "support/FaultInjection.h"
 #include "support/Format.h"
 
 #include <chrono>
 #include <cstdlib>
 #include <iostream>
+#include <string_view>
+#include <thread>
 
 using namespace cypress;
 
@@ -35,9 +38,15 @@ PassPipeline::PassPipeline() {
 
 ErrorOr<IRModule> PassPipeline::run(const CompileInput &Input,
                                     SharedAllocation *AllocOut,
-                                    PipelineStats *StatsOut) const {
+                                    PipelineStats *StatsOut,
+                                    const Cancellation *Cancel) const {
   PipelineState State;
   State.Input = &Input;
+  CancelCheck Check;
+  if (Cancel) {
+    Check = CancelCheck(*Cancel);
+    State.Cancel = &Check;
+  }
 
   PipelineStats Stats;
   Clock::time_point PipelineStart = Clock::now();
@@ -56,6 +65,41 @@ ErrorOr<IRModule> PassPipeline::run(const CompileInput &Input,
   };
 
   for (const std::unique_ptr<Pass> &P : Passes) {
+    // Between-pass checkpoint: the exact variant, since pass boundaries
+    // are rare enough that a real clock read per pass is free.
+    if (Check.enabled() && Check.shouldStopNow()) {
+      Finish();
+      return Check.diagnostic(
+          formatString("compilation (before pass '%s')", P->name()));
+    }
+
+    // Injected faults surface here, at the boundary a real wedged or
+    // buggy pass would, and return directly so the Infeasible
+    // reclassification below never touches them: injected failures are
+    // transient by definition and must stay uncacheable.
+    if (FaultPlan::global().armed()) {
+      int64_t DelayMicros = 0;
+      if (faultFires(FaultSite::SlowPass, P->name(), &DelayMicros) &&
+          DelayMicros > 0)
+        std::this_thread::sleep_for(std::chrono::microseconds(DelayMicros));
+      if (faultFires(FaultSite::FailPass, P->name())) {
+        Finish();
+        Diagnostic Diag(Diagnostic::Code::Internal,
+                        formatString("injected failure in pass '%s'",
+                                     P->name()));
+        Diag.setPass(P->name());
+        return Diag;
+      }
+      if (std::string_view(P->name()) == "resource-allocation" &&
+          faultFires(FaultSite::AllocFail, P->name())) {
+        Finish();
+        Diagnostic Diag(Diagnostic::Code::Internal,
+                        "injected shared-memory allocation failure");
+        Diag.setPass(P->name());
+        return Diag;
+      }
+    }
+
     PassStat Stat;
     Stat.Name = P->name();
     State.Counters = PassCounters();
@@ -78,6 +122,11 @@ ErrorOr<IRModule> PassPipeline::run(const CompileInput &Input,
       Diagnostic Diag = Result.diagnostic();
       if (Diag.passName().empty())
         Diag.setPass(P->name());
+      // An uncoded pass rejection is a deterministic property of the
+      // input (the pipeline is pure), so classify it Infeasible; coded
+      // diagnostics — checkpoint exits above all — pass through.
+      if (Diag.code() == Diagnostic::Code::Internal)
+        Diag.setCode(Diagnostic::Code::Infeasible);
       return Diag;
     }
 
@@ -94,9 +143,11 @@ ErrorOr<IRModule> PassPipeline::run(const CompileInput &Input,
       if (!Verified) {
         Stats.Passes.push_back(std::move(Stat));
         Finish();
-        Diagnostic Diag(formatString(
-            "verification failed after pass '%s': %s", P->name(),
-            Verified.diagnostic().message().c_str()));
+        Diagnostic Diag(Diagnostic::Code::VerifyFailed,
+                        formatString(
+                            "verification failed after pass '%s': %s",
+                            P->name(),
+                            Verified.diagnostic().message().c_str()));
         Diag.setPass(P->name());
         return Diag;
       }

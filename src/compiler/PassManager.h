@@ -24,6 +24,7 @@
 
 #include "compiler/Passes.h"
 #include "ir/IR.h"
+#include "support/Cancel.h"
 #include "support/Error.h"
 
 #include <functional>
@@ -44,6 +45,11 @@ struct PipelineState {
   /// Work counters for the pass currently running; reset by the pipeline
   /// before each pass and copied into that pass's PassStat afterwards.
   PassCounters Counters;
+  /// The request's cancellation checkpoint, or nullptr when the run is not
+  /// cancellable. Long-running passes (copy elimination's worklist) poll
+  /// it between rewrites and return its diagnostic to stop early; the
+  /// pipeline itself checks between passes.
+  CancelCheck *Cancel = nullptr;
 };
 
 /// Per-pass measurements taken by PassPipeline::run.
@@ -149,9 +155,19 @@ public:
   /// failing pass's diagnostic, tagged with that pass's name (see
   /// Diagnostic::passName). StatsOut is filled with the passes that did run
   /// even on failure.
+  ///
+  /// When \p Cancel is active the pipeline checkpoints before every pass
+  /// (and copy elimination checkpoints inside its worklist), returning a
+  /// structured Code::DeadlineExceeded / Code::Cancelled diagnostic as
+  /// soon as one fires; a nullptr Cancel is completely inert. Pass
+  /// diagnostics that carry no explicit Code are classified Infeasible on
+  /// the way out: the pipeline is a pure function of its input, so its
+  /// own rejections are deterministic and safe to memoize — unlike
+  /// checkpoint exits and injected faults, which keep transient codes.
   ErrorOr<IRModule> run(const CompileInput &Input,
                         SharedAllocation *AllocOut = nullptr,
-                        PipelineStats *StatsOut = nullptr) const;
+                        PipelineStats *StatsOut = nullptr,
+                        const Cancellation *Cancel = nullptr) const;
 
   /// The Section 4.2 lowering pipeline: the five IR-to-IR stages with the
   /// two repair helpers registered between them, in the order compileToIR

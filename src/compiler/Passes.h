@@ -24,6 +24,7 @@
 #include "ir/IR.h"
 #include "machine/Machine.h"
 #include "mapping/Mapping.h"
+#include "support/Cancel.h"
 #include "support/Error.h"
 
 #include <string>
@@ -71,9 +72,13 @@ struct PassCounters {
 /// elimination, unmaterialized-tensor forwarding), preserving required
 /// synchronization. Reports an error if a tensor mapped to the `none`
 /// memory would have to be materialized (Section 3.3). Fills \p Counters
-/// (when given) with rewrite/worklist statistics.
+/// (when given) with rewrite/worklist statistics. \p Cancel (when given)
+/// is polled at worklist-pop intervals: the pass stops between rewrites
+/// and returns the checkpoint's structured diagnostic, leaving no partial
+/// rewrite behind.
 ErrorOrVoid runCopyElimination(IRModule &Module,
-                               PassCounters *Counters = nullptr);
+                               PassCounters *Counters = nullptr,
+                               CancelCheck *Cancel = nullptr);
 
 /// Restores event-scope well-formedness: references that point at events
 /// defined inside loop bodies from outside those bodies (which both event

@@ -6,10 +6,14 @@
 
 #include "runtime/Session.h"
 
+#include "support/FaultInjection.h"
+#include "support/Format.h"
+
 #include <algorithm>
 #include <atomic>
 #include <optional>
 #include <sstream>
+#include <stdexcept>
 #include <thread>
 
 using namespace cypress;
@@ -17,6 +21,79 @@ using namespace cypress;
 CompilerSession::CompilerSession(SessionConfig Config) : Config(Config) {}
 
 CompilerSession::~CompilerSession() {
+  Accepting.store(false);
+  joinWorkers();
+}
+
+//===----------------------------------------------------------------------===//
+// Admission control and shutdown
+//===----------------------------------------------------------------------===//
+
+size_t CompilerSession::admitUpTo(size_t Want) {
+  if (Want == 0)
+    return 0;
+  size_t Take = Want;
+  if (Config.MaxQueuedRequests == 0) {
+    InFlight.fetch_add(Want);
+  } else {
+    size_t Cur = InFlight.load();
+    while (true) {
+      size_t Avail = Config.MaxQueuedRequests > Cur
+                         ? Config.MaxQueuedRequests - Cur
+                         : 0;
+      Take = std::min(Want, Avail);
+      if (Take == 0)
+        return 0;
+      if (InFlight.compare_exchange_weak(Cur, Cur + Take))
+        break;
+    }
+  }
+  // Re-checked after the increment (both seq_cst): if a racing shutdown's
+  // Accepting store is not visible here, our increment is visible to its
+  // drain wait, so it cannot miss this request either way.
+  if (!Accepting.load()) {
+    release(Take);
+    return 0;
+  }
+  return Take;
+}
+
+void CompilerSession::release(size_t N) {
+  if (N == 0)
+    return;
+  if (InFlight.fetch_sub(N) == N) {
+    std::lock_guard<std::mutex> Lock(DrainMutex);
+    DrainCv.notify_all();
+  }
+}
+
+Diagnostic CompilerSession::shedDiagnostic() const {
+  if (!Accepting.load())
+    return Diagnostic(Diagnostic::Code::Cancelled,
+                      "compiler session is shut down");
+  return Diagnostic(
+      Diagnostic::Code::Overloaded,
+      formatString("session overloaded: admission limit of %zu concurrent "
+                   "requests reached",
+                   Config.MaxQueuedRequests));
+}
+
+void CompilerSession::shutdown(ShutdownMode Mode) {
+  Accepting.store(false);
+  if (Mode == ShutdownMode::Abort)
+    SessionCancel.cancel();
+  {
+    std::unique_lock<std::mutex> Lock(DrainMutex);
+    DrainCv.wait(Lock, [&] { return InFlight.load() == 0; });
+  }
+  joinWorkers();
+}
+
+void CompilerSession::joinWorkers() {
+  // SubmitMutex keeps this from racing a runParallel batch submission; a
+  // batch already draining completes on its caller's thread regardless
+  // (workers that wake to ShuttingDown exit without claiming items).
+  std::lock_guard<std::mutex> Submit(SubmitMutex);
   {
     std::lock_guard<std::mutex> Lock(PoolMutex);
     ShuttingDown = true;
@@ -24,6 +101,7 @@ CompilerSession::~CompilerSession() {
   WorkCv.notify_all();
   for (std::thread &Worker : Workers)
     Worker.join();
+  Workers.clear();
 }
 
 //===----------------------------------------------------------------------===//
@@ -191,14 +269,21 @@ std::string CompilerSession::cacheKey(const CompileInput &Input) {
 //===----------------------------------------------------------------------===//
 
 ErrorOr<std::shared_ptr<const CompiledKernel>>
-CompilerSession::compile(const CompileInput &Input, const std::string &Name) {
+CompilerSession::compile(const CompileInput &Input, const std::string &Name,
+                         const CompileOptions &Options) {
+  if (admitUpTo(1) == 0)
+    return shedDiagnostic();
+  Cancellation Cancel(Options.DeadlineAt, Options.Cancel, &SessionCancel);
   bool WasHit = false;
-  return compileKeyed(cacheKey(Input), Input, Name, WasHit);
+  auto Result = compileKeyed(cacheKey(Input), Input, Name, WasHit, Cancel);
+  release(1);
+  return Result;
 }
 
 ErrorOr<std::shared_ptr<const CompiledKernel>>
 CompilerSession::compileKeyed(std::string Key, const CompileInput &Input,
-                              const std::string &Name, bool &WasHit) {
+                              const std::string &Name, bool &WasHit,
+                              const Cancellation &Cancel) {
   {
     std::lock_guard<std::mutex> Lock(Mutex);
     auto It = Cache.find(Key);
@@ -213,6 +298,14 @@ CompilerSession::compileKeyed(std::string Key, const CompileInput &Input,
     WasHit = false;
   }
 
+  // Queued-but-unstarted shedding: a request whose token fired (or whose
+  // deadline expired) while it waited for a worker exits here, before any
+  // pipeline work. Cache hits above are still served — they are cheaper
+  // than constructing this diagnostic.
+  CancelCheck Entry(Cancel);
+  if (Entry.enabled() && Entry.shouldStopNow())
+    return Entry.diagnostic("queued compilation");
+
   // Compile outside the lock so independent misses overlap. Concurrent
   // misses on one key both compile; emplace keeps the first result and
   // every caller shares it.
@@ -220,9 +313,39 @@ CompilerSession::compileKeyed(std::string Key, const CompileInput &Input,
   PipelineStats PassStats;
   PassPipeline Pipeline = PassPipeline::defaultPipeline();
   Pipeline.setVerifyEachPass(Config.VerifyEachPass);
-  ErrorOr<IRModule> Module = Pipeline.run(Input, &Alloc, &PassStats);
+  ErrorOr<IRModule> Module = [&]() -> ErrorOr<IRModule> {
+    // Worker-throw containment: a pass that throws (modeled by the
+    // worker-throw fault site) must cost exactly one request, not a pool
+    // thread — std::thread would std::terminate on an escaped exception.
+    // The fault key is the mapping fingerprint, not the cache key: the
+    // cache key embeds the registry uid, which differs between sessions,
+    // while the fingerprint is pure content — so a probabilistic clause
+    // fires on the same candidates in every run at any worker count.
+    try {
+      FaultPlan &Faults = FaultPlan::global();
+      if (Faults.armed() &&
+          Faults.shouldFire(FaultSite::WorkerThrow,
+                            Input.Mapping->fingerprint()))
+        throw std::runtime_error("injected worker exception");
+      return Pipeline.run(Input, &Alloc, &PassStats, &Cancel);
+    } catch (const std::exception &E) {
+      return Diagnostic(Diagnostic::Code::Internal,
+                        formatString("worker exception while compiling "
+                                     "'%s': %s",
+                                     Name.c_str(), E.what()));
+    } catch (...) {
+      return Diagnostic(Diagnostic::Code::Internal,
+                        formatString("worker exception while compiling '%s'",
+                                     Name.c_str()));
+    }
+  }();
   if (!Module)
-    return Module.diagnostic(); // Failures are not cached.
+    // Failures (and cancelled/deadline exits) are never cached; a failing
+    // compile that lost a concurrent-miss race against a success on the
+    // same key still surfaces its own Diagnostic — the cache keeps the
+    // winner's kernel and this caller learns what went wrong with *its*
+    // compile (see RobustnessTest ConcurrentMissLoser regression).
+    return Module.diagnostic();
   auto Kernel = std::make_shared<const CompiledKernel>(
       std::move(*Module), std::move(Alloc), Name, std::move(PassStats));
 
@@ -234,25 +357,48 @@ CompilerSession::compileKeyed(std::string Key, const CompileInput &Input,
 std::vector<ErrorOr<std::shared_ptr<const CompiledKernel>>>
 CompilerSession::compileAll(const std::vector<Request> &Requests,
                             std::vector<uint8_t> *HitsOut,
-                            const PostCompileFn &PostCompile) {
+                            const PostCompileFn &PostCompile,
+                            const CompileOptions &Options) {
   // ErrorOr has no default state, so results land in optionals first.
   std::vector<std::optional<ErrorOr<std::shared_ptr<const CompiledKernel>>>>
       Slots(Requests.size());
   if (HitsOut)
     HitsOut->assign(Requests.size(), 0);
 
+  // Admission is positional: the first Admitted requests run, the tail is
+  // shed (overloaded / shutting down) without compiling.
+  size_t Admitted = admitUpTo(Requests.size());
+  Cancellation Cancel(Options.DeadlineAt, Options.Cancel, &SessionCancel);
+
   auto Work = [&](size_t I) {
     const Request &R = Requests[I];
     bool WasHit = false;
-    Slots[I].emplace(compileKeyed(
-        R.Key.empty() ? cacheKey(R.Input) : R.Key, R.Input, R.Name,
-        WasHit));
+    // Last-resort containment (compileKeyed already catches pipeline
+    // throws): an empty slot or an exception escaping into the pool's
+    // std::thread would take the whole process down.
+    try {
+      Slots[I].emplace(compileKeyed(
+          R.Key.empty() ? cacheKey(R.Input) : R.Key, R.Input, R.Name,
+          WasHit, Cancel));
+    } catch (...) {
+      Slots[I].emplace(Diagnostic(
+          Diagnostic::Code::Internal,
+          formatString("worker exception while compiling '%s'",
+                       R.Name.c_str())));
+    }
     if (HitsOut)
       (*HitsOut)[I] = WasHit ? 1 : 0;
     if (PostCompile)
       PostCompile(I, *Slots[I]);
   };
-  runParallel(Requests.size(), Work);
+  runParallel(Admitted, Work);
+  release(Admitted);
+
+  for (size_t I = Admitted; I < Requests.size(); ++I) {
+    Slots[I].emplace(shedDiagnostic());
+    if (PostCompile)
+      PostCompile(I, *Slots[I]);
+  }
 
   std::vector<ErrorOr<std::shared_ptr<const CompiledKernel>>> Results;
   Results.reserve(Slots.size());

@@ -36,6 +36,7 @@
 #define CYPRESS_RUNTIME_SESSION_H
 
 #include "runtime/Runtime.h"
+#include "support/Cancel.h"
 
 #include <atomic>
 #include <condition_variable>
@@ -57,7 +58,26 @@ struct SessionConfig {
   /// Run the IR verifier between pipeline stages (see PassPipeline). On by
   /// default; serving deployments can turn it off for compile throughput.
   bool VerifyEachPass = true;
+  /// Admission bound: the maximum number of requests (summed across
+  /// concurrent compile and compileAll callers) in flight at once. Requests
+  /// beyond the bound are shed immediately with a Code::Overloaded
+  /// diagnostic instead of queueing unboundedly; a compileAll batch is
+  /// admitted as a positional prefix and the tail is shed. 0 = unbounded.
+  size_t MaxQueuedRequests = 0;
 };
+
+/// Per-request serving options: an optional wall-clock deadline and an
+/// optional caller-held cancellation token. Defaults are fully inert (the
+/// session-wide abort token is always honored regardless).
+struct CompileOptions {
+  Deadline DeadlineAt;
+  const CancelToken *Cancel = nullptr;
+};
+
+/// How CompilerSession::shutdown treats in-flight work: Drain waits for it
+/// to complete normally; Abort fires the session-wide cancel token so every
+/// in-flight request exits at its next checkpoint with Code::Cancelled.
+enum class ShutdownMode { Drain, Abort };
 
 /// Cache-effectiveness counters (monotonic over the session's lifetime).
 struct SessionStats {
@@ -107,10 +127,17 @@ public:
 
   /// Compiles \p Input, or returns the cached kernel compiled for an
   /// identical input. Thread-safe; concurrent misses on the same key both
-  /// compile, and the first to finish populates the cache (the loser's
-  /// result is discarded, so callers always share one kernel per key).
+  /// compile, and the first to finish populates the cache (a losing
+  /// *successful* compile is discarded in favor of the cached winner, so
+  /// callers always share one kernel per key; a losing *errored* compile
+  /// surfaces its own Diagnostic and is never cached). \p Options bounds
+  /// the request: an expired deadline or fired token yields a structured
+  /// Code::DeadlineExceeded / Code::Cancelled diagnostic — cache hits are
+  /// still served (they cost microseconds), and failed or abandoned
+  /// compiles never become cache entries.
   ErrorOr<std::shared_ptr<const CompiledKernel>>
-  compile(const CompileInput &Input, const std::string &Name);
+  compile(const CompileInput &Input, const std::string &Name,
+          const CompileOptions &Options = CompileOptions());
 
   /// Per-request continuation of compileAll, invoked on the worker thread
   /// that finished (or cache-served) request \p Index, before the worker
@@ -130,11 +157,29 @@ public:
   /// served from the cache — the exact attribution (unlike diffing the
   /// global counters, which absorb concurrent clients' traffic). When
   /// \p PostCompile is non-null it runs on the worker right after each
-  /// request resolves (see PostCompileFn).
+  /// request resolves (see PostCompileFn). \p Options applies to every
+  /// request in the batch: requests still queued when the deadline expires
+  /// or the token fires are shed without compiling (each gets its own
+  /// structured diagnostic). Under SessionConfig::MaxQueuedRequests, the
+  /// batch is admitted as a prefix and the tail is shed with
+  /// Code::Overloaded; PostCompile still runs for shed requests.
   std::vector<ErrorOr<std::shared_ptr<const CompiledKernel>>>
   compileAll(const std::vector<Request> &Requests,
              std::vector<uint8_t> *HitsOut = nullptr,
-             const PostCompileFn &PostCompile = nullptr);
+             const PostCompileFn &PostCompile = nullptr,
+             const CompileOptions &Options = CompileOptions());
+
+  /// Stops admitting new requests and waits for in-flight ones: Drain lets
+  /// them finish normally; Abort cancels them at their next checkpoint
+  /// (each returns Code::Cancelled). Joins the worker pool. Idempotent,
+  /// and safe to call concurrently with serving threads — they observe
+  /// shed diagnostics, never crashes. After shutdown, compile/compileAll
+  /// reject every request with a structured diagnostic; cache inspection
+  /// (stats, cachedKernels, isCached) still works.
+  void shutdown(ShutdownMode Mode = ShutdownMode::Drain);
+
+  /// False once shutdown() has begun; new requests are being shed.
+  bool acceptingRequests() const { return Accepting.load(); }
 
   /// The cache key for \p Input: the registry's structural fingerprint and
   /// identity (inner task bodies are opaque callables, so object identity
@@ -163,10 +208,27 @@ public:
 
 private:
   /// The shared implementation: \p Key is cacheKey(Input); \p WasHit
-  /// reports whether the cache served the request.
+  /// reports whether the cache served the request; \p Cancel is the
+  /// request's effective cancellation surface (deadline + caller token +
+  /// session token). Contains worker exceptions: a throwing pass (or an
+  /// injected worker-throw fault) becomes a per-request Code::Internal
+  /// diagnostic and the pool keeps serving.
   ErrorOr<std::shared_ptr<const CompiledKernel>>
   compileKeyed(std::string Key, const CompileInput &Input,
-               const std::string &Name, bool &WasHit);
+               const std::string &Name, bool &WasHit,
+               const Cancellation &Cancel);
+
+  /// Reserves up to \p Want admission slots; returns how many were granted
+  /// (0 when shedding — overloaded or shutting down). Rechecks Accepting
+  /// after the reservation so a concurrent shutdown() can never miss an
+  /// in-flight increment.
+  size_t admitUpTo(size_t Want);
+  /// Returns \p N admission slots and wakes a draining shutdown().
+  void release(size_t N);
+  /// The diagnostic a shed request observes (shutdown vs. overload).
+  Diagnostic shedDiagnostic() const;
+  /// Joins the worker pool (idempotent; shared by shutdown and ~).
+  void joinWorkers();
 
   /// One batched unit of work on the pool: items claim indices from a
   /// shared atomic, so a job survives stale wakeups from earlier batches
@@ -191,6 +253,16 @@ private:
   mutable std::mutex Mutex;
   std::map<std::string, std::shared_ptr<const CompiledKernel>> Cache;
   SessionStats Stats;
+
+  // Admission control and shutdown (see shutdown()). InFlight counts
+  // admitted-but-unfinished requests; DrainCv wakes shutdown when it
+  // reaches zero. SessionCancel is the Abort fan-out: it rides along as
+  // Cancellation::SessionToken on every request.
+  std::atomic<bool> Accepting{true};
+  std::atomic<size_t> InFlight{0};
+  CancelToken SessionCancel;
+  std::mutex DrainMutex;
+  std::condition_variable DrainCv;
 
   // Worker pool (lazily started, joined on destruction).
   std::mutex SubmitMutex; ///< Serializes runParallel callers.

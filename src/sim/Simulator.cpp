@@ -309,9 +309,12 @@ class BlockTimer {
 public:
   BlockTimer(const IRModule &Module, const SharedAllocation &Alloc,
              const SimConfig &Config, const Operation &Grid,
-             TimerScratch &S, const SimHints *Hints, SimWorkerPool *Pool)
+             TimerScratch &S, const SimHints *Hints, SimWorkerPool *Pool,
+             const Cancellation *Cancel)
       : Module(Module), Alloc(Alloc), Config(Config), Grid(Grid), S(S),
-        Hints(Hints), Pool(Pool) {
+        Hints(Hints), Pool(Pool), Cancel(Cancel) {
+    if (Cancel)
+      SchedCheck = CancelCheck(*Cancel);
     Env.ProcIndices[Processor::Block] = 0;
     Env.ProcIndices[Processor::Warpgroup] = 0;
     Env.ProcIndices[Processor::Warp] = 0;
@@ -499,7 +502,16 @@ private:
   void expandUnitRange(ShardBuf &B, size_t Begin, size_t End) {
     ScalarEnv &Env = B.Env;
     auto WgIt = Env.ProcIndices.find(Processor::Warpgroup);
+    // Each shard polls its own checkpoint (the stride counter is
+    // per-thread state); shards that notice the stop write their failure
+    // and the in-order merge surfaces the first one, so the exit is as
+    // deterministic as the expansion itself.
+    CancelCheck Check = Cancel ? CancelCheck(*Cancel) : CancelCheck();
     for (size_t U = Begin; U < End && !B.Failure; ++U) {
+      if (Check.enabled() && Check.shouldStop()) {
+        B.Failure = Check.diagnostic("simulation shard expansion");
+        return;
+      }
       const TopUnit &Unit = S.Units[U];
       B.CoordStack.clear();
       B.LoopPath.clear();
@@ -894,6 +906,13 @@ private:
     // Tensor Core arbitrarily far ahead of its peers, which the hardware
     // warp scheduler does not do.)
     while (true) {
+      // Relaxation checkpoint: one strided poll per scheduling step, so a
+      // deadline cuts even a pathological event graph off instead of
+      // spinning to the end of its streams.
+      if (SchedCheck.enabled() && SchedCheck.shouldStop()) {
+        fail(SchedCheck.diagnostic("simulation event relaxation"));
+        return;
+      }
       size_t BestAgent = ~size_t(0);
       double BestStart = 0.0, BestWait = 0.0;
       bool AnyPending = false;
@@ -1144,6 +1163,10 @@ private:
     if (!Failure)
       Failure = Diagnostic(std::move(Message));
   }
+  void fail(Diagnostic Diag) {
+    if (!Failure)
+      Failure = std::move(Diag);
+  }
 
   const IRModule &Module;
   const SharedAllocation &Alloc;
@@ -1152,6 +1175,8 @@ private:
   TimerScratch &S;
   const SimHints *Hints;
   SimWorkerPool *Pool; ///< Null: expand in one shard on this thread.
+  const Cancellation *Cancel = nullptr;
+  CancelCheck SchedCheck; ///< The scheduling loop's (main-thread) poll.
 
   size_t NumAgents = 0;
   int64_t Wgs = 1;          ///< Widest warpgroup dim (static pre-walk).
@@ -1440,9 +1465,18 @@ ErrorOr<SimResult> cypress::simulate(const IRModule &Module,
                                      const LeafRegistry &Leaves,
                                      const std::vector<TensorData *> &EntryBuffers,
                                      const SimHints *Hints,
-                                     SimWorkerPool *Pool) {
+                                     SimWorkerPool *Pool,
+                                     const Cancellation *Cancel) {
   SimResult Total;
   bool FoundGrid = false;
+
+  // Entry checkpoint: a request that arrives already cancelled or past
+  // its deadline never touches the scratch tables.
+  if (Cancel) {
+    CancelCheck Entry(*Cancel);
+    if (Entry.enabled() && Entry.shouldStopNow())
+      return Entry.diagnostic("simulation");
+  }
 
   for (const std::unique_ptr<Operation> &Op : Module.root().Ops) {
     if (Op->Kind != OpKind::PFor || Op->PForProc != Processor::Block)
@@ -1453,7 +1487,7 @@ ErrorOr<SimResult> cypress::simulate(const IRModule &Module,
     int64_t Blocks = Op->LoopHi.evaluate(Env) - Op->LoopLo.evaluate(Env);
 
     BlockTimer Timer(Module, Alloc, Config, *Op, timerScratch(), Hints,
-                     Pool);
+                     Pool, Cancel);
     ErrorOr<SimResult> BlockResult = Timer.run();
     if (!BlockResult)
       return BlockResult.diagnostic();

@@ -133,13 +133,21 @@ struct SimHints {
 /// sequential path. Do not pass a pool whose workers are what is calling
 /// simulate (e.g. from inside CompilerSession::compileAll's PostCompile
 /// hook): nested submission would deadlock on the pool's batch lock.
+///
+/// When \p Cancel is active, the shard-expansion and event-relaxation
+/// loops poll it (strided, so the steady-state hot path stays
+/// allocation-free and branch-cheap) and the run exits with the
+/// checkpoint's structured Code::DeadlineExceeded / Code::Cancelled
+/// diagnostic instead of a partial SimResult. A nullptr Cancel changes
+/// nothing — the bit-identical parity contract is unaffected.
 ErrorOr<SimResult> simulate(const IRModule &Module,
                             const SharedAllocation &Alloc,
                             const SimConfig &Config,
                             const LeafRegistry &Leaves,
                             const std::vector<TensorData *> &EntryBuffers = {},
                             const SimHints *Hints = nullptr,
-                            SimWorkerPool *Pool = nullptr);
+                            SimWorkerPool *Pool = nullptr,
+                            const Cancellation *Cancel = nullptr);
 
 } // namespace cypress
 

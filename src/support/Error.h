@@ -34,14 +34,41 @@ namespace cypress {
 /// provenance: the compiler pass (and pipeline stage) that produced it.
 ///
 /// Diagnostics compare equal on their message text, which keeps tests simple
-/// and deterministic — provenance is reporting metadata, not identity.
-/// Messages follow the "lowercase, no trailing period" convention.
+/// and deterministic — provenance and the Code are reporting metadata, not
+/// identity. Messages follow the "lowercase, no trailing period" convention.
 class Diagnostic {
 public:
+  /// Structured error taxonomy for the serving layer. Callers branch on
+  /// this instead of matching message strings: retry policy, cache
+  /// eligibility (see CompilerSession), and load-shedding all key off the
+  /// Code. Kept deliberately small — a code describes what a caller should
+  /// *do* about the error, not where it came from (passName carries that).
+  enum class Code : uint8_t {
+    Internal,         ///< Unclassified failure; assume nothing, don't retry.
+    Infeasible,       ///< The input can never compile (deterministic).
+    VerifyFailed,     ///< IR verification failed after a pass.
+    DeadlineExceeded, ///< A cooperative deadline checkpoint fired.
+    Cancelled,        ///< A CancelToken was observed at a checkpoint.
+    Overloaded,       ///< Load-shed: admission queue full or shut down.
+  };
+
   Diagnostic() = default;
   explicit Diagnostic(std::string Message) : Message(std::move(Message)) {}
+  Diagnostic(Code C, std::string Message)
+      : Message(std::move(Message)), Kind(C) {}
 
   const std::string &message() const { return Message; }
+
+  Code code() const { return Kind; }
+  void setCode(Code C) { Kind = C; }
+
+  /// Deterministic failures are pure functions of the input and may be
+  /// memoized (the tuner's cost cache); transient ones (deadline, cancel,
+  /// overload, unclassified internal errors) must never be.
+  bool isTransient() const {
+    return Kind == Code::DeadlineExceeded || Kind == Code::Cancelled ||
+           Kind == Code::Overloaded || Kind == Code::Internal;
+  }
 
   /// The pipeline pass the diagnostic was raised in (set by PassPipeline);
   /// empty when the error did not come from a pass.
@@ -61,6 +88,7 @@ public:
 private:
   std::string Message;
   std::string Pass;
+  Code Kind = Code::Internal;
 };
 
 /// Either a value of type T or a Diagnostic explaining why none is available.
